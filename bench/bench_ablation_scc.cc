@@ -1,0 +1,52 @@
+// Ablation (beyond the paper): the SCC prefilter. Vertices in SCCs smaller
+// than 3 lie on no qualifying cycle and can be discharged without search.
+// Measures how much of each proxy the filter removes and the end-to-end
+// effect on TDB++ runtime. Cover must be identical with and without.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/solver.h"
+#include "datasets.h"
+#include "table_printer.h"
+
+int main() {
+  using namespace tdb;
+  using namespace tdb::bench;
+
+  const double scale = BenchScale();
+  constexpr uint32_t kHop = 5;
+
+  std::printf("== Ablation: SCC prefilter (k = %u, scale %.3g) ==\n", kHop,
+              scale);
+  TablePrinter table({"Name", "off s", "on s", "scc-filtered", "bfs-filtered",
+                      "cover equal"});
+  for (const char* name : {"GNU", "EU", "WIT", "WGO", "WND", "WBS"}) {
+    const DatasetSpec* spec = FindDataset(name);
+    CsrGraph g = BuildProxy(*spec, scale);
+    CoverOptions off;
+    off.k = kHop;
+    CoverOptions on = off;
+    on.scc_prefilter = true;
+    CoverResult a = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, off);
+    CoverResult b = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, on);
+    if (!a.status.ok() || !b.status.ok()) {
+      std::fprintf(stderr, "solver failure on %s\n", name);
+      return 1;
+    }
+    if (a.cover != b.cover) {
+      std::fprintf(stderr, "SCC prefilter changed the cover on %s\n", name);
+      return 1;
+    }
+    table.AddRow({name, FormatSeconds(a.stats.elapsed_seconds, false),
+                  FormatSeconds(b.stats.elapsed_seconds, false),
+                  FormatCount(b.stats.scc_filtered),
+                  FormatCount(b.stats.bfs_filtered), "yes"});
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf(
+      "\nReading: on sparse graphs with large acyclic fringes (GNU, EU)\n"
+      "the SCC pass discharges most vertices before any search; on dense\n"
+      "web graphs the BFS filter already catches them.\n");
+  return 0;
+}

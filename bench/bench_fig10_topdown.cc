@@ -1,0 +1,71 @@
+// Reproduces Figure 10: the top-down technique ablation. TDB (plain DFS
+// validation) vs TDB+ (block technique) vs TDB++ (blocks + BFS filter) on
+// the WKV and WGO proxies, k = 3..7. The three always produce identical
+// covers, so only runtime is reported (as in the paper).
+//
+// Reproduction note (see EXPERIMENTS.md): on the randomized proxies the
+// three variants tie — with first-cycle termination, failed validations
+// are cheap in reciprocity-rich Zipf graphs, so there is nothing for the
+// blocks to prune. The paper's separation comes from the hierarchical fan
+// regions of the real web corpora; the FUNNEL workload below isolates that
+// structure and shows the gap (plain = width^(k-1) per failed validation,
+// blocks = O(k*m), BFS filter = O(reach)).
+#include <cstdio>
+
+#include "bench_runner.h"
+#include "datasets.h"
+#include "graph/generators.h"
+#include "table_printer.h"
+
+int main() {
+  using namespace tdb;
+  using namespace tdb::bench;
+
+  const double scale = BenchScale();
+  const double timeout = BenchTimeout(15.0);
+
+  std::printf(
+      "== Figure 10: TDB vs TDB+ vs TDB++ (scale %.3g, budget %.0fs) ==\n",
+      scale, timeout);
+  for (const char* name : {"WKV", "WGO"}) {
+    const DatasetSpec* spec = FindDataset(name);
+    CsrGraph g = BuildProxy(*spec, scale);
+    std::printf("\n-- %s (%s) --\n", spec->name, spec->full_name);
+    TablePrinter table({"k", "TDB s", "TDB+ s", "TDB++ s", "cover"});
+    for (uint32_t k = 3; k <= 7; ++k) {
+      Cell tdb = RunCovered(g, CoverAlgorithm::kTdb, k, timeout);
+      Cell plus = RunCovered(g, CoverAlgorithm::kTdbPlus, k, timeout);
+      Cell pp = RunCovered(g, CoverAlgorithm::kTdbPlusPlus, k, timeout);
+      table.AddRow({std::to_string(k),
+                    FormatSeconds(tdb.seconds, tdb.timed_out),
+                    FormatSeconds(plus.seconds, plus.timed_out),
+                    FormatSeconds(pp.seconds, pp.timed_out),
+                    FormatCount(pp.cover_size, pp.timed_out || pp.failed)});
+      std::fflush(stdout);
+    }
+    table.Print();
+  }
+
+  // Adversarial funnel: the structure the block technique targets.
+  // Reversed ids force every validation to face its full downstream fan.
+  std::printf("\n-- FUNNEL (layered all-to-all DAG, width 10 x 14) --\n");
+  CsrGraph funnel = MakeLayeredFunnel(10, 14, /*reverse_ids=*/true);
+  TablePrinter table({"k", "TDB s", "TDB+ s", "TDB++ s"});
+  for (uint32_t k = 3; k <= 7; ++k) {
+    Cell tdb = RunCovered(funnel, CoverAlgorithm::kTdb, k, timeout);
+    Cell plus = RunCovered(funnel, CoverAlgorithm::kTdbPlus, k, timeout);
+    Cell pp = RunCovered(funnel, CoverAlgorithm::kTdbPlusPlus, k, timeout);
+    table.AddRow({std::to_string(k),
+                  FormatSeconds(tdb.seconds, tdb.timed_out),
+                  FormatSeconds(plus.seconds, plus.timed_out),
+                  FormatSeconds(pp.seconds, pp.timed_out)});
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): block technique and BFS filter each\n"
+      "contribute speedups; the BFS filter matters more at large k. On\n"
+      "random proxies the variants tie (no hierarchical fans to prune);\n"
+      "the FUNNEL rows isolate that structure and show the separation.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Micro-benchmarks of the search substrate (google-benchmark): the
+// per-validation cost that drives every solver. Covers the plain DFS vs
+// block-based validation gap (the paper's core claim at the search level),
+// the BFS filter, and bounded path existence.
+#include <benchmark/benchmark.h>
+
+#include "datasets.h"
+#include "graph/fixtures.h"
+#include "graph/generators.h"
+#include "graph/scc.h"
+#include "search/bfs_filter.h"
+#include "search/cycle_finder.h"
+#include "search/path_search.h"
+
+namespace {
+
+using namespace tdb;
+
+/// Validation sweep over all vertices of the WKV proxy (no kept mask:
+/// worst-case full-graph searches).
+const CsrGraph& WkvProxy() {
+  static const CsrGraph g =
+      bench::BuildProxy(*bench::FindDataset("WKV"), 0.5);
+  return g;
+}
+
+void BM_PlainDfsValidation(benchmark::State& state) {
+  const CsrGraph& g = WkvProxy();
+  CycleFinder finder(g);
+  const CycleConstraint c{.max_hops = static_cast<uint32_t>(state.range(0)),
+                          .min_len = 3};
+  VertexId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        finder.FindCycleThrough(v, c, nullptr, nullptr));
+    v = (v + 1) % g.num_vertices();
+  }
+  state.counters["expansions/iter"] = benchmark::Counter(
+      static_cast<double>(finder.stats().expansions),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_PlainDfsValidation)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_BlockValidation(benchmark::State& state) {
+  const CsrGraph& g = WkvProxy();
+  BlockSearch search(g);
+  const CycleConstraint c{.max_hops = static_cast<uint32_t>(state.range(0)),
+                          .min_len = 3};
+  VertexId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        search.FindCycleThrough(v, c, nullptr, nullptr));
+    v = (v + 1) % g.num_vertices();
+  }
+  state.counters["expansions/iter"] = benchmark::Counter(
+      static_cast<double>(search.stats().expansions),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_BlockValidation)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_BlockValidationWorstCaseFan(benchmark::State& state) {
+  // Figure 5 shape: the structure the block technique is built for.
+  static const CsrGraph g = MakeFigure5Blocks(2000);
+  BlockSearch search(g);
+  const CycleConstraint c{.max_hops = 6, .min_len = 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search.FindCycleThrough(0, c, nullptr, nullptr));
+  }
+}
+BENCHMARK(BM_BlockValidationWorstCaseFan);
+
+void BM_PlainDfsWorstCaseFan(benchmark::State& state) {
+  static const CsrGraph g = MakeFigure5Blocks(2000);
+  CycleFinder finder(g);
+  const CycleConstraint c{.max_hops = 6, .min_len = 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        finder.FindCycleThrough(0, c, nullptr, nullptr));
+  }
+}
+BENCHMARK(BM_PlainDfsWorstCaseFan);
+
+// Layered funnel: a failed plain validation enumerates width^(k-1) simple
+// paths while the block engine stays O(k*m) — the asymptotic gap behind
+// the paper's Theorem 6 (arg = k).
+void BM_PlainDfsFunnel(benchmark::State& state) {
+  static const CsrGraph g = MakeLayeredFunnel(8, 12);
+  CycleFinder finder(g);
+  const CycleConstraint c{.max_hops = static_cast<uint32_t>(state.range(0)),
+                          .min_len = 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        finder.FindCycleThrough(0, c, nullptr, nullptr));
+  }
+}
+BENCHMARK(BM_PlainDfsFunnel)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_BlockValidationFunnel(benchmark::State& state) {
+  static const CsrGraph g = MakeLayeredFunnel(8, 12);
+  BlockSearch search(g);
+  const CycleConstraint c{.max_hops = static_cast<uint32_t>(state.range(0)),
+                          .min_len = 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search.FindCycleThrough(0, c, nullptr, nullptr));
+  }
+}
+BENCHMARK(BM_BlockValidationFunnel)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_BfsFilter(benchmark::State& state) {
+  const CsrGraph& g = WkvProxy();
+  BfsFilter filter(g);
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  VertexId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.ShortestClosedWalk(v, k, nullptr));
+    v = (v + 1) % g.num_vertices();
+  }
+}
+BENCHMARK(BM_BfsFilter)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_PathExistence(benchmark::State& state) {
+  const CsrGraph& g = WkvProxy();
+  BlockSearch search(g);
+  VertexId s = 0;
+  for (auto _ : state) {
+    const VertexId t = (s + g.num_vertices() / 2) % g.num_vertices();
+    benchmark::DoNotOptimize(
+        search.FindPath(s, t, 2, 4, nullptr, nullptr, nullptr));
+    s = (s + 1) % g.num_vertices();
+  }
+}
+BENCHMARK(BM_PathExistence);
+
+void BM_SccDecomposition(benchmark::State& state) {
+  const CsrGraph& g = WkvProxy();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeScc(g).num_components);
+  }
+}
+BENCHMARK(BM_SccDecomposition);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Reproduces Table IV: TDB++ cover size at k = 5 with and without 2-cycles
+// included in the constraint family, per small dataset, with the growth
+// ratio. Reciprocal-edge-heavy proxies (ASC, SAD, CT, ...) should show the
+// largest ratios, as in the paper.
+#include <cstdio>
+
+#include "bench_runner.h"
+#include "datasets.h"
+#include "table_printer.h"
+
+int main() {
+  using namespace tdb;
+  using namespace tdb::bench;
+
+  const double scale = BenchScale();
+  const double timeout = BenchTimeout(30.0);
+  constexpr uint32_t kHop = 5;
+
+  std::printf(
+      "== Table IV: cover size with/without 2-cycles, k = %u "
+      "(scale %.3g) ==\n",
+      kHop, scale);
+  TablePrinter table({"Name", "No 2-cycle", "With 2-cycle", "Ratio"});
+  for (const DatasetSpec& spec : SmallDatasets()) {
+    CsrGraph g = BuildProxy(spec, scale);
+    Cell without = RunCovered(g, CoverAlgorithm::kTdbPlusPlus, kHop, timeout,
+                              /*include_two_cycles=*/false);
+    Cell with = RunCovered(g, CoverAlgorithm::kTdbPlusPlus, kHop, timeout,
+                           /*include_two_cycles=*/true);
+    const bool bad = without.timed_out || with.timed_out ||
+                     without.failed || with.failed;
+    char ratio[32];
+    if (!bad && without.cover_size > 0) {
+      std::snprintf(ratio, sizeof(ratio), "%.2f",
+                    static_cast<double>(with.cover_size) /
+                        static_cast<double>(without.cover_size));
+    } else {
+      std::snprintf(ratio, sizeof(ratio), "-");
+    }
+    table.AddRow({spec.name, FormatCount(without.cover_size, bad),
+                  FormatCount(with.cover_size, bad), ratio});
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): with-2-cycle covers ~3x larger on\n"
+      "average; highest ratios on reciprocity-heavy graphs (ASC, SAD,\n"
+      "CT), lowest on nearly acyclic-in-pairs graphs (GNU, WKV).\n");
+  return 0;
+}

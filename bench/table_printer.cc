@@ -1,0 +1,85 @@
+#include "table_printer.h"
+
+#include <algorithm>
+
+namespace tdb::bench {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::fprintf(out, "%s%-*s", c == 0 ? "| " : " | ",
+                   static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::fprintf(out, " |\n");
+  };
+  print_row(headers_);
+  for (size_t c = 0; c < widths.size(); ++c) {
+    std::fprintf(out, "%s%s", c == 0 ? "|-" : "-|-",
+                 std::string(widths[c], '-').c_str());
+  }
+  std::fprintf(out, "-|\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatSeconds(double seconds, bool timed_out) {
+  if (timed_out) return "INF";
+  char buf[64];
+  if (seconds < 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.4f", seconds);
+  } else if (seconds < 10) {
+    std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", seconds);
+  }
+  return buf;
+}
+
+std::string FormatCount(uint64_t value, bool failed) {
+  if (failed) return "-";
+  std::string digits = std::to_string(value);
+  std::string out;
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      out.push_back(',');
+      since_sep = 0;
+    }
+    out.push_back(*it);
+    ++since_sep;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string FormatMagnitude(double value) {
+  char buf[64];
+  if (value >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fB", value / 1e9);
+  } else if (value >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", value / 1e6);
+  } else if (value >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fK", value / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  }
+  return buf;
+}
+
+}  // namespace tdb::bench

@@ -1,0 +1,37 @@
+// Aligned, paper-style table output for the experiment binaries.
+#ifndef TDB_BENCH_TABLE_PRINTER_H_
+#define TDB_BENCH_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tdb::bench {
+
+/// Collects rows and prints them with per-column alignment.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Prints header, separator, and all rows to `out`.
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Seconds with paper-style formatting; "INF" when `timed_out`.
+std::string FormatSeconds(double seconds, bool timed_out);
+
+/// Cover sizes with thousands separators ("3,731,522"); "-" for failures.
+std::string FormatCount(uint64_t value, bool failed = false);
+
+/// Human-readable |V|/|E| ("7K", "1.47B") matching Table II's style.
+std::string FormatMagnitude(double value);
+
+}  // namespace tdb::bench
+
+#endif  // TDB_BENCH_TABLE_PRINTER_H_

@@ -1,0 +1,93 @@
+// Deadlock-potential analysis (the paper's §I Application 3).
+//
+// In a lock-order graph, vertices are locks and an edge a -> b means some
+// thread acquired b while holding a. A cycle signals a potential deadlock;
+// long cycles are overwhelmingly false positives (the chain of
+// interleavings required becomes implausible), so practitioners bound the
+// cycle length — exactly the hop-constrained setting. The cover is a
+// minimal set of locks to instrument (e.g. converting them to try-locks or
+// adding a global ordering) that provably breaks every suspicious cycle.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "core/verifier.h"
+#include "graph/csr_graph.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace tdb;
+
+/// Builds a synthetic lock-order graph: worker pools acquire locks along
+/// mostly consistent orderings (id-ascending), with a fraction of rogue
+/// acquisitions in the wrong order creating cycles.
+CsrGraph BuildLockOrderGraph(VertexId num_locks, int num_threads,
+                             int acquisitions_per_thread,
+                             double rogue_fraction, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  for (int t = 0; t < num_threads; ++t) {
+    VertexId held = static_cast<VertexId>(rng.NextBounded(num_locks));
+    for (int a = 0; a < acquisitions_per_thread; ++a) {
+      VertexId next = static_cast<VertexId>(rng.NextBounded(num_locks));
+      if (next == held) continue;
+      // Disciplined threads acquire in ascending lock order.
+      if (!rng.NextBool(rogue_fraction) && next < held) {
+        std::swap(next, held);
+      }
+      edges.push_back(Edge{held, next});
+      held = next;
+    }
+  }
+  return CsrGraph::FromEdges(num_locks, std::move(edges));
+}
+
+}  // namespace
+
+int main() {
+  using namespace tdb;
+
+  constexpr VertexId kLocks = 4000;
+  CsrGraph g = BuildLockOrderGraph(kLocks, /*num_threads=*/64,
+                                   /*acquisitions_per_thread=*/400,
+                                   /*rogue_fraction=*/0.03,
+                                   /*seed=*/42);
+  std::printf("lock-order graph: %u locks, %llu ordered acquisitions\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  // Deadlock cycles involving more than 4 locks are considered noise.
+  for (uint32_t k = 3; k <= 5; ++k) {
+    CoverOptions options;
+    options.k = k;
+    options.include_two_cycles = true;  // AB/BA is the classic deadlock!
+    CoverResult result =
+        SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, options);
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "solve failed: %s\n",
+                   result.status.ToString().c_str());
+      return 1;
+    }
+    VerifyReport report = VerifyCover(g, result.cover, options);
+    std::printf(
+        "k=%u: instrument %zu locks (%.2f%%) to break every potential "
+        "deadlock cycle [%s, %.3fs]\n",
+        k, result.cover.size(),
+        100.0 * double(result.cover.size()) / double(g.num_vertices()),
+        report.feasible && report.minimal ? "verified minimal" : "BUG",
+        result.stats.elapsed_seconds);
+  }
+
+  // Contrast: ignoring 2-cycles (some instrumentation schemes handle the
+  // two-lock case separately and only need the longer cycles broken).
+  CoverOptions no2;
+  no2.k = 5;
+  CoverResult r = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, no2);
+  std::printf(
+      "k=5 excluding 2-lock cycles (handled by try-lock fallback): "
+      "%zu locks\n",
+      r.cover.size());
+  return 0;
+}

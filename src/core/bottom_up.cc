@@ -1,0 +1,73 @@
+#include "core/bottom_up.h"
+
+#include <algorithm>
+
+#include "core/minimal_prune.h"
+#include "search/cycle_finder.h"
+#include "util/timer.h"
+
+namespace tdb {
+
+CoverResult SolveBottomUp(const CsrGraph& graph, const CoverOptions& options,
+                          bool minimal) {
+  CoverResult result;
+  result.status = options.Validate();
+  if (!result.status.ok()) return result;
+
+  Timer timer;
+  Deadline deadline = options.time_limit_seconds > 0
+                          ? Deadline::AfterSeconds(options.time_limit_seconds)
+                          : Deadline();
+  const CycleConstraint constraint =
+      options.Constraint(graph.num_vertices());
+
+  CycleFinder finder(graph);
+  // H[v]: how many discovered cycles v participated in so far (paper's
+  // hit-times array). Never reset across iterations.
+  std::vector<uint32_t> hits(graph.num_vertices(), 0);
+  // active[v] == 0 once v joined the cover (its edges are "removed").
+  std::vector<uint8_t> active(graph.num_vertices(), 1);
+  std::vector<VertexId> cover;
+  std::vector<VertexId> cycle;
+
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (!active[v]) continue;  // already covered; its edges are gone
+    for (;;) {
+      ++result.stats.searches;
+      SearchOutcome outcome = finder.FindCycleThrough(
+          v, constraint, active.data(), &cycle, &deadline);
+      if (outcome == SearchOutcome::kTimedOut) {
+        result.status = Status::TimedOut("bottom-up solve exceeded budget");
+        result.stats.elapsed_seconds = timer.ElapsedSeconds();
+        result.stats.expansions = finder.stats().expansions;
+        return result;
+      }
+      if (outcome == SearchOutcome::kNotFound) break;
+      ++result.stats.cycles_found;
+      // Algorithm 6: commit the hottest vertex of the cycle.
+      for (VertexId u : cycle) ++hits[u];
+      VertexId cover_node = cycle.front();
+      for (VertexId u : cycle) {
+        if (hits[u] > hits[cover_node]) cover_node = u;
+      }
+      cover.push_back(cover_node);
+      active[cover_node] = 0;
+      if (cover_node == v) break;  // v itself left the graph
+    }
+  }
+  result.stats.expansions = finder.stats().expansions;
+
+  if (minimal) {
+    Status prune_status =
+        MinimalPrune(graph, options, PruneEngine::kPlainDfs, &cover,
+                     &result.stats.prune_removed, &deadline);
+    if (!prune_status.ok()) result.status = prune_status;
+  }
+
+  std::sort(cover.begin(), cover.end());
+  result.cover = std::move(cover);
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace tdb

@@ -1,0 +1,21 @@
+// Bottom-up hop-constrained cycle cover (the paper's Algorithm 4, "BUR").
+//
+// Repeatedly finds an uncovered constrained cycle with a plain DFS, bumps
+// per-vertex hit counters over its vertices, and commits the hottest vertex
+// of the cycle to the cover (Algorithm 6), deleting its edges. BUR+ chains
+// the minimal-pruning pass of minimal_prune.h afterwards.
+#ifndef TDB_CORE_BOTTOM_UP_H_
+#define TDB_CORE_BOTTOM_UP_H_
+
+#include "core/cover_options.h"
+#include "graph/csr_graph.h"
+
+namespace tdb {
+
+/// Runs BUR (`minimal=false`) or BUR+ (`minimal=true`).
+CoverResult SolveBottomUp(const CsrGraph& graph, const CoverOptions& options,
+                          bool minimal);
+
+}  // namespace tdb
+
+#endif  // TDB_CORE_BOTTOM_UP_H_

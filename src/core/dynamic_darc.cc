@@ -1,0 +1,135 @@
+#include "core/dynamic_darc.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tdb {
+
+DynamicDarc::DynamicDarc(VertexId n, const CoverOptions& options)
+    : graph_(n), on_path_(n, 0) {
+  TDB_CHECK(options.Validate().ok());
+  const uint32_t min_len = options.include_two_cycles ? 2 : 3;
+  min_path_ = min_len - 1;
+  max_path_ = options.k - 1;
+}
+
+uint64_t DynamicDarc::InsertEdge(VertexId u, VertexId v) {
+  const EdgeId e = graph_.AddEdge(u, v);
+  if (e == kInvalidEdge) return 0;
+  in_s_.push_back(0);
+  in_w_.push_back(0);
+  last_edge_cycles_ = 0;
+  Augment(e);
+  Prune();
+  return last_edge_cycles_;
+}
+
+void DynamicDarc::Augment(EdgeId e) {
+  if (in_s_[e]) return;
+  if (in_w_[e]) {
+    in_w_[e] = 0;
+    in_s_[e] = 1;
+    pending_.push_back(e);
+    return;
+  }
+  std::vector<VertexId> path;
+  while (!in_s_[e]) {
+    ++path_queries_;
+    if (!FindPath(graph_.EdgeDst(e), graph_.EdgeSrc(e), &path)) break;
+    ++total_cycles_;
+    ++last_edge_cycles_;
+    // Edge ids along the found path plus the closing edge e.
+    std::vector<EdgeId> cycle_edges;
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      for (const AdjEntry& a : graph_.Out(path[i])) {
+        if (a.neighbor == path[i + 1]) {
+          cycle_edges.push_back(a.edge);
+          break;
+        }
+      }
+    }
+    cycle_edges.push_back(e);
+    EdgeId w_edge = kInvalidEdge;
+    for (EdgeId ce : cycle_edges) {
+      if (in_w_[ce]) {
+        w_edge = ce;
+        break;
+      }
+    }
+    if (w_edge != kInvalidEdge) {
+      in_w_[w_edge] = 0;
+      in_s_[w_edge] = 1;
+      pending_.push_back(w_edge);
+    } else {
+      for (EdgeId ce : cycle_edges) {
+        in_s_[ce] = 1;
+        pending_.push_back(ce);
+      }
+    }
+  }
+}
+
+void DynamicDarc::Prune() {
+  while (!pending_.empty()) {
+    const EdgeId e = pending_.back();
+    pending_.pop_back();
+    if (!in_s_[e]) continue;
+    in_s_[e] = 0;
+    ++path_queries_;
+    if (FindPath(graph_.EdgeDst(e), graph_.EdgeSrc(e), nullptr)) {
+      in_s_[e] = 1;  // still carries an otherwise-uncovered cycle
+    } else {
+      in_w_[e] = 1;
+      ++total_prunes_;
+    }
+  }
+}
+
+bool DynamicDarc::FindPath(VertexId s, VertexId t,
+                           std::vector<VertexId>* path) {
+  if (path != nullptr) path->clear();
+  on_path_[s] = 1;
+  const bool found = Dfs(s, t, 0, path);
+  on_path_[s] = 0;
+  if (found && path != nullptr) {
+    // Dfs appends the suffix (t first, then intermediates as the
+    // recursion unwinds); normalize to s..t order.
+    std::reverse(path->begin(), path->end());
+    path->insert(path->begin(), s);
+  }
+  return found;
+}
+
+bool DynamicDarc::Dfs(VertexId u, VertexId t, uint32_t depth,
+                      std::vector<VertexId>* path) {
+  for (const AdjEntry& a : graph_.Out(u)) {
+    if (in_s_[a.edge]) continue;
+    if (a.neighbor == t) {
+      const uint32_t len = depth + 1;
+      if (len < min_path_ || len > max_path_) continue;
+      if (path != nullptr) path->push_back(t);
+      return true;
+    }
+    if (on_path_[a.neighbor]) continue;
+    if (depth + 2 > max_path_) continue;
+    on_path_[a.neighbor] = 1;
+    const bool found = Dfs(a.neighbor, t, depth + 1, path);
+    on_path_[a.neighbor] = 0;
+    if (found) {
+      if (path != nullptr) path->push_back(a.neighbor);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<EdgeId> DynamicDarc::EdgeCover() const {
+  std::vector<EdgeId> cover;
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    if (in_s_[e]) cover.push_back(e);
+  }
+  return cover;
+}
+
+}  // namespace tdb

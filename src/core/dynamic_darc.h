@@ -1,0 +1,73 @@
+// Incremental DARC: the dynamic-network mode the baseline was actually
+// published for (Kuhnle et al., "… on dynamic networks").
+//
+// Edges arrive one at a time; after every insertion the maintained set S
+// intersects every hop-constrained cycle of the graph seen so far. The
+// per-insertion work is one AUGMENT (cover the new cycles the edge
+// closes, reusing previously pruned W-edges when possible) followed by a
+// PRUNE over the edges that AUGMENT committed — the same two phases as
+// the static solver, amortized over the stream. This is the honest
+// streaming comparator for the `streaming_transversal` example and
+// `bench_dynamic_stream`.
+#ifndef TDB_CORE_DYNAMIC_DARC_H_
+#define TDB_CORE_DYNAMIC_DARC_H_
+
+#include <vector>
+
+#include "core/cover_options.h"
+#include "graph/dynamic_digraph.h"
+
+namespace tdb {
+
+/// Streaming k-cycle edge transversal.
+class DynamicDarc {
+ public:
+  /// `n` is the (fixed) vertex universe. Only options.k and
+  /// options.include_two_cycles are consulted.
+  DynamicDarc(VertexId n, const CoverOptions& options);
+
+  /// Inserts u -> v and restores the invariant. Duplicate edges and
+  /// self-loops are ignored. Returns the number of cycles AUGMENT had to
+  /// cover for this edge (0 for most insertions).
+  uint64_t InsertEdge(VertexId u, VertexId v);
+
+  /// Current transversal: ids into edges() below, sorted.
+  std::vector<EdgeId> EdgeCover() const;
+
+  /// Graph accumulated so far.
+  const DynamicDigraph& graph() const { return graph_; }
+
+  /// Instrumentation.
+  uint64_t total_cycles_covered() const { return total_cycles_; }
+  uint64_t total_prunes() const { return total_prunes_; }
+  uint64_t path_queries() const { return path_queries_; }
+
+ private:
+  /// Bounded simple-path existence dst -> src avoiding S (and optionally
+  /// pretending `extra_unblocked` is not in S). Plain DFS with an on-path
+  /// mask — the dynamic graph has no epoch-block machinery; streams are
+  /// latency-bound on small neighborhoods, not on worst-case fans.
+  bool FindPath(VertexId s, VertexId t, std::vector<VertexId>* path);
+
+  bool Dfs(VertexId u, VertexId t, uint32_t depth,
+           std::vector<VertexId>* path);
+
+  void Augment(EdgeId e);
+  void Prune();
+
+  DynamicDigraph graph_;
+  uint32_t min_path_;
+  uint32_t max_path_;
+  std::vector<uint8_t> in_s_;
+  std::vector<uint8_t> in_w_;
+  std::vector<EdgeId> pending_;
+  std::vector<uint8_t> on_path_;
+  uint64_t total_cycles_ = 0;
+  uint64_t total_prunes_ = 0;
+  uint64_t path_queries_ = 0;
+  uint64_t last_edge_cycles_ = 0;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_CORE_DYNAMIC_DARC_H_

@@ -1,0 +1,59 @@
+#include "core/minimal_prune.h"
+
+#include <algorithm>
+
+#include "search/cycle_finder.h"
+#include "search/path_search.h"
+
+namespace tdb {
+
+Status MinimalPrune(const CsrGraph& graph, const CoverOptions& options,
+                    PruneEngine engine, std::vector<VertexId>* cover,
+                    uint64_t* removed, Deadline* deadline) {
+  const CycleConstraint constraint =
+      options.Constraint(graph.num_vertices());
+  // active == the induced subgraph G - R; the candidate v itself enters the
+  // search as the (mask-exempt) start vertex, which is exactly the paper's
+  // G - R + (v).
+  std::vector<uint8_t> active(graph.num_vertices(), 1);
+  for (VertexId v : *cover) active[v] = 0;
+
+  CycleFinder plain(graph);
+  BlockSearch block(graph);
+  Deadline no_deadline;
+  Deadline* dl = deadline != nullptr ? deadline : &no_deadline;
+
+  std::vector<VertexId> kept;
+  kept.reserve(cover->size());
+  uint64_t drops = 0;
+  for (size_t i = 0; i < cover->size(); ++i) {
+    const VertexId v = (*cover)[i];
+    SearchOutcome outcome =
+        engine == PruneEngine::kPlainDfs
+            ? plain.FindCycleThrough(v, constraint, active.data(), nullptr,
+                                     dl)
+            : block.FindCycleThrough(v, constraint, active.data(), nullptr,
+                                     dl);
+    if (outcome == SearchOutcome::kTimedOut) {
+      // Keep v and everything not yet examined: the cover stays feasible.
+      kept.insert(kept.end(), cover->begin() + i, cover->end());
+      *cover = std::move(kept);
+      std::sort(cover->begin(), cover->end());
+      if (removed != nullptr) *removed = drops;
+      return Status::TimedOut("minimal pruning exceeded budget");
+    }
+    if (outcome == SearchOutcome::kNotFound) {
+      // No witness cycle: v is redundant; return it to the graph.
+      active[v] = 1;
+      ++drops;
+    } else {
+      kept.push_back(v);
+    }
+  }
+  *cover = std::move(kept);
+  std::sort(cover->begin(), cover->end());
+  if (removed != nullptr) *removed = drops;
+  return Status::OK();
+}
+
+}  // namespace tdb

@@ -1,0 +1,128 @@
+#include "core/top_down.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/scc.h"
+#include "search/bfs_filter.h"
+#include "search/cycle_finder.h"
+#include "search/path_search.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace tdb {
+
+namespace {
+
+/// Candidate processing order (see CoverOptions::order).
+std::vector<VertexId> MakeOrder(const CsrGraph& graph,
+                                const CoverOptions& options) {
+  std::vector<VertexId> order(graph.num_vertices());
+  std::iota(order.begin(), order.end(), 0u);
+  switch (options.order) {
+    case VertexOrder::kById:
+      break;
+    case VertexOrder::kByDegreeAsc:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](VertexId a, VertexId b) {
+                         return graph.out_degree(a) + graph.in_degree(a) <
+                                graph.out_degree(b) + graph.in_degree(b);
+                       });
+      break;
+    case VertexOrder::kByDegreeDesc:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](VertexId a, VertexId b) {
+                         return graph.out_degree(a) + graph.in_degree(a) >
+                                graph.out_degree(b) + graph.in_degree(b);
+                       });
+      break;
+    case VertexOrder::kRandom: {
+      Rng rng(options.seed);
+      for (VertexId i = graph.num_vertices(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.NextBounded(i)]);
+      }
+      break;
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+CoverResult SolveTopDown(const CsrGraph& graph, const CoverOptions& options,
+                         TopDownVariant variant) {
+  CoverResult result;
+  result.status = options.Validate();
+  if (!result.status.ok()) return result;
+
+  Timer timer;
+  Deadline deadline = options.time_limit_seconds > 0
+                          ? Deadline::AfterSeconds(options.time_limit_seconds)
+                          : Deadline();
+  const CycleConstraint constraint =
+      options.Constraint(graph.num_vertices());
+
+  // kept[v] == 1 once v has been discharged from the cover: v and its
+  // edges belong to the growing subgraph G0.
+  std::vector<uint8_t> kept(graph.num_vertices(), 0);
+
+  std::vector<uint8_t> scc_mask;
+  if (options.scc_prefilter) {
+    scc_mask = SccAtLeastMask(
+        graph, options.include_two_cycles ? VertexId{2} : VertexId{3});
+  }
+
+  CycleFinder plain(graph);
+  BlockSearch blocks(graph);
+  BfsFilter filter(graph);
+
+  const std::vector<VertexId> order = MakeOrder(graph, options);
+  for (VertexId v : order) {
+    // A vertex on no directed cycle at all can never be necessary; the
+    // cheap degree test catches sources/sinks, the optional SCC mask
+    // catches everything off-cycle.
+    if (options.scc_prefilter && !scc_mask[v]) {
+      kept[v] = 1;
+      ++result.stats.scc_filtered;
+      continue;
+    }
+    if (variant == TopDownVariant::kBlocksFilter) {
+      const uint32_t walk =
+          filter.ShortestClosedWalk(v, constraint.max_hops, kept.data());
+      if (walk > constraint.max_hops) {
+        // Not even a closed walk within budget: discharge immediately.
+        kept[v] = 1;
+        ++result.stats.bfs_filtered;
+        continue;
+      }
+    }
+    ++result.stats.searches;
+    SearchOutcome outcome =
+        variant == TopDownVariant::kPlain
+            ? plain.FindCycleThrough(v, constraint, kept.data(), nullptr,
+                                     &deadline)
+            : blocks.FindCycleThrough(v, constraint, kept.data(), nullptr,
+                                      &deadline);
+    if (outcome == SearchOutcome::kTimedOut) {
+      result.status = Status::TimedOut("top-down solve exceeded budget");
+      result.stats.elapsed_seconds = timer.ElapsedSeconds();
+      return result;
+    }
+    if (outcome == SearchOutcome::kFound) {
+      ++result.stats.cycles_found;  // v stays in the cover
+    } else {
+      kept[v] = 1;  // v's edges join G0
+    }
+  }
+
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (!kept[v]) result.cover.push_back(v);
+  }
+  result.stats.expansions =
+      plain.stats().expansions + blocks.stats().expansions;
+  result.stats.block_prunes = blocks.stats().block_prunes;
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace tdb

@@ -1,0 +1,40 @@
+// Top-down hop-constrained cycle cover (the paper's Algorithm 8 and the
+// TDB / TDB+ / TDB++ family).
+//
+// Starts from the full vertex set as the cover and an empty kept subgraph
+// G0. Each candidate v is probed for a constrained cycle inside
+// G0 ∪ {v}: if none exists, v is discharged from the cover and its edges
+// join G0 permanently; otherwise v stays in the cover and its edges never
+// enter G0. The output is feasible and minimal by construction (paper
+// Theorem 7). G0 is represented as a bit per vertex over the original CSR —
+// "inserting all edges of v" is O(1).
+//
+// Variants:
+//   TDB    — plain DFS validation (Algorithm 5), worst case O(n^k) each.
+//   TDB+   — block-based validation (Algorithm 9), O(k*m) each,
+//            O(k*m*n) total (paper Theorem 6).
+//   TDB++  — TDB+ preceded by the closed-walk BFS filter (Algorithm 11).
+#ifndef TDB_CORE_TOP_DOWN_H_
+#define TDB_CORE_TOP_DOWN_H_
+
+#include "core/cover_options.h"
+#include "graph/csr_graph.h"
+
+namespace tdb {
+
+/// Validation pipeline of the top-down solver.
+enum class TopDownVariant {
+  kPlain,        ///< TDB
+  kBlocks,       ///< TDB+
+  kBlocksFilter, ///< TDB++
+};
+
+/// Runs the top-down solver. All variants produce the same cover for the
+/// same options (the speed-up techniques are exact), which the property
+/// tests assert.
+CoverResult SolveTopDown(const CsrGraph& graph, const CoverOptions& options,
+                         TopDownVariant variant);
+
+}  // namespace tdb
+
+#endif  // TDB_CORE_TOP_DOWN_H_

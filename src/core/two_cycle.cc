@@ -1,0 +1,96 @@
+#include "core/two_cycle.h"
+
+#include <algorithm>
+
+#include "core/solver.h"
+
+namespace tdb {
+
+std::vector<std::pair<VertexId, VertexId>> CollectTwoCyclePairs(
+    const CsrGraph& graph) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (VertexId v : graph.OutNeighbors(u)) {
+      if (u < v && graph.HasEdge(v, u)) pairs.emplace_back(u, v);
+    }
+  }
+  return pairs;
+}
+
+std::vector<VertexId> CoverTwoCycles(const CsrGraph& graph,
+                                     TwoCycleStrategy strategy) {
+  const auto pairs = CollectTwoCyclePairs(graph);
+  std::vector<uint8_t> chosen(graph.num_vertices(), 0);
+  switch (strategy) {
+    case TwoCycleStrategy::kAllEndpoints:
+      for (const auto& [u, v] : pairs) {
+        chosen[u] = 1;
+        chosen[v] = 1;
+      }
+      break;
+    case TwoCycleStrategy::kMatching:
+      // Greedy maximal matching on the pair graph; both endpoints of each
+      // matched pair. Unmatched pairs are incident to a matched vertex by
+      // maximality, so the result is a cover of size <= 2 * optimum.
+      for (const auto& [u, v] : pairs) {
+        if (!chosen[u] && !chosen[v]) {
+          chosen[u] = 1;
+          chosen[v] = 1;
+        }
+      }
+      break;
+    case TwoCycleStrategy::kGreedyDegree: {
+      // Count per-vertex pair incidence, then repeatedly commit the vertex
+      // covering the most uncovered pairs.
+      std::vector<uint32_t> load(graph.num_vertices(), 0);
+      for (const auto& [u, v] : pairs) {
+        ++load[u];
+        ++load[v];
+      }
+      std::vector<uint8_t> covered(pairs.size(), 0);
+      size_t remaining = pairs.size();
+      while (remaining > 0) {
+        VertexId best = 0;
+        for (VertexId v = 1; v < graph.num_vertices(); ++v) {
+          if (load[v] > load[best]) best = v;
+        }
+        if (load[best] == 0) break;  // defensive; cannot happen
+        chosen[best] = 1;
+        for (size_t i = 0; i < pairs.size(); ++i) {
+          if (covered[i]) continue;
+          if (pairs[i].first == best || pairs[i].second == best) {
+            covered[i] = 1;
+            --remaining;
+            --load[pairs[i].first];
+            --load[pairs[i].second];
+          }
+        }
+      }
+      break;
+    }
+  }
+  std::vector<VertexId> cover;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (chosen[v]) cover.push_back(v);
+  }
+  return cover;
+}
+
+CoverResult SolveCombinedCover(const CsrGraph& graph,
+                               CoverAlgorithm algorithm,
+                               const CoverOptions& options,
+                               TwoCycleStrategy strategy) {
+  CoverOptions k_hop = options;
+  k_hop.include_two_cycles = false;
+  CoverResult result = SolveCycleCover(graph, algorithm, k_hop);
+  if (!result.status.ok()) return result;
+  std::vector<VertexId> two = CoverTwoCycles(graph, strategy);
+  result.cover.insert(result.cover.end(), two.begin(), two.end());
+  std::sort(result.cover.begin(), result.cover.end());
+  result.cover.erase(
+      std::unique(result.cover.begin(), result.cover.end()),
+      result.cover.end());
+  return result;
+}
+
+}  // namespace tdb

@@ -1,0 +1,58 @@
+// Dedicated 2-cycle handling.
+//
+// The paper's main problem excludes 2-cycles because "the self-loop and
+// bidirectional edge may be promptly verified if required" (§III) and its
+// Theorem 3 proof relies on the trivial 2-approximation for them. This
+// module makes that practical: collect the bidirectional pairs, cover them
+// with a matching-based 2-approximation (covering 2-cycles is exactly
+// vertex cover on the pair graph, so NP-hard; the maximal-matching bound
+// is the classic guarantee), and compose with any k-hop solver to obtain a
+// full (2..k)-cycle cover without paying the 2-cycle tax inside the
+// search.
+#ifndef TDB_CORE_TWO_CYCLE_H_
+#define TDB_CORE_TWO_CYCLE_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/cover_options.h"
+#include "graph/csr_graph.h"
+
+namespace tdb {
+
+/// All bidirectional pairs {u, v} (u < v) of the graph — the 2-cycles.
+std::vector<std::pair<VertexId, VertexId>> CollectTwoCyclePairs(
+    const CsrGraph& graph);
+
+/// Strategy for covering the pair graph.
+enum class TwoCycleStrategy {
+  /// Both endpoints of every pair (the paper's trivial 2-approximation;
+  /// equals all vertices on 2-cycles).
+  kAllEndpoints,
+  /// Both endpoints of a maximal matching: the classic vertex-cover
+  /// 2-approximation, never larger than kAllEndpoints.
+  kMatching,
+  /// Repeatedly take the vertex covering the most uncovered pairs. No
+  /// worst-case guarantee beyond H(n), usually the smallest in practice.
+  kGreedyDegree,
+};
+
+/// A vertex set intersecting every 2-cycle. Sorted ascending.
+std::vector<VertexId> CoverTwoCycles(const CsrGraph& graph,
+                                     TwoCycleStrategy strategy);
+
+/// Composes a dedicated 2-cycle cover with a k-hop (3..k) cover from
+/// `algorithm`, returning one vertex set feasible for the
+/// include_two_cycles constraint family. `options.include_two_cycles` is
+/// ignored (the composition implies it).
+///
+/// The union is feasible but not necessarily minimal; pass the result
+/// through MinimalPrune for a minimal one.
+CoverResult SolveCombinedCover(const CsrGraph& graph,
+                               CoverAlgorithm algorithm,
+                               const CoverOptions& options,
+                               TwoCycleStrategy strategy);
+
+}  // namespace tdb
+
+#endif  // TDB_CORE_TWO_CYCLE_H_

@@ -1,0 +1,43 @@
+// Cover verification: feasibility and minimality certificates.
+//
+// Feasibility — the subgraph induced by V \ C contains no constrained
+// cycle — is checked by running the block-based validation on every
+// remaining vertex (O(k*m*n) worst case, same machinery as the solver, so
+// verification scales to everything the solver can produce). Minimality is
+// the paper's witness condition: each c in C lies on a constrained cycle in
+// (V \ C) ∪ {c}. Violations come with concrete witnesses so failing tests
+// print actionable counterexamples.
+#ifndef TDB_CORE_VERIFIER_H_
+#define TDB_CORE_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cover_options.h"
+#include "graph/csr_graph.h"
+
+namespace tdb {
+
+/// Outcome of VerifyCover.
+struct VerifyReport {
+  bool feasible = false;
+  bool minimal = false;
+  /// When !feasible: an uncovered constrained cycle.
+  std::vector<VertexId> uncovered_cycle;
+  /// When !minimal: a cover vertex with no witness cycle.
+  VertexId removable_vertex = kInvalidVertex;
+
+  std::string ToString() const;
+};
+
+/// Checks `cover` (need not be sorted) against the cycle semantics implied
+/// by `options`. Set `check_minimality` false to skip the (equally
+/// expensive) minimality half, e.g. for DARC-DV which is not minimal.
+VerifyReport VerifyCover(const CsrGraph& graph,
+                         const std::vector<VertexId>& cover,
+                         const CoverOptions& options,
+                         bool check_minimality = true);
+
+}  // namespace tdb
+
+#endif  // TDB_CORE_VERIFIER_H_

@@ -1,0 +1,34 @@
+#include "graph/dynamic_digraph.h"
+
+#include "util/check.h"
+
+namespace tdb {
+
+DynamicDigraph::DynamicDigraph(VertexId n) : out_(n), in_(n) {}
+
+EdgeId DynamicDigraph::AddEdge(VertexId u, VertexId v) {
+  TDB_CHECK(u < num_vertices() && v < num_vertices());
+  if (u == v) return kInvalidEdge;
+  if (!present_.insert(Key(u, v)).second) return kInvalidEdge;
+  const EdgeId id = srcs_.size();
+  srcs_.push_back(u);
+  dsts_.push_back(v);
+  out_[u].push_back(AdjEntry{v, id});
+  in_[v].push_back(AdjEntry{u, id});
+  return id;
+}
+
+bool DynamicDigraph::HasEdge(VertexId u, VertexId v) const {
+  return present_.contains(Key(u, v));
+}
+
+CsrGraph DynamicDigraph::ToCsr() const {
+  std::vector<Edge> edges;
+  edges.reserve(srcs_.size());
+  for (EdgeId e = 0; e < srcs_.size(); ++e) {
+    edges.push_back(Edge{srcs_[e], dsts_[e]});
+  }
+  return CsrGraph::FromEdges(num_vertices(), std::move(edges));
+}
+
+}  // namespace tdb

@@ -1,0 +1,66 @@
+// Growable directed graph for the dynamic/streaming algorithms.
+//
+// The CSR graph is immutable by design (every static solver wants the
+// cache behavior and stable edge ids); streaming maintenance (DynamicDarc)
+// needs insertion. This structure trades CSR's compactness for O(1)
+// amortized edge insertion while keeping the two pieces of state the
+// search kernels need: per-direction adjacency with stable edge ids, and
+// duplicate detection.
+#ifndef TDB_GRAPH_DYNAMIC_DIGRAPH_H_
+#define TDB_GRAPH_DYNAMIC_DIGRAPH_H_
+
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace tdb {
+
+/// Adjacency entry: neighbor plus the canonical id of the connecting edge.
+struct AdjEntry {
+  VertexId neighbor;
+  EdgeId edge;
+};
+
+/// Insert-only directed graph. Edge ids are assigned densely in insertion
+/// order (0, 1, 2, ...), self-loops and duplicates are rejected.
+class DynamicDigraph {
+ public:
+  explicit DynamicDigraph(VertexId n);
+
+  VertexId num_vertices() const { return static_cast<VertexId>(out_.size()); }
+  EdgeId num_edges() const { return srcs_.size(); }
+
+  /// Adds u -> v; returns its new edge id, or kInvalidEdge for self-loops
+  /// and duplicates.
+  EdgeId AddEdge(VertexId u, VertexId v);
+
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  std::span<const AdjEntry> Out(VertexId v) const { return out_[v]; }
+  std::span<const AdjEntry> In(VertexId v) const { return in_[v]; }
+
+  VertexId EdgeSrc(EdgeId e) const { return srcs_[e]; }
+  VertexId EdgeDst(EdgeId e) const { return dsts_[e]; }
+
+  /// Freezes the current state into a CSR graph (edge ids are NOT
+  /// preserved — CSR re-canonicalizes). For verification/interop.
+  CsrGraph ToCsr() const;
+
+ private:
+  static uint64_t Key(VertexId u, VertexId v) {
+    return (static_cast<uint64_t>(u) << 32) | v;
+  }
+
+  std::vector<std::vector<AdjEntry>> out_;
+  std::vector<std::vector<AdjEntry>> in_;
+  std::vector<VertexId> srcs_;
+  std::vector<VertexId> dsts_;
+  std::unordered_set<uint64_t> present_;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_GRAPH_DYNAMIC_DIGRAPH_H_

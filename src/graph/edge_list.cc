@@ -1,0 +1,29 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+namespace tdb {
+
+void EdgeListBuilder::ReserveVertices(VertexId n) {
+  num_vertices_ = std::max(num_vertices_, n);
+}
+
+void EdgeListBuilder::AddEdge(VertexId u, VertexId v) {
+  edges_.push_back(Edge{u, v});
+  num_vertices_ = std::max(num_vertices_, std::max(u, v) + 1);
+}
+
+void EdgeListBuilder::AddBidirectional(VertexId u, VertexId v) {
+  AddEdge(u, v);
+  AddEdge(v, u);
+}
+
+void EdgeListBuilder::Finalize(bool drop_self_loops) {
+  if (drop_self_loops) {
+    std::erase_if(edges_, [](const Edge& e) { return e.src == e.dst; });
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+}  // namespace tdb

@@ -1,0 +1,52 @@
+// Mutable edge-list staging area used to assemble graphs before freezing
+// them into the immutable CSR form.
+#ifndef TDB_GRAPH_EDGE_LIST_H_
+#define TDB_GRAPH_EDGE_LIST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace tdb {
+
+/// Collects directed edges and tracks the implied vertex-id range.
+///
+/// Finalize() canonicalizes the list: sorts by (src, dst), optionally drops
+/// self-loops, and removes parallel duplicates. Parallel edges are always
+/// deduplicated by the CSR builder because the search algorithms assume a
+/// neighbor appears at most once per adjacency list.
+class EdgeListBuilder {
+ public:
+  EdgeListBuilder() = default;
+
+  /// Pre-declares at least `n` vertices (ids 0..n-1), so isolated trailing
+  /// vertices survive into the graph.
+  void ReserveVertices(VertexId n);
+
+  /// Appends the directed edge u -> v.
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Appends both u -> v and v -> u.
+  void AddBidirectional(VertexId u, VertexId v);
+
+  /// Number of vertices: max referenced id + 1, or the reserved count.
+  VertexId num_vertices() const { return num_vertices_; }
+
+  size_t num_edges() const { return edges_.size(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Sorts, deduplicates, and (by default) drops self-loops.
+  /// Self-loops are never hop-constrained cycles in this library
+  /// (the paper excludes them), so dropping them at build time is safe.
+  void Finalize(bool drop_self_loops = true);
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_GRAPH_EDGE_LIST_H_

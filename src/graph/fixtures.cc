@@ -1,0 +1,88 @@
+#include "graph/fixtures.h"
+
+#include "util/check.h"
+
+namespace tdb {
+
+namespace {
+// Figure 1 vertex ids.
+constexpr VertexId kA = 0, kB = 1, kC = 2, kD = 3, kE = 4, kF = 5, kG = 6,
+                   kH = 7;
+}  // namespace
+
+CsrGraph MakeFigure1Ecommerce() {
+  // Three simple transfer cycles, all through account a:
+  //   a -> b -> c -> a          (3 hops)
+  //   a -> d -> e -> f -> a     (4 hops)
+  //   a -> g -> h -> a          (3 hops)
+  // Removing a leaves an acyclic remainder, so {a} is the unique minimum
+  // hop-constrained cycle cover for every k >= 3.
+  std::vector<Edge> edges = {
+      {kA, kB}, {kB, kC}, {kC, kA},            // cycle 1
+      {kA, kD}, {kD, kE}, {kE, kF}, {kF, kA},  // cycle 2
+      {kA, kG}, {kG, kH}, {kH, kA},            // cycle 3
+  };
+  return CsrGraph::FromEdges(8, std::move(edges));
+}
+
+const char* Figure1VertexName(VertexId v) {
+  static const char* kNames[] = {"a", "b", "c", "d", "e", "f", "g", "h"};
+  TDB_CHECK(v < 8);
+  return kNames[v];
+}
+
+CsrGraph MakeFigure4a() {
+  // a=0, b=1, c=2, d=3. Cycle a->b->d->c->a exists.
+  std::vector<Edge> edges = {{0, 1}, {0, 2}, {1, 3}, {3, 2}, {2, 0}};
+  return CsrGraph::FromEdges(4, std::move(edges));
+}
+
+CsrGraph MakeFigure4b() {
+  // Same wedge structure but no edge back to a: no cycle through a, yet a
+  // level-based BFS sees the same "visited vertex of another color" event
+  // at edge (d, c) as in Figure 4(a).
+  std::vector<Edge> edges = {{0, 1}, {0, 2}, {1, 3}, {3, 2}};
+  return CsrGraph::FromEdges(4, std::move(edges));
+}
+
+CsrGraph MakeFigure5Blocks(VertexId fan) {
+  TDB_CHECK(fan >= 1);
+  // a=0, c=1, d=2, x=3, b_i = 4+i. Paths a->b_i->c->d->x all dead-end, so
+  // after the first probe c.block prunes the remaining fan-1 probes.
+  std::vector<Edge> edges;
+  edges.push_back(Edge{1, 2});  // c -> d
+  edges.push_back(Edge{2, 3});  // d -> x
+  for (VertexId i = 0; i < fan; ++i) {
+    const VertexId b = 4 + i;
+    edges.push_back(Edge{0, b});  // a -> b_i
+    edges.push_back(Edge{b, 1});  // b_i -> c
+  }
+  return CsrGraph::FromEdges(4 + fan, std::move(edges));
+}
+
+VcReduction BuildVcReduction(
+    VertexId n, const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  VcReduction result;
+  result.num_original = n;
+  std::vector<Edge> directed;
+  VertexId next = n;
+  for (const auto& [u, v] : edges) {
+    TDB_CHECK(u < n && v < n && u != v);
+    const VertexId w = next++;
+    result.virtual_vertex.push_back(w);
+    // Bidirectional pair for the edge itself plus the virtual triangle
+    // vertex. With k = 3 (and 2-cycles excluded) the only hop-constrained
+    // cycles on this gadget are the two orientations of triangle {u, v, w}
+    // and any triangles formed among original vertices.
+    directed.push_back(Edge{u, v});
+    directed.push_back(Edge{v, u});
+    directed.push_back(Edge{u, w});
+    directed.push_back(Edge{w, u});
+    directed.push_back(Edge{v, w});
+    directed.push_back(Edge{w, v});
+  }
+  result.graph = CsrGraph::FromEdges(next, std::move(directed));
+  return result;
+}
+
+}  // namespace tdb

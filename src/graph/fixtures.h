@@ -1,0 +1,58 @@
+// Concrete graphs from the paper's figures plus the Theorem-2 NP-hardness
+// reduction, used as test fixtures and example inputs.
+#ifndef TDB_GRAPH_FIXTURES_H_
+#define TDB_GRAPH_FIXTURES_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace tdb {
+
+/// The e-commerce network of the paper's Figure 1: eight accounts a..h
+/// (vertices 0..7) with three simple money-transfer cycles, all of length
+/// <= 5 and all passing through vertex a (= 0). The exact edge set is not
+/// printed in the paper; this reconstruction preserves the property the
+/// paper states: {a} is a minimal hop-constrained cycle cover for k = 5.
+CsrGraph MakeFigure1Ecommerce();
+
+/// Names of Figure 1 vertices, index-aligned ("a".."h").
+const char* Figure1VertexName(VertexId v);
+
+/// Figure 4(a): a->b, b->d, d->c, c->a, a->c  (a lies on a 4-cycle).
+CsrGraph MakeFigure4a();
+
+/// Figure 4(b): same as 4(a) but without the edge c->a (no cycle through a
+/// of the same shape) — the pair shows a plain BFS cannot distinguish the
+/// two, motivating the DFS-based necessity validation.
+CsrGraph MakeFigure4b();
+
+/// Figure 5 block-technique illustration: start vertex a, fan of vertices
+/// b1..b_fan into a shared vertex c, then c->d and d stalls (no return path
+/// to a). Exploring a->b1->c->d once sets c.block so a->b_i->c prunes
+/// immediately for i >= 2. Vertex ids: a=0, c=1, d=2, x=3, b_i=4+i.
+CsrGraph MakeFigure5Blocks(VertexId fan);
+
+/// Theorem 2 construction: reduces undirected Vertex Cover to
+/// hop-constrained cycle cover with k = 3.
+///
+/// Every undirected edge {u, v} becomes the bidirectional pair u<->v plus a
+/// fresh virtual vertex w with bidirectional edges u<->w and v<->w. With
+/// 2-cycles excluded and k = 3, the minimum HCCC of the constructed digraph
+/// equals the minimum vertex cover of the input graph.
+struct VcReduction {
+  CsrGraph graph;
+  /// Virtual vertex introduced for each input edge, index-aligned with the
+  /// `edges` argument.
+  std::vector<VertexId> virtual_vertex;
+  /// Number of original vertices (ids 0..n-1 are originals).
+  VertexId num_original = 0;
+};
+VcReduction BuildVcReduction(
+    VertexId n, const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+}  // namespace tdb
+
+#endif  // TDB_GRAPH_FIXTURES_H_

@@ -1,0 +1,227 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace tdb {
+
+namespace {
+
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+/// Fisher-Yates permutation of [0, n).
+std::vector<VertexId> RandomPermutation(VertexId n, Rng& rng) {
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (VertexId i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.NextBounded(i)]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+CsrGraph GenerateErdosRenyi(VertexId n, EdgeId m, uint64_t seed) {
+  TDB_CHECK(n >= 2);
+  TDB_CHECK_MSG(m <= static_cast<EdgeId>(n) * (n - 1),
+                "too many edges requested");
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (!seen.insert(EdgeKey(u, v)).second) continue;
+    edges.push_back(Edge{u, v});
+  }
+  return CsrGraph::FromEdges(n, std::move(edges));
+}
+
+CsrGraph GeneratePowerLaw(const PowerLawParams& params) {
+  TDB_CHECK(params.n >= 2);
+  Rng rng(params.seed);
+  ZipfSampler zipf(params.n, params.theta);
+  // Independent popularity permutations decorrelate in- and out-hubs a
+  // little, as in real web graphs where big in-hubs are not always big
+  // out-hubs.
+  std::vector<VertexId> src_perm = RandomPermutation(params.n, rng);
+  std::vector<VertexId> dst_perm = RandomPermutation(params.n, rng);
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(params.m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(params.m + params.m / 4);
+  // Bounded number of attempts so pathological parameter combinations
+  // (e.g. m close to n^2 with heavy skew) terminate.
+  const EdgeId max_attempts = params.m * 20 + 1000;
+  EdgeId attempts = 0;
+  while (edges.size() < params.m && attempts < max_attempts) {
+    ++attempts;
+    VertexId u = src_perm[zipf.Sample(rng)];
+    VertexId v = dst_perm[zipf.Sample(rng)];
+    if (u == v) continue;
+    // Hierarchical orientation: vertex id order serves as the random
+    // hierarchy (endpoints already pass through random permutations, so
+    // ids are exchangeable).
+    if (u > v && rng.NextBool(params.forward_bias)) std::swap(u, v);
+    if (!seen.insert(EdgeKey(u, v)).second) continue;
+    edges.push_back(Edge{u, v});
+    if (rng.NextBool(params.reciprocity) &&
+        seen.insert(EdgeKey(v, u)).second) {
+      edges.push_back(Edge{v, u});
+    }
+  }
+  return CsrGraph::FromEdges(params.n, std::move(edges));
+}
+
+CsrGraph GenerateRmat(const RmatParams& params) {
+  TDB_CHECK(params.scale >= 1 && params.scale <= 31);
+  const VertexId n = VertexId{1} << params.scale;
+  Rng rng(params.seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(params.m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(params.m);
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  const EdgeId max_attempts = params.m * 20 + 1000;
+  EdgeId attempts = 0;
+  while (edges.size() < params.m && attempts < max_attempts) {
+    ++attempts;
+    VertexId u = 0;
+    VertexId v = 0;
+    for (uint32_t bit = 0; bit < params.scale; ++bit) {
+      double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r >= abc) {
+        u |= 1;
+        v |= 1;
+      } else if (r >= ab) {
+        u |= 1;
+      } else if (r >= params.a) {
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    if (!seen.insert(EdgeKey(u, v)).second) continue;
+    edges.push_back(Edge{u, v});
+    if (rng.NextBool(params.reciprocity) &&
+        seen.insert(EdgeKey(v, u)).second) {
+      edges.push_back(Edge{v, u});
+    }
+  }
+  return CsrGraph::FromEdges(n, std::move(edges));
+}
+
+PlantedCyclesResult GeneratePlantedCycles(VertexId n, EdgeId dag_edges,
+                                          VertexId num_cycles,
+                                          VertexId min_len, VertexId max_len,
+                                          uint64_t seed) {
+  TDB_CHECK(n >= 3);
+  TDB_CHECK(min_len >= 2 && min_len <= max_len && max_len <= n);
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> edges;
+
+  // Random DAG part: edges strictly from lower to higher id, so the DAG
+  // alone is acyclic and any cycle must use a planted back-edge.
+  EdgeId added = 0;
+  const EdgeId max_attempts = dag_edges * 20 + 1000;
+  EdgeId attempts = 0;
+  while (added < dag_edges && attempts < max_attempts) {
+    ++attempts;
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert(EdgeKey(u, v)).second) continue;
+    edges.push_back(Edge{u, v});
+    ++added;
+  }
+
+  PlantedCyclesResult result;
+  for (VertexId c = 0; c < num_cycles; ++c) {
+    const VertexId len = static_cast<VertexId>(
+        min_len + rng.NextBounded(max_len - min_len + 1));
+    // Distinct random vertices in ascending order; the closing edge
+    // (last -> first) is the unique back-edge of this cycle.
+    std::unordered_set<VertexId> chosen;
+    while (chosen.size() < len) {
+      chosen.insert(static_cast<VertexId>(rng.NextBounded(n)));
+    }
+    std::vector<VertexId> cyc(chosen.begin(), chosen.end());
+    std::sort(cyc.begin(), cyc.end());
+    for (VertexId i = 0; i + 1 < len; ++i) {
+      if (seen.insert(EdgeKey(cyc[i], cyc[i + 1])).second) {
+        edges.push_back(Edge{cyc[i], cyc[i + 1]});
+      }
+    }
+    if (seen.insert(EdgeKey(cyc[len - 1], cyc[0])).second) {
+      edges.push_back(Edge{cyc[len - 1], cyc[0]});
+    }
+    result.cycles.push_back(std::move(cyc));
+  }
+  result.graph = CsrGraph::FromEdges(n, std::move(edges));
+  return result;
+}
+
+CsrGraph MakeDirectedCycle(VertexId n) {
+  TDB_CHECK(n >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    edges.push_back(Edge{v, static_cast<VertexId>((v + 1) % n)});
+  }
+  return CsrGraph::FromEdges(n, std::move(edges));
+}
+
+CsrGraph MakeCompleteDigraph(VertexId n) {
+  TDB_CHECK(n >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * (n - 1));
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u != v) edges.push_back(Edge{u, v});
+    }
+  }
+  return CsrGraph::FromEdges(n, std::move(edges));
+}
+
+CsrGraph MakeDirectedPath(VertexId n) {
+  TDB_CHECK(n >= 1);
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    edges.push_back(Edge{v, static_cast<VertexId>(v + 1)});
+  }
+  return CsrGraph::FromEdges(n, std::move(edges));
+}
+
+CsrGraph MakeLayeredFunnel(VertexId width, VertexId layers,
+                           bool reverse_ids) {
+  TDB_CHECK(width >= 1 && layers >= 2);
+  auto id = [&](VertexId layer, VertexId slot) {
+    const VertexId l = reverse_ids ? layers - 1 - layer : layer;
+    return l * width + slot;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(width) * width * (layers - 1));
+  for (VertexId l = 0; l + 1 < layers; ++l) {
+    for (VertexId a = 0; a < width; ++a) {
+      for (VertexId b = 0; b < width; ++b) {
+        edges.push_back(Edge{id(l, a), id(l + 1, b)});
+      }
+    }
+  }
+  return CsrGraph::FromEdges(width * layers, std::move(edges));
+}
+
+}  // namespace tdb

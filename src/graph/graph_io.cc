@@ -1,0 +1,138 @@
+#include "graph/graph_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+namespace tdb {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'D', 'B', 'G'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status LoadEdgeListText(const std::string& path, CsrGraph* graph,
+                        std::vector<uint64_t>* original_ids) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+
+  std::unordered_map<uint64_t, VertexId> dense;
+  std::vector<uint64_t> inverse;
+  std::vector<Edge> edges;
+  auto densify = [&](uint64_t raw) {
+    auto [it, inserted] =
+        dense.emplace(raw, static_cast<VertexId>(inverse.size()));
+    if (inserted) inverse.push_back(raw);
+    return it->second;
+  };
+
+  char line[256];
+  size_t line_no = 0;
+  bool continuation = false;  // mid-line chunk of an over-long line
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    const size_t len = std::strlen(line);
+    const bool complete = len > 0 && line[len - 1] == '\n';
+    const bool skip_chunk = continuation;
+    // The next chunk continues this line iff no newline was consumed.
+    continuation = !complete;
+    if (skip_chunk) continue;  // tail of an over-long (comment) line
+    ++line_no;
+    const char* p = line;
+    while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+    if (*p == '\0' || *p == '#' || *p == '%') continue;
+    unsigned long long u = 0;
+    unsigned long long v = 0;
+    if (std::sscanf(p, "%llu %llu", &u, &v) != 2) {
+      return Status::InvalidArgument(path + ": malformed line " +
+                                     std::to_string(line_no));
+    }
+    edges.push_back(Edge{densify(u), densify(v)});
+  }
+  *graph = CsrGraph::FromEdges(static_cast<VertexId>(inverse.size()),
+                               std::move(edges));
+  if (original_ids != nullptr) *original_ids = std::move(inverse);
+  return Status::OK();
+}
+
+Status SaveEdgeListText(const CsrGraph& graph, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fprintf(f.get(), "# tdb edge list: %u vertices, %llu edges\n",
+               graph.num_vertices(),
+               static_cast<unsigned long long>(graph.num_edges()));
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (VertexId v : graph.OutNeighbors(u)) {
+      std::fprintf(f.get(), "%u %u\n", u, v);
+    }
+  }
+  return Status::OK();
+}
+
+Status SaveBinary(const CsrGraph& graph, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  uint32_t version = kVersion;
+  uint64_t n = graph.num_vertices();
+  uint64_t m = graph.num_edges();
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
+      std::fwrite(&version, sizeof(version), 1, f.get()) != 1 ||
+      std::fwrite(&n, sizeof(n), 1, f.get()) != 1 ||
+      std::fwrite(&m, sizeof(m), 1, f.get()) != 1) {
+    return Status::IOError("short write to " + path);
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    VertexId pair[2] = {graph.EdgeSrc(e), graph.EdgeDst(e)};
+    if (std::fwrite(pair, sizeof(VertexId), 2, f.get()) != 2) {
+      return Status::IOError("short write to " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadBinary(const std::string& path, CsrGraph* graph) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t n = 0;
+  uint64_t m = 0;
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument(path + ": not a TDBG file");
+  }
+  if (std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+      version != kVersion) {
+    return Status::InvalidArgument(path + ": unsupported TDBG version");
+  }
+  if (std::fread(&n, sizeof(n), 1, f.get()) != 1 ||
+      std::fread(&m, sizeof(m), 1, f.get()) != 1) {
+    return Status::IOError(path + ": truncated header");
+  }
+  if (n > kInvalidVertex) {
+    return Status::InvalidArgument(path + ": vertex count overflows 32 bits");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    VertexId pair[2];
+    if (std::fread(pair, sizeof(VertexId), 2, f.get()) != 2) {
+      return Status::IOError(path + ": truncated edge array");
+    }
+    edges.push_back(Edge{pair[0], pair[1]});
+  }
+  *graph = CsrGraph::FromEdges(static_cast<VertexId>(n), std::move(edges));
+  return Status::OK();
+}
+
+}  // namespace tdb

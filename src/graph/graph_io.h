@@ -1,0 +1,41 @@
+// Graph persistence: SNAP-style text edge lists and a compact binary format.
+//
+// Text format (what snap.stanford.edu distributes): one "src dst" pair per
+// line, '#' or '%' comment lines, arbitrary whitespace. Vertex ids may be
+// sparse; LoadEdgeListText densifies them and can return the mapping.
+//
+// Binary format: a fixed little-endian header ("TDBG", version, n, m)
+// followed by the raw edge array — loading a billion-edge graph is one
+// sequential read.
+#ifndef TDB_GRAPH_GRAPH_IO_H_
+#define TDB_GRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace tdb {
+
+/// Parses a SNAP-style text edge list into `graph`.
+///
+/// Original (possibly sparse) vertex ids are densified to 0..n-1 in first-
+/// appearance order; if `original_ids` is non-null it receives the inverse
+/// mapping (original id of each dense vertex).
+Status LoadEdgeListText(const std::string& path, CsrGraph* graph,
+                        std::vector<uint64_t>* original_ids = nullptr);
+
+/// Writes `graph` as a text edge list (dense ids).
+Status SaveEdgeListText(const CsrGraph& graph, const std::string& path);
+
+/// Writes `graph` in the TDBG binary format.
+Status SaveBinary(const CsrGraph& graph, const std::string& path);
+
+/// Loads a TDBG binary file.
+Status LoadBinary(const std::string& path, CsrGraph* graph);
+
+}  // namespace tdb
+
+#endif  // TDB_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,40 @@
+#include "graph/line_graph.h"
+
+namespace tdb {
+
+EdgeId LineGraphArcCount(const CsrGraph& base) {
+  EdgeId arcs = 0;
+  for (VertexId v = 0; v < base.num_vertices(); ++v) {
+    arcs += base.in_degree(v) * base.out_degree(v);
+  }
+  return arcs;
+}
+
+Status BuildLineGraph(const CsrGraph& base, LineGraph* out,
+                      EdgeId max_arcs) {
+  const EdgeId arcs = LineGraphArcCount(base);
+  if (arcs > max_arcs) {
+    return Status::ResourceExhausted(
+        "line graph would have " + std::to_string(arcs) +
+        " arcs (limit " + std::to_string(max_arcs) + ")");
+  }
+  if (base.num_edges() > kInvalidVertex) {
+    return Status::ResourceExhausted(
+        "line graph node count exceeds 32-bit vertex ids");
+  }
+  std::vector<Edge> l_edges;
+  l_edges.reserve(arcs);
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    const VertexId mid = base.EdgeDst(e);
+    for (EdgeId e2 = base.OutEdgeBegin(mid); e2 < base.OutEdgeEnd(mid);
+         ++e2) {
+      l_edges.push_back(Edge{static_cast<VertexId>(e),
+                             static_cast<VertexId>(e2)});
+    }
+  }
+  out->graph = CsrGraph::FromEdges(
+      static_cast<VertexId>(base.num_edges()), std::move(l_edges));
+  return Status::OK();
+}
+
+}  // namespace tdb

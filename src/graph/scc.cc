@@ -1,0 +1,82 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+namespace tdb {
+
+SccResult ComputeScc(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  SccResult result;
+  result.component.assign(n, kInvalidVertex);
+
+  constexpr VertexId kUnvisited = kInvalidVertex;
+  std::vector<VertexId> index(n, kUnvisited);
+  std::vector<VertexId> lowlink(n, 0);
+  std::vector<uint8_t> on_stack(n, 0);
+  std::vector<VertexId> scc_stack;
+
+  // Explicit DFS frame: vertex plus position in its out-neighbor list.
+  struct Frame {
+    VertexId v;
+    EdgeId next;  // absolute index into the out-CSR target array
+  };
+  std::vector<Frame> dfs;
+
+  VertexId next_index = 0;
+  for (VertexId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, graph.OutEdgeBegin(root)});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      VertexId v = frame.v;
+      if (frame.next < graph.OutEdgeEnd(v)) {
+        VertexId w = graph.EdgeDst(frame.next++);
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = 1;
+          dfs.push_back({w, graph.OutEdgeBegin(w)});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      // All children explored: close v.
+      if (lowlink[v] == index[v]) {
+        VertexId comp = result.num_components++;
+        VertexId size = 0;
+        VertexId w;
+        do {
+          w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = 0;
+          result.component[w] = comp;
+          ++size;
+        } while (w != v);
+        result.component_size.push_back(size);
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        VertexId parent = dfs.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<uint8_t> SccAtLeastMask(const CsrGraph& graph,
+                                    VertexId min_size) {
+  SccResult scc = ComputeScc(graph);
+  std::vector<uint8_t> mask(graph.num_vertices(), 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    mask[v] = scc.SizeOf(v) >= min_size ? 1 : 0;
+  }
+  return mask;
+}
+
+}  // namespace tdb

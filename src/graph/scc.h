@@ -1,0 +1,40 @@
+// Strongly connected components (iterative Tarjan).
+//
+// Every directed cycle lies inside one SCC, and a simple cycle of length
+// >= 3 needs an SCC of at least 3 vertices (>= 2 when 2-cycles count).
+// The top-down solver uses this as an optional prefilter: vertices in
+// too-small SCCs can be discharged from the cover with zero search work.
+#ifndef TDB_GRAPH_SCC_H_
+#define TDB_GRAPH_SCC_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace tdb {
+
+/// Result of an SCC decomposition.
+struct SccResult {
+  /// Component id of each vertex, in [0, num_components).
+  std::vector<VertexId> component;
+  /// Number of vertices per component.
+  std::vector<VertexId> component_size;
+  VertexId num_components = 0;
+
+  /// Size of the component containing `v`.
+  VertexId SizeOf(VertexId v) const { return component_size[component[v]]; }
+};
+
+/// Computes SCCs with an iterative Tarjan traversal (no recursion, safe for
+/// multi-million-vertex graphs).
+SccResult ComputeScc(const CsrGraph& graph);
+
+/// Marks vertices whose SCC has at least `min_size` members. Only marked
+/// vertices can lie on a simple cycle of length >= min_size' where
+/// min_size' is 3 without 2-cycles (pass 3) or 2 with them (pass 2).
+std::vector<uint8_t> SccAtLeastMask(const CsrGraph& graph,
+                                    VertexId min_size);
+
+}  // namespace tdb
+
+#endif  // TDB_GRAPH_SCC_H_

@@ -1,0 +1,32 @@
+// Fundamental identifier types for the graph substrate.
+//
+// VertexId is 32-bit: 4.29 billion vertices covers every graph in the
+// paper's evaluation (the largest, Twitter-WWW, has 41.6M vertices).
+// EdgeId is 64-bit because edge counts exceed 2^32 at billion scale.
+#ifndef TDB_GRAPH_TYPES_H_
+#define TDB_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace tdb {
+
+using VertexId = uint32_t;
+using EdgeId = uint64_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// A directed edge src -> dst.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_GRAPH_TYPES_H_

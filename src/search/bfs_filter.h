@@ -1,0 +1,49 @@
+// Closed-walk BFS filter (the paper's Algorithm 11, the "++" in TDB++).
+//
+// A simple cycle of length L through v is in particular a closed walk of
+// length L, so the shortest closed walk through v — computable exactly by
+// one BFS, ignoring simplicity — lower-bounds the shortest simple cycle.
+// If that bound exceeds k the vertex can be discharged without running the
+// (more expensive) block-based validation. The paper's Example 2 shows why
+// BFS alone cannot *confirm* a simple cycle (it cannot tell Figure 4(a)
+// from 4(b)); it is used strictly as a one-sided filter.
+#ifndef TDB_SEARCH_BFS_FILTER_H_
+#define TDB_SEARCH_BFS_FILTER_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "util/epoch_array.h"
+
+namespace tdb {
+
+/// Reusable BFS scratch. Not thread-safe.
+class BfsFilter {
+ public:
+  explicit BfsFilter(const CsrGraph& graph);
+
+  /// Length of the shortest closed walk through `start` inside the
+  /// subgraph induced by `active` (start exempt), or any value > max_hops
+  /// if no closed walk of length <= max_hops exists. The exact return in
+  /// the "none" case is max_hops + 1.
+  ///
+  /// Note: a 2-walk over a bidirectional edge counts — it must, because a
+  /// depth-1 neighbor can also close a *long* simple cycle, so skipping
+  /// those closures would make the filter unsound (see bfs_filter_test).
+  uint32_t ShortestClosedWalk(VertexId start, uint32_t max_hops,
+                              const uint8_t* active);
+
+  /// Number of vertices the last call visited (instrumentation).
+  uint64_t last_visited() const { return last_visited_; }
+
+ private:
+  const CsrGraph& graph_;
+  EpochArray<uint8_t> visited_;
+  std::vector<VertexId> frontier_;
+  std::vector<VertexId> next_frontier_;
+  uint64_t last_visited_ = 0;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_SEARCH_BFS_FILTER_H_

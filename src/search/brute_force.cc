@@ -1,0 +1,140 @@
+#include "search/brute_force.h"
+
+#include <algorithm>
+
+#include "search/cycle_enumerator.h"
+#include "util/check.h"
+
+namespace tdb {
+
+namespace {
+
+/// Depth-first branch and bound over the hitting-set instance.
+class HittingSetSolver {
+ public:
+  explicit HittingSetSolver(const std::vector<std::vector<VertexId>>& sets,
+                            VertexId n)
+      : sets_(sets), hit_count_(n, 0) {}
+
+  std::vector<VertexId> Solve() {
+    best_.assign(sets_.size() + 1, kInvalidVertex);  // sentinel "infinite"
+    // Greedy warm start: repeatedly pick the vertex hitting the most
+    // uncovered sets; gives a strong initial upper bound.
+    GreedyWarmStart();
+    current_.clear();
+    Branch(0);
+    std::sort(best_.begin(), best_.end());
+    return best_;
+  }
+
+ private:
+  void GreedyWarmStart() {
+    std::vector<uint8_t> covered(sets_.size(), 0);
+    std::vector<VertexId> pick;
+    size_t remaining = sets_.size();
+    while (remaining > 0) {
+      std::fill(hit_count_.begin(), hit_count_.end(), 0u);
+      for (size_t i = 0; i < sets_.size(); ++i) {
+        if (covered[i]) continue;
+        for (VertexId v : sets_[i]) ++hit_count_[v];
+      }
+      VertexId argmax = 0;
+      for (VertexId v = 1; v < hit_count_.size(); ++v) {
+        if (hit_count_[v] > hit_count_[argmax]) argmax = v;
+      }
+      pick.push_back(argmax);
+      for (size_t i = 0; i < sets_.size(); ++i) {
+        if (covered[i]) continue;
+        if (std::find(sets_[i].begin(), sets_[i].end(), argmax) !=
+            sets_[i].end()) {
+          covered[i] = 1;
+          --remaining;
+        }
+      }
+    }
+    best_ = pick;
+  }
+
+  /// Finds the first set not hit by `current_`; sets_.size() if all hit.
+  size_t FirstUncovered() const {
+    for (size_t i = 0; i < sets_.size(); ++i) {
+      bool hit = false;
+      for (VertexId v : sets_[i]) {
+        if (in_current_.size() > v && in_current_[v]) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) return i;
+    }
+    return sets_.size();
+  }
+
+  void Branch(size_t /*depth*/) {
+    if (current_.size() >= best_.size()) return;  // bound
+    const size_t uncovered = FirstUncovered();
+    if (uncovered == sets_.size()) {
+      best_ = current_;
+      return;
+    }
+    for (VertexId v : sets_[uncovered]) {
+      if (in_current_.size() <= v) in_current_.resize(v + 1, 0);
+      if (in_current_[v]) continue;
+      in_current_[v] = 1;
+      current_.push_back(v);
+      Branch(current_.size());
+      current_.pop_back();
+      in_current_[v] = 0;
+    }
+  }
+
+  const std::vector<std::vector<VertexId>>& sets_;
+  std::vector<uint32_t> hit_count_;
+  std::vector<VertexId> current_;
+  std::vector<uint8_t> in_current_;
+  std::vector<VertexId> best_;
+};
+
+}  // namespace
+
+Status SolveExactMinimumCover(const CsrGraph& graph,
+                              const CycleConstraint& constraint,
+                              size_t max_cycles, ExactCoverResult* result) {
+  std::vector<std::vector<VertexId>> cycles;
+  TDB_RETURN_IF_ERROR(
+      EnumerateConstrainedCycles(graph, constraint, max_cycles, &cycles));
+  result->num_cycles = cycles.size();
+  if (cycles.empty()) {
+    result->cover.clear();
+    return Status::OK();
+  }
+  HittingSetSolver solver(cycles, graph.num_vertices());
+  result->cover = solver.Solve();
+  return Status::OK();
+}
+
+bool IsCoverExhaustive(const CsrGraph& graph,
+                       const CycleConstraint& constraint,
+                       const std::vector<VertexId>& cover,
+                       size_t max_cycles) {
+  std::vector<uint8_t> in_cover(graph.num_vertices(), 0);
+  for (VertexId v : cover) in_cover[v] = 1;
+  std::vector<std::vector<VertexId>> cycles;
+  Status st = EnumerateConstrainedCycles(graph, constraint, max_cycles,
+                                         &cycles);
+  TDB_CHECK_MSG(st.ok(), "instance too large for exhaustive check: %s",
+                st.ToString().c_str());
+  for (const auto& cycle : cycles) {
+    bool hit = false;
+    for (VertexId v : cycle) {
+      if (in_cover[v]) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+}  // namespace tdb

@@ -1,0 +1,43 @@
+// Exact minimum hop-constrained cycle cover via branch and bound.
+//
+// Test oracle only: enumerates every constrained cycle, then solves the
+// hitting-set instance exactly. Practical to roughly 30 vertices / a few
+// thousand cycles; the property tests use it to sanity-bound the heuristic
+// solvers (optimal <= heuristic <= feasible).
+#ifndef TDB_SEARCH_BRUTE_FORCE_H_
+#define TDB_SEARCH_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "search/search_types.h"
+#include "util/status.h"
+
+namespace tdb {
+
+/// Result of the exact solver.
+struct ExactCoverResult {
+  /// A minimum-size cover (sorted). Empty if the graph has no constrained
+  /// cycles.
+  std::vector<VertexId> cover;
+  /// Number of constrained cycles in the instance.
+  size_t num_cycles = 0;
+};
+
+/// Computes an optimal cover. Fails with ResourceExhausted when the
+/// instance exceeds `max_cycles` constrained cycles.
+Status SolveExactMinimumCover(const CsrGraph& graph,
+                              const CycleConstraint& constraint,
+                              size_t max_cycles, ExactCoverResult* result);
+
+/// Exhaustive feasibility check: true iff every constrained cycle contains
+/// a vertex of `cover`. `cover` need not be sorted. Enumeration-based, so
+/// subject to the same size limits; TDB_CHECK-fails beyond max_cycles.
+bool IsCoverExhaustive(const CsrGraph& graph,
+                       const CycleConstraint& constraint,
+                       const std::vector<VertexId>& cover,
+                       size_t max_cycles = 1 << 20);
+
+}  // namespace tdb
+
+#endif  // TDB_SEARCH_BRUTE_FORCE_H_

@@ -1,0 +1,96 @@
+#include "search/cycle_enumerator.h"
+
+namespace tdb {
+
+namespace {
+
+/// DFS that reports all cycles whose minimum vertex is `root` by only
+/// traversing vertices with id >= root (strictly > root except the root
+/// itself), guaranteeing canonical single counting.
+class RootedEnumerator {
+ public:
+  RootedEnumerator(const CsrGraph& graph, const CycleConstraint& constraint,
+                   std::vector<uint8_t>& on_path)
+      : graph_(graph), constraint_(constraint), on_path_(on_path) {}
+
+  /// Invokes `sink(path)` for each cycle; sink returns false to stop.
+  template <typename Sink>
+  bool Enumerate(VertexId root, Sink&& sink) {
+    path_.clear();
+    return Dfs(root, root, std::forward<Sink>(sink));
+  }
+
+ private:
+  template <typename Sink>
+  bool Dfs(VertexId root, VertexId u, Sink&& sink) {
+    path_.push_back(u);
+    on_path_[u] = 1;
+    const uint32_t depth = static_cast<uint32_t>(path_.size()) - 1;
+    bool keep_going = true;
+    for (VertexId w : graph_.OutNeighbors(u)) {
+      if (w == root) {
+        const uint32_t len = depth + 1;
+        if (len >= constraint_.min_len && len <= constraint_.max_hops) {
+          if (!sink(path_)) {
+            keep_going = false;
+            break;
+          }
+        }
+        continue;
+      }
+      if (w < root || on_path_[w]) continue;
+      if (depth + 2 > constraint_.max_hops) continue;
+      if (!Dfs(root, w, sink)) {
+        keep_going = false;
+        break;
+      }
+    }
+    on_path_[u] = 0;
+    path_.pop_back();
+    return keep_going;
+  }
+
+  const CsrGraph& graph_;
+  const CycleConstraint& constraint_;
+  std::vector<uint8_t>& on_path_;
+  std::vector<VertexId> path_;
+};
+
+}  // namespace
+
+Status EnumerateConstrainedCycles(
+    const CsrGraph& graph, const CycleConstraint& constraint,
+    size_t max_cycles, std::vector<std::vector<VertexId>>* cycles) {
+  cycles->clear();
+  std::vector<uint8_t> on_path(graph.num_vertices(), 0);
+  RootedEnumerator enumerator(graph, constraint, on_path);
+  for (VertexId root = 0; root < graph.num_vertices(); ++root) {
+    bool ok = enumerator.Enumerate(root, [&](const auto& path) {
+      cycles->push_back(path);
+      return cycles->size() <= max_cycles;
+    });
+    if (!ok) {
+      return Status::ResourceExhausted(
+          "more than " + std::to_string(max_cycles) + " constrained cycles");
+    }
+  }
+  return Status::OK();
+}
+
+size_t CountConstrainedCycles(const CsrGraph& graph,
+                              const CycleConstraint& constraint,
+                              size_t limit) {
+  size_t count = 0;
+  std::vector<uint8_t> on_path(graph.num_vertices(), 0);
+  RootedEnumerator enumerator(graph, constraint, on_path);
+  for (VertexId root = 0; root < graph.num_vertices() && count < limit;
+       ++root) {
+    enumerator.Enumerate(root, [&](const auto&) {
+      ++count;
+      return count < limit;
+    });
+  }
+  return count;
+}
+
+}  // namespace tdb

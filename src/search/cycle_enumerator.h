@@ -1,0 +1,37 @@
+// Exhaustive enumeration of hop-constrained simple cycles.
+//
+// Johnson-style canonical enumeration: a cycle is reported exactly once,
+// rooted at its minimum vertex id. Exponential in general — this exists for
+// the exact brute-force solver and for cross-checking covers in tests, not
+// for production solving (which never materializes cycle sets; that is the
+// point of the paper).
+#ifndef TDB_SEARCH_CYCLE_ENUMERATOR_H_
+#define TDB_SEARCH_CYCLE_ENUMERATOR_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "search/search_types.h"
+#include "util/status.h"
+
+namespace tdb {
+
+/// Enumerates every simple cycle with hop count in [constraint.min_len,
+/// constraint.max_hops] into `cycles` (vertex sequences, first vertex =
+/// minimum id, not repeated at the end).
+///
+/// Fails with ResourceExhausted once more than `max_cycles` are found;
+/// `cycles` then holds the first max_cycles + 1 of them.
+Status EnumerateConstrainedCycles(const CsrGraph& graph,
+                                  const CycleConstraint& constraint,
+                                  size_t max_cycles,
+                                  std::vector<std::vector<VertexId>>* cycles);
+
+/// Counts qualifying cycles, stopping early at `limit`.
+size_t CountConstrainedCycles(const CsrGraph& graph,
+                              const CycleConstraint& constraint,
+                              size_t limit);
+
+}  // namespace tdb
+
+#endif  // TDB_SEARCH_CYCLE_ENUMERATOR_H_

@@ -1,0 +1,31 @@
+// Hard invariant checks. These fire in every build type: a failed check is a
+// programming error inside the library, never a recoverable condition.
+#ifndef TDB_UTIL_CHECK_H_
+#define TDB_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a diagnostic if `cond` is false. Always enabled.
+#define TDB_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "TDB_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+/// Like TDB_CHECK but with a printf-style explanation.
+#define TDB_CHECK_MSG(cond, ...)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "TDB_CHECK failed at %s:%d: %s: ", __FILE__,  \
+                   __LINE__, #cond);                                     \
+      std::fprintf(stderr, __VA_ARGS__);                                 \
+      std::fprintf(stderr, "\n");                                        \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#endif  // TDB_UTIL_CHECK_H_

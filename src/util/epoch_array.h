@@ -1,0 +1,72 @@
+// Per-vertex scratch state with O(1) bulk reset.
+//
+// The top-down solver runs one bounded search per vertex; each search needs
+// fresh per-vertex state (block values, visited marks, BFS distances).
+// Clearing an n-sized array between the n searches would cost O(n^2) total,
+// so state is versioned with an epoch counter instead: bumping the epoch
+// invalidates every slot at once.
+#ifndef TDB_UTIL_EPOCH_ARRAY_H_
+#define TDB_UTIL_EPOCH_ARRAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tdb {
+
+/// A fixed-size array of T whose entries all revert to a default value when
+/// NewEpoch() is called. Reads of stale slots return the default.
+template <typename T>
+class EpochArray {
+ public:
+  EpochArray() = default;
+
+  /// Creates `size` slots, all holding `default_value`.
+  explicit EpochArray(size_t size, T default_value = T())
+      : default_(default_value),
+        values_(size, default_value),
+        epochs_(size, 0) {}
+
+  size_t size() const { return values_.size(); }
+
+  /// Invalidates every slot in O(1).
+  void NewEpoch() {
+    ++current_epoch_;
+    if (current_epoch_ == 0) {
+      // Epoch counter wrapped (after 2^32 epochs): hard reset.
+      std::fill(epochs_.begin(), epochs_.end(), 0u);
+      std::fill(values_.begin(), values_.end(), default_);
+      current_epoch_ = 1;
+    }
+  }
+
+  /// Returns the value at `i`, or the default if not set this epoch.
+  T Get(size_t i) const {
+    TDB_CHECK(i < values_.size());
+    return epochs_[i] == current_epoch_ ? values_[i] : default_;
+  }
+
+  /// Sets the value at `i` for the current epoch.
+  void Set(size_t i, T value) {
+    TDB_CHECK(i < values_.size());
+    values_[i] = value;
+    epochs_[i] = current_epoch_;
+  }
+
+  /// True if slot `i` was written during the current epoch.
+  bool IsSet(size_t i) const {
+    TDB_CHECK(i < values_.size());
+    return epochs_[i] == current_epoch_;
+  }
+
+ private:
+  T default_{};
+  uint32_t current_epoch_ = 1;
+  std::vector<T> values_;
+  std::vector<uint32_t> epochs_;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_UTIL_EPOCH_ARRAY_H_

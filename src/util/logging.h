@@ -1,0 +1,23 @@
+// Minimal leveled logging to stderr. The library itself logs nothing at
+// default verbosity; solvers emit progress at kInfo when enabled by tools
+// and benches.
+#ifndef TDB_UTIL_LOGGING_H_
+#define TDB_UTIL_LOGGING_H_
+
+#include <cstdarg>
+
+namespace tdb {
+
+enum class LogLevel { kError = 0, kWarning = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the global verbosity; messages above this level are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// printf-style log statement.
+void Log(LogLevel level, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace tdb
+
+#endif  // TDB_UTIL_LOGGING_H_

@@ -1,0 +1,111 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tdb {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  TDB_CHECK(bound > 0);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double theta) {
+  ZipfSampler sampler(n, theta);
+  return sampler.Sample(*this);
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  TDB_CHECK(n >= 1);
+  TDB_CHECK(theta > 0.0 && theta < 1.0);
+  // The zeta sum is O(n); cap the exact computation and extrapolate with the
+  // integral approximation for very large n so construction stays cheap.
+  constexpr uint64_t kExactLimit = 1 << 20;
+  if (n <= kExactLimit) {
+    zetan_ = Zeta(n, theta);
+  } else {
+    double zeta_head = Zeta(kExactLimit, theta);
+    // Integral of x^-theta from kExactLimit to n.
+    double tail = (std::pow(double(n), 1.0 - theta) -
+                   std::pow(double(kExactLimit), 1.0 - theta)) /
+                  (1.0 - theta);
+    zetan_ = zeta_head + tail;
+  }
+  alpha_ = 1.0 / (1.0 - theta);
+  double zeta2 = Zeta(2, theta);
+  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (v >= n_) v = n_ - 1;
+  return v;
+}
+
+}  // namespace tdb

@@ -1,0 +1,84 @@
+// Lightweight error-reporting type in the RocksDB style: functions that can
+// fail for environmental reasons (I/O, resource limits, bad input) return a
+// Status instead of throwing. Internal invariant violations use TDB_CHECK.
+#ifndef TDB_UTIL_STATUS_H_
+#define TDB_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace tdb {
+
+/// Outcome of a fallible operation.
+///
+/// A Status is either OK (the default) or carries an error code and a
+/// human-readable message. It is cheap to copy in the OK case.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIOError,
+    kResourceExhausted,
+    kTimedOut,
+    kInternal,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  /// Returns "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Returns early from the enclosing function if `expr` is not OK.
+#define TDB_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::tdb::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace tdb
+
+#endif  // TDB_UTIL_STATUS_H_

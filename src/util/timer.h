@@ -1,0 +1,85 @@
+// Wall-clock measurement and cooperative deadlines.
+//
+// Long-running solvers poll a Deadline at coarse intervals so that the bench
+// harness can reproduce the paper's "INF" entries (runs that exceed the time
+// budget) without killing the process.
+#ifndef TDB_UTIL_TIMER_H_
+#define TDB_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tdb {
+
+/// Measures elapsed wall-clock time from construction or the last Reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction/Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction/Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget. A default-constructed Deadline never expires.
+///
+/// Expiry checks are amortized: Expired() only consults the clock every
+/// `check_interval` calls, so it is safe to poll from inner search loops.
+class Deadline {
+ public:
+  /// Unlimited deadline.
+  Deadline() : unlimited_(true) {}
+
+  /// Expires `seconds` from now. Non-positive budgets expire immediately.
+  static Deadline AfterSeconds(double seconds) {
+    Deadline d;
+    d.unlimited_ = false;
+    d.expiry_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool unlimited() const { return unlimited_; }
+
+  /// True once the budget is exhausted. Cheap to call in tight loops.
+  bool Expired() {
+    if (unlimited_) return false;
+    if (expired_) return true;
+    if (++calls_since_check_ < kCheckInterval) return false;
+    calls_since_check_ = 0;
+    expired_ = Clock::now() >= expiry_;
+    return expired_;
+  }
+
+  /// Forces an immediate clock check (used at loop boundaries).
+  bool ExpiredNow() {
+    if (unlimited_) return false;
+    if (expired_) return true;
+    calls_since_check_ = 0;
+    expired_ = Clock::now() >= expiry_;
+    return expired_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static constexpr uint32_t kCheckInterval = 1024;
+
+  bool unlimited_ = false;
+  bool expired_ = false;
+  uint32_t calls_since_check_ = 0;
+  Clock::time_point expiry_{};
+};
+
+}  // namespace tdb
+
+#endif  // TDB_UTIL_TIMER_H_

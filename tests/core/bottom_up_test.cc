@@ -1,0 +1,138 @@
+#include "core/bottom_up.h"
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.h"
+#include "graph/fixtures.h"
+#include "graph/generators.h"
+#include "search/brute_force.h"
+
+namespace tdb {
+namespace {
+
+CoverOptions Opts(uint32_t k) {
+  CoverOptions o;
+  o.k = k;
+  return o;
+}
+
+TEST(BottomUpTest, AcyclicGraphEmptyCover) {
+  CoverResult r = SolveBottomUp(MakeDirectedPath(10), Opts(5), true);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.cover.empty());
+}
+
+TEST(BottomUpTest, TriangleCoveredByOneVertex) {
+  CoverResult r = SolveBottomUp(MakeDirectedCycle(3), Opts(3), false);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.cover.size(), 1u);
+  EXPECT_EQ(r.stats.cycles_found, 1u);
+}
+
+TEST(BottomUpTest, Figure1FindsMinimalCover) {
+  CsrGraph g = MakeFigure1Ecommerce();
+  CoverResult r = SolveBottomUp(g, Opts(5), true);
+  ASSERT_TRUE(r.status.ok());
+  VerifyReport report = VerifyCover(g, r.cover, Opts(5));
+  EXPECT_TRUE(report.feasible) << report.ToString();
+  EXPECT_TRUE(report.minimal) << report.ToString();
+  // The hit-count heuristic discovers a's centrality: after covering the
+  // first cycle, a is preferred, and pruning reduces to exactly {a}.
+  EXPECT_EQ(r.cover, (std::vector<VertexId>{0}));
+}
+
+TEST(BottomUpTest, HopConstraintRespected) {
+  CsrGraph g = MakeDirectedCycle(6);
+  CoverResult r5 = SolveBottomUp(g, Opts(5), true);
+  ASSERT_TRUE(r5.status.ok());
+  EXPECT_TRUE(r5.cover.empty());  // the 6-cycle is out of scope at k=5
+  CoverResult r6 = SolveBottomUp(g, Opts(6), true);
+  ASSERT_TRUE(r6.status.ok());
+  EXPECT_EQ(r6.cover.size(), 1u);
+}
+
+TEST(BottomUpTest, BurPlusNeverLargerThanBur) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    CsrGraph g = GenerateErdosRenyi(60, 240, seed);
+    CoverResult bur = SolveBottomUp(g, Opts(4), false);
+    CoverResult burp = SolveBottomUp(g, Opts(4), true);
+    ASSERT_TRUE(bur.status.ok());
+    ASSERT_TRUE(burp.status.ok());
+    EXPECT_LE(burp.cover.size(), bur.cover.size()) << "seed=" << seed;
+    EXPECT_GT(burp.stats.prune_removed + 1, 0u);  // counter wired up
+  }
+}
+
+TEST(BottomUpTest, CoversAreFeasible_BurMinimal_BurPlus) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    CsrGraph g = GenerateErdosRenyi(50, 200, seed);
+    CoverOptions opts = Opts(5);
+    CoverResult bur = SolveBottomUp(g, opts, false);
+    ASSERT_TRUE(bur.status.ok());
+    EXPECT_TRUE(VerifyCover(g, bur.cover, opts, false).feasible);
+    CoverResult burp = SolveBottomUp(g, opts, true);
+    ASSERT_TRUE(burp.status.ok());
+    VerifyReport rep = VerifyCover(g, burp.cover, opts);
+    EXPECT_TRUE(rep.feasible) << "seed=" << seed << " " << rep.ToString();
+    EXPECT_TRUE(rep.minimal) << "seed=" << seed << " " << rep.ToString();
+  }
+}
+
+TEST(BottomUpTest, NotWorseThanOptimalBound) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    CsrGraph g = GenerateErdosRenyi(22, 70, seed);
+    ExactCoverResult exact;
+    ASSERT_TRUE(SolveExactMinimumCover(
+                    g, Opts(4).Constraint(g.num_vertices()), 1 << 20, &exact)
+                    .ok());
+    CoverResult burp = SolveBottomUp(g, Opts(4), true);
+    ASSERT_TRUE(burp.status.ok());
+    EXPECT_GE(burp.cover.size(), exact.cover.size());
+  }
+}
+
+TEST(BottomUpTest, TwoCycleModeCoversBidirectionalPairs) {
+  CsrGraph g = CsrGraph::FromEdges(4, {{0, 1}, {1, 0}, {2, 3}, {3, 2}});
+  CoverOptions opts = Opts(5);
+  CoverResult without = SolveBottomUp(g, opts, true);
+  ASSERT_TRUE(without.status.ok());
+  EXPECT_TRUE(without.cover.empty());
+  opts.include_two_cycles = true;
+  CoverResult with = SolveBottomUp(g, opts, true);
+  ASSERT_TRUE(with.status.ok());
+  EXPECT_EQ(with.cover.size(), 2u);
+}
+
+TEST(BottomUpTest, RejectsInvalidK) {
+  CoverResult r = SolveBottomUp(MakeDirectedCycle(3), Opts(2), false);
+  EXPECT_TRUE(r.status.IsInvalidArgument());
+}
+
+TEST(BottomUpTest, TimeoutSurfacesAsTimedOut) {
+  CsrGraph g = MakeCompleteDigraph(60);
+  CoverOptions opts = Opts(6);
+  opts.time_limit_seconds = 1e-9;
+  CoverResult r = SolveBottomUp(g, opts, true);
+  EXPECT_TRUE(r.status.IsTimedOut());
+}
+
+TEST(BottomUpTest, HitCountHeuristicPrefersSharedVertex) {
+  // Star of triangles all sharing vertex 0: after the first random pick,
+  // the H-array steers every later choice to 0-adjacent cycles; with
+  // pruning the cover collapses to {0}.
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i < 6; ++i) {
+    const VertexId a = 1 + 2 * i;
+    const VertexId b = 2 + 2 * i;
+    edges.push_back({0, a});
+    edges.push_back({a, b});
+    edges.push_back({b, 0});
+  }
+  CsrGraph g = CsrGraph::FromEdges(13, edges);
+  CoverResult r = SolveBottomUp(g, Opts(3), true);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.cover, (std::vector<VertexId>{0}));
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,165 @@
+#include "core/darc.h"
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.h"
+#include "graph/fixtures.h"
+#include "graph/generators.h"
+#include "search/cycle_enumerator.h"
+
+namespace tdb {
+namespace {
+
+CoverOptions Opts(uint32_t k) {
+  CoverOptions o;
+  o.k = k;
+  return o;
+}
+
+/// Exhaustive check that the edge set hits every constrained cycle.
+bool EdgeCoverIsFeasible(const CsrGraph& g, const CoverOptions& opts,
+                         const std::vector<EdgeId>& edge_cover) {
+  std::vector<uint8_t> in_cover(g.num_edges(), 0);
+  for (EdgeId e : edge_cover) in_cover[e] = 1;
+  std::vector<std::vector<VertexId>> cycles;
+  Status s = EnumerateConstrainedCycles(
+      g, opts.Constraint(g.num_vertices()), 1 << 20, &cycles);
+  if (!s.ok()) ADD_FAILURE() << s.ToString();
+  for (const auto& cyc : cycles) {
+    bool hit = false;
+    for (size_t i = 0; i < cyc.size() && !hit; ++i) {
+      const VertexId u = cyc[i];
+      const VertexId v = cyc[(i + 1) % cyc.size()];
+      hit = in_cover[g.FindEdge(u, v)] != 0;
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+TEST(DarcEdgeTest, TriangleNeedsOneEdge) {
+  DarcEdgeResult r = SolveDarcEdgeCover(MakeDirectedCycle(3), Opts(3));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.edge_cover.size(), 1u);
+}
+
+TEST(DarcEdgeTest, AcyclicGraphNeedsNothing) {
+  DarcEdgeResult r = SolveDarcEdgeCover(MakeDirectedPath(10), Opts(5));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.edge_cover.empty());
+}
+
+TEST(DarcEdgeTest, EdgeCoverFeasibleOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    CsrGraph g = GenerateErdosRenyi(40, 160, seed);
+    DarcEdgeResult r = SolveDarcEdgeCover(g, Opts(4));
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_TRUE(EdgeCoverIsFeasible(g, Opts(4), r.edge_cover))
+        << "seed=" << seed;
+  }
+}
+
+TEST(DarcEdgeTest, DoesNotClaimMinimality) {
+  // DARC's PRUNE only revisits edges in P (the recently committed ones);
+  // edges committed early can become redundant as later AUGMENT rounds
+  // grow S. The paper contrasts TDB's "preserving the minimal property"
+  // against exactly this — so the contract here is feasibility only.
+  // This test documents the behavior: results stay feasible, and on these
+  // seeds at least one instance retains a redundant edge.
+  bool saw_redundancy = false;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    CsrGraph g = GenerateErdosRenyi(30, 110, seed);
+    CoverOptions opts = Opts(4);
+    DarcEdgeResult r = SolveDarcEdgeCover(g, opts);
+    ASSERT_TRUE(r.status.ok());
+    ASSERT_TRUE(EdgeCoverIsFeasible(g, opts, r.edge_cover));
+    for (size_t i = 0; i < r.edge_cover.size() && !saw_redundancy; ++i) {
+      std::vector<EdgeId> smaller = r.edge_cover;
+      smaller.erase(smaller.begin() + static_cast<long>(i));
+      saw_redundancy = EdgeCoverIsFeasible(g, opts, smaller);
+    }
+  }
+  EXPECT_TRUE(saw_redundancy)
+      << "expected at least one redundant edge across seeds; if DARC "
+         "became minimal, update the paper-comparison docs";
+}
+
+TEST(DarcEdgeTest, HopWindowRespected) {
+  CsrGraph g = MakeDirectedCycle(6);
+  DarcEdgeResult r5 = SolveDarcEdgeCover(g, Opts(5));
+  ASSERT_TRUE(r5.status.ok());
+  EXPECT_TRUE(r5.edge_cover.empty());
+  DarcEdgeResult r6 = SolveDarcEdgeCover(g, Opts(6));
+  ASSERT_TRUE(r6.status.ok());
+  EXPECT_EQ(r6.edge_cover.size(), 1u);
+}
+
+TEST(DarcEdgeTest, PruneReusesWEdges) {
+  // Dense-ish graph: the AUGMENT/PRUNE interplay must exercise W reuse
+  // (prune_removed > 0) while keeping the result feasible.
+  CsrGraph g = MakeCompleteDigraph(6);
+  CoverOptions opts = Opts(3);
+  DarcEdgeResult r = SolveDarcEdgeCover(g, opts);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_GT(r.prune_removed, 0u);
+  EXPECT_TRUE(EdgeCoverIsFeasible(g, opts, r.edge_cover));
+}
+
+TEST(DarcEdgeTest, TimeoutSurfaces) {
+  CsrGraph g = MakeCompleteDigraph(40);
+  CoverOptions opts = Opts(5);
+  opts.time_limit_seconds = 1e-9;
+  DarcEdgeResult r = SolveDarcEdgeCover(g, opts);
+  EXPECT_TRUE(r.status.IsTimedOut());
+}
+
+TEST(DarcDvTest, TriangleCoveredByOneVertex) {
+  CoverResult r = SolveDarcDv(MakeDirectedCycle(3), Opts(3));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.cover.size(), 1u);
+}
+
+TEST(DarcDvTest, VertexCoverFeasibleOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    CsrGraph g = GenerateErdosRenyi(40, 160, seed);
+    CoverOptions opts = Opts(4);
+    CoverResult r = SolveDarcDv(g, opts);
+    ASSERT_TRUE(r.status.ok());
+    VerifyReport rep = VerifyCover(g, r.cover, opts, false);
+    EXPECT_TRUE(rep.feasible) << "seed=" << seed << " " << rep.ToString();
+  }
+}
+
+TEST(DarcDvTest, FeasibleOnReciprocalGraphs) {
+  // Reciprocity stresses the figure-eight overcovering path of the line
+  // graph; the result must still be feasible for the vertex problem.
+  PowerLawParams p;
+  p.n = 120;
+  p.m = 600;
+  p.reciprocity = 0.6;
+  p.seed = 17;
+  CsrGraph g = GeneratePowerLaw(p);
+  CoverOptions opts = Opts(5);
+  CoverResult r = SolveDarcDv(g, opts);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(VerifyCover(g, r.cover, opts, false).feasible);
+}
+
+TEST(DarcDvTest, LineGraphBudgetYieldsResourceExhausted) {
+  CsrGraph g = MakeCompleteDigraph(12);
+  CoverOptions opts = Opts(3);
+  opts.line_graph_max_arcs = 50;
+  CoverResult r = SolveDarcDv(g, opts);
+  EXPECT_TRUE(r.status.IsResourceExhausted());
+  EXPECT_TRUE(r.cover.empty());
+}
+
+TEST(DarcDvTest, Figure1Feasible) {
+  CsrGraph g = MakeFigure1Ecommerce();
+  CoverResult r = SolveDarcDv(g, Opts(5));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(VerifyCover(g, r.cover, Opts(5), false).feasible);
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,153 @@
+#include "core/dynamic_darc.h"
+
+#include <gtest/gtest.h>
+
+#include "core/darc.h"
+#include "graph/generators.h"
+#include "search/cycle_enumerator.h"
+#include "util/rng.h"
+
+namespace tdb {
+namespace {
+
+CoverOptions Opts(uint32_t k) {
+  CoverOptions o;
+  o.k = k;
+  return o;
+}
+
+/// Exhaustive invariant check: the maintained edge set intersects every
+/// constrained cycle of the graph accumulated so far.
+bool InvariantHolds(const DynamicDarc& darc, uint32_t k) {
+  CsrGraph snapshot = darc.graph().ToCsr();
+  // Map maintained edge ids to (src, dst) and re-find them in the CSR.
+  std::vector<uint8_t> covered(snapshot.num_edges(), 0);
+  for (EdgeId e : darc.EdgeCover()) {
+    const EdgeId csr_id = snapshot.FindEdge(darc.graph().EdgeSrc(e),
+                                            darc.graph().EdgeDst(e));
+    if (csr_id == kInvalidEdge) return false;
+    covered[csr_id] = 1;
+  }
+  std::vector<std::vector<VertexId>> cycles;
+  CycleConstraint c{.max_hops = k, .min_len = 3};
+  if (!EnumerateConstrainedCycles(snapshot, c, 1 << 20, &cycles).ok()) {
+    ADD_FAILURE() << "instance too big for the oracle";
+    return false;
+  }
+  for (const auto& cyc : cycles) {
+    bool hit = false;
+    for (size_t i = 0; i < cyc.size() && !hit; ++i) {
+      hit = covered[snapshot.FindEdge(cyc[i], cyc[(i + 1) % cyc.size()])];
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+TEST(DynamicDigraphTest, BasicInsertionAndLookup) {
+  DynamicDigraph g(4);
+  EXPECT_EQ(g.AddEdge(0, 1), 0u);
+  EXPECT_EQ(g.AddEdge(1, 2), 1u);
+  EXPECT_EQ(g.AddEdge(0, 1), kInvalidEdge);  // duplicate
+  EXPECT_EQ(g.AddEdge(2, 2), kInvalidEdge);  // self-loop
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  ASSERT_EQ(g.Out(0).size(), 1u);
+  EXPECT_EQ(g.Out(0)[0].neighbor, 1u);
+  ASSERT_EQ(g.In(2).size(), 1u);
+  EXPECT_EQ(g.In(2)[0].edge, 1u);
+}
+
+TEST(DynamicDigraphTest, CsrSnapshotMatches) {
+  DynamicDigraph g(5);
+  g.AddEdge(3, 1);
+  g.AddEdge(0, 4);
+  g.AddEdge(1, 3);
+  CsrGraph csr = g.ToCsr();
+  EXPECT_EQ(csr.num_edges(), 3u);
+  EXPECT_TRUE(csr.HasEdge(3, 1));
+  EXPECT_TRUE(csr.HasEdge(0, 4));
+  EXPECT_TRUE(csr.HasEdge(1, 3));
+}
+
+TEST(DynamicDarcTest, TriangleGetsCoveredOnClosingEdge) {
+  DynamicDarc darc(3, Opts(3));
+  EXPECT_EQ(darc.InsertEdge(0, 1), 0u);
+  EXPECT_EQ(darc.InsertEdge(1, 2), 0u);
+  EXPECT_EQ(darc.InsertEdge(2, 0), 1u);  // the closure covers one cycle
+  EXPECT_EQ(darc.EdgeCover().size(), 1u);
+  EXPECT_TRUE(InvariantHolds(darc, 3));
+}
+
+TEST(DynamicDarcTest, DuplicatesAndSelfLoopsIgnored) {
+  DynamicDarc darc(3, Opts(3));
+  darc.InsertEdge(0, 1);
+  EXPECT_EQ(darc.InsertEdge(0, 1), 0u);
+  EXPECT_EQ(darc.InsertEdge(1, 1), 0u);
+  EXPECT_EQ(darc.graph().num_edges(), 1u);
+}
+
+TEST(DynamicDarcTest, InvariantHoldsAlongRandomStreams) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    CsrGraph target = GenerateErdosRenyi(25, 110, seed);
+    std::vector<Edge> stream;
+    for (EdgeId e = 0; e < target.num_edges(); ++e) {
+      stream.push_back(Edge{target.EdgeSrc(e), target.EdgeDst(e)});
+    }
+    Rng rng(seed + 42);
+    for (size_t i = stream.size(); i > 1; --i) {
+      std::swap(stream[i - 1], stream[rng.NextBounded(i)]);
+    }
+    DynamicDarc darc(target.num_vertices(), Opts(4));
+    size_t next_check = stream.size() / 4;
+    for (size_t i = 0; i < stream.size(); ++i) {
+      darc.InsertEdge(stream[i].src, stream[i].dst);
+      if (i == next_check) {
+        ASSERT_TRUE(InvariantHolds(darc, 4))
+            << "seed=" << seed << " after " << i + 1 << " edges";
+        next_check += stream.size() / 4;
+      }
+    }
+    ASSERT_TRUE(InvariantHolds(darc, 4)) << "seed=" << seed << " final";
+  }
+}
+
+TEST(DynamicDarcTest, AgreesWithStaticDarcOnFinalFeasibility) {
+  // The dynamic and static solvers may pick different edges (order
+  // effects), but both must end feasible on the same final graph, with
+  // sizes in the same ballpark.
+  CsrGraph g = GenerateErdosRenyi(30, 140, /*seed=*/9);
+  DynamicDarc dynamic(g.num_vertices(), Opts(4));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    dynamic.InsertEdge(g.EdgeSrc(e), g.EdgeDst(e));
+  }
+  ASSERT_TRUE(InvariantHolds(dynamic, 4));
+  DarcEdgeResult fixed = SolveDarcEdgeCover(g, Opts(4));
+  ASSERT_TRUE(fixed.status.ok());
+  EXPECT_LE(dynamic.EdgeCover().size(), 3 * fixed.edge_cover.size() + 3);
+  EXPECT_LE(fixed.edge_cover.size(), 3 * dynamic.EdgeCover().size() + 3);
+}
+
+TEST(DynamicDarcTest, TwoCycleModeCoversPairsImmediately) {
+  CoverOptions opts = Opts(4);
+  opts.include_two_cycles = true;
+  DynamicDarc darc(2, opts);
+  darc.InsertEdge(0, 1);
+  EXPECT_EQ(darc.InsertEdge(1, 0), 1u);
+  EXPECT_EQ(darc.EdgeCover().size(), 1u);
+}
+
+TEST(DynamicDarcTest, PruningReusesWEdges) {
+  // A dense stream triggers both prune demotions and W-edge promotions.
+  CsrGraph g = MakeCompleteDigraph(7);
+  DynamicDarc darc(7, Opts(3));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    darc.InsertEdge(g.EdgeSrc(e), g.EdgeDst(e));
+  }
+  EXPECT_GT(darc.total_prunes(), 0u);
+  EXPECT_TRUE(InvariantHolds(darc, 3));
+}
+
+}  // namespace
+}  // namespace tdb

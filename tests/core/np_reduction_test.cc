@@ -1,0 +1,90 @@
+// Validates the paper's Theorem 2 construction: on the reduction graph with
+// k = 3 (2-cycles excluded), the minimum hop-constrained cycle cover has
+// exactly the size of the minimum vertex cover of the original undirected
+// graph.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/fixtures.h"
+#include "search/brute_force.h"
+#include "util/rng.h"
+
+namespace tdb {
+namespace {
+
+using EdgeList = std::vector<std::pair<VertexId, VertexId>>;
+
+/// Exact minimum vertex cover by exhaustive subset search (tiny n only).
+size_t MinVertexCoverBruteForce(VertexId n, const EdgeList& edges) {
+  for (size_t size = 0; size <= n; ++size) {
+    // Iterate all subsets of {0..n-1} of the given size via bitmasks.
+    for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+      if (static_cast<size_t>(__builtin_popcount(mask)) != size) continue;
+      bool covers = true;
+      for (const auto& [u, v] : edges) {
+        if (!((mask >> u) & 1) && !((mask >> v) & 1)) {
+          covers = false;
+          break;
+        }
+      }
+      if (covers) return size;
+    }
+  }
+  return n;
+}
+
+size_t MinCycleCoverOfReduction(VertexId n, const EdgeList& edges) {
+  VcReduction red = BuildVcReduction(n, edges);
+  CycleConstraint c{.max_hops = 3, .min_len = 3};
+  ExactCoverResult r;
+  Status s = SolveExactMinimumCover(red.graph, c, 1 << 20, &r);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return r.cover.size();
+}
+
+void ExpectEquivalence(VertexId n, const EdgeList& edges) {
+  EXPECT_EQ(MinCycleCoverOfReduction(n, edges),
+            MinVertexCoverBruteForce(n, edges));
+}
+
+TEST(NpReductionTest, SingleEdge) { ExpectEquivalence(2, {{0, 1}}); }
+
+TEST(NpReductionTest, PathGraph) {
+  ExpectEquivalence(4, {{0, 1}, {1, 2}, {2, 3}});  // VC = 2
+}
+
+TEST(NpReductionTest, Triangle) {
+  ExpectEquivalence(3, {{0, 1}, {1, 2}, {0, 2}});  // VC = 2
+}
+
+TEST(NpReductionTest, StarGraph) {
+  ExpectEquivalence(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});  // VC = 1
+}
+
+TEST(NpReductionTest, CompleteK4) {
+  ExpectEquivalence(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});  // VC = 3
+}
+
+TEST(NpReductionTest, DisjointEdges) {
+  ExpectEquivalence(6, {{0, 1}, {2, 3}, {4, 5}});  // VC = 3
+}
+
+TEST(NpReductionTest, RandomSmallGraphs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 12; ++trial) {
+    const VertexId n = 5 + static_cast<VertexId>(rng.NextBounded(3));
+    EdgeList edges;
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) {
+        if (rng.NextBool(0.4)) edges.emplace_back(u, v);
+      }
+    }
+    if (edges.empty()) continue;
+    ExpectEquivalence(n, edges);
+  }
+}
+
+}  // namespace
+}  // namespace tdb

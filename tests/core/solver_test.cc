@@ -1,0 +1,99 @@
+#include "core/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.h"
+#include "graph/fixtures.h"
+#include "graph/generators.h"
+
+namespace tdb {
+namespace {
+
+const CoverAlgorithm kAll[] = {
+    CoverAlgorithm::kBur,     CoverAlgorithm::kBurPlus,
+    CoverAlgorithm::kTdb,     CoverAlgorithm::kTdbPlus,
+    CoverAlgorithm::kTdbPlusPlus, CoverAlgorithm::kDarcDv,
+};
+
+TEST(SolverTest, DispatchesEveryAlgorithm) {
+  CsrGraph g = MakeFigure1Ecommerce();
+  CoverOptions opts;
+  opts.k = 5;
+  for (CoverAlgorithm algo : kAll) {
+    CoverResult r = SolveCycleCover(g, algo, opts);
+    ASSERT_TRUE(r.status.ok()) << AlgorithmName(algo);
+    EXPECT_TRUE(VerifyCover(g, r.cover, opts, false).feasible)
+        << AlgorithmName(algo);
+  }
+}
+
+TEST(SolverTest, MinimalAlgorithmsAreMinimal) {
+  CsrGraph g = GenerateErdosRenyi(50, 220, /*seed=*/1);
+  CoverOptions opts;
+  opts.k = 4;
+  for (CoverAlgorithm algo :
+       {CoverAlgorithm::kBurPlus, CoverAlgorithm::kTdb,
+        CoverAlgorithm::kTdbPlus, CoverAlgorithm::kTdbPlusPlus}) {
+    CoverResult r = SolveCycleCover(g, algo, opts);
+    ASSERT_TRUE(r.status.ok());
+    VerifyReport rep = VerifyCover(g, r.cover, opts);
+    EXPECT_TRUE(rep.feasible) << AlgorithmName(algo);
+    EXPECT_TRUE(rep.minimal) << AlgorithmName(algo) << rep.ToString();
+  }
+}
+
+TEST(SolverTest, AlgorithmNamesRoundTrip) {
+  for (CoverAlgorithm algo : kAll) {
+    CoverAlgorithm parsed;
+    ASSERT_TRUE(ParseAlgorithm(AlgorithmName(algo), &parsed).ok());
+    EXPECT_EQ(parsed, algo);
+  }
+}
+
+TEST(SolverTest, ParseIsCaseInsensitive) {
+  CoverAlgorithm algo;
+  ASSERT_TRUE(ParseAlgorithm("tdb++", &algo).ok());
+  EXPECT_EQ(algo, CoverAlgorithm::kTdbPlusPlus);
+  ASSERT_TRUE(ParseAlgorithm("bur+", &algo).ok());
+  EXPECT_EQ(algo, CoverAlgorithm::kBurPlus);
+  ASSERT_TRUE(ParseAlgorithm("darcdv", &algo).ok());
+  EXPECT_EQ(algo, CoverAlgorithm::kDarcDv);
+}
+
+TEST(SolverTest, ParseRejectsUnknown) {
+  CoverAlgorithm algo;
+  EXPECT_TRUE(ParseAlgorithm("quantum", &algo).IsNotFound());
+}
+
+TEST(SolverTest, InvalidOptionsRejectedUniformly) {
+  CsrGraph g = MakeDirectedCycle(3);
+  CoverOptions opts;
+  opts.k = 2;  // below min cycle length without 2-cycles
+  for (CoverAlgorithm algo : kAll) {
+    EXPECT_TRUE(SolveCycleCover(g, algo, opts).status.IsInvalidArgument())
+        << AlgorithmName(algo);
+  }
+}
+
+TEST(SolverTest, KTwoLegalWithTwoCycles) {
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1}, {1, 0}});
+  CoverOptions opts;
+  opts.k = 2;
+  opts.include_two_cycles = true;
+  CoverResult r = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.cover.size(), 1u);
+}
+
+TEST(SolverTest, StatsElapsedPopulated) {
+  CsrGraph g = GenerateErdosRenyi(40, 150, /*seed=*/2);
+  CoverOptions opts;
+  opts.k = 4;
+  CoverResult r = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_GE(r.stats.elapsed_seconds, 0.0);
+  EXPECT_GT(r.stats.searches + r.stats.bfs_filtered, 0u);
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,128 @@
+#include "core/two_cycle.h"
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.h"
+#include "graph/generators.h"
+#include "search/brute_force.h"
+
+namespace tdb {
+namespace {
+
+bool HitsEveryPair(const CsrGraph& g, const std::vector<VertexId>& cover) {
+  std::vector<uint8_t> in_cover(g.num_vertices(), 0);
+  for (VertexId v : cover) in_cover[v] = 1;
+  for (const auto& [u, v] : CollectTwoCyclePairs(g)) {
+    if (!in_cover[u] && !in_cover[v]) return false;
+  }
+  return true;
+}
+
+TEST(TwoCyclePairsTest, CollectsExactlyBidirectionalPairs) {
+  CsrGraph g = CsrGraph::FromEdges(
+      4, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}});
+  auto pairs = CollectTwoCyclePairs(g);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (std::pair<VertexId, VertexId>{0, 1}));
+  EXPECT_EQ(pairs[1], (std::pair<VertexId, VertexId>{2, 3}));
+}
+
+TEST(TwoCyclePairsTest, NoneOnOneWayGraphs) {
+  EXPECT_TRUE(CollectTwoCyclePairs(MakeDirectedCycle(5)).empty());
+  EXPECT_TRUE(CollectTwoCyclePairs(MakeDirectedPath(5)).empty());
+}
+
+TEST(CoverTwoCyclesTest, AllStrategiesCoverEveryPair) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    PowerLawParams p;
+    p.n = 200;
+    p.m = 1200;
+    p.reciprocity = 0.4;
+    p.seed = seed;
+    CsrGraph g = GeneratePowerLaw(p);
+    for (TwoCycleStrategy s :
+         {TwoCycleStrategy::kAllEndpoints, TwoCycleStrategy::kMatching,
+          TwoCycleStrategy::kGreedyDegree}) {
+      EXPECT_TRUE(HitsEveryPair(g, CoverTwoCycles(g, s)))
+          << "seed=" << seed;
+    }
+  }
+}
+
+TEST(CoverTwoCyclesTest, MatchingNeverLargerThanAllEndpoints) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    PowerLawParams p;
+    p.n = 150;
+    p.m = 900;
+    p.reciprocity = 0.5;
+    p.seed = seed + 100;
+    CsrGraph g = GeneratePowerLaw(p);
+    const auto all =
+        CoverTwoCycles(g, TwoCycleStrategy::kAllEndpoints).size();
+    const auto matching =
+        CoverTwoCycles(g, TwoCycleStrategy::kMatching).size();
+    EXPECT_LE(matching, all) << "seed=" << seed;
+  }
+}
+
+TEST(CoverTwoCyclesTest, MatchingIsTwoApproximation) {
+  // Exact minimum 2-cycle cover via the brute-force hitting-set solver on
+  // the cycle family {length exactly 2}.
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    PowerLawParams p;
+    p.n = 30;
+    p.m = 140;
+    p.reciprocity = 0.6;
+    p.seed = seed + 7;
+    CsrGraph g = GeneratePowerLaw(p);
+    CycleConstraint two{.max_hops = 2, .min_len = 2};
+    ExactCoverResult exact;
+    ASSERT_TRUE(SolveExactMinimumCover(g, two, 1 << 20, &exact).ok());
+    const auto matching =
+        CoverTwoCycles(g, TwoCycleStrategy::kMatching).size();
+    EXPECT_GE(matching, exact.cover.size());
+    EXPECT_LE(matching, 2 * exact.cover.size()) << "seed=" << seed;
+  }
+}
+
+TEST(CoverTwoCyclesTest, GreedyDegreeBeatsMatchingOnStars) {
+  // Star of bidirectional edges: greedy picks the hub (size 1); matching
+  // picks one spoke pair (size 2).
+  CsrGraph g = CsrGraph::FromEdges(
+      5, {{0, 1}, {1, 0}, {0, 2}, {2, 0}, {0, 3}, {3, 0}, {0, 4}, {4, 0}});
+  EXPECT_EQ(CoverTwoCycles(g, TwoCycleStrategy::kGreedyDegree).size(), 1u);
+  EXPECT_EQ(CoverTwoCycles(g, TwoCycleStrategy::kMatching).size(), 2u);
+  EXPECT_EQ(CoverTwoCycles(g, TwoCycleStrategy::kAllEndpoints).size(), 5u);
+}
+
+TEST(CombinedCoverTest, FeasibleForTheFullFamily) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    PowerLawParams p;
+    p.n = 120;
+    p.m = 700;
+    p.reciprocity = 0.4;
+    p.seed = seed + 3;
+    CsrGraph g = GeneratePowerLaw(p);
+    CoverOptions opts;
+    opts.k = 5;
+    CoverResult r = SolveCombinedCover(
+        g, CoverAlgorithm::kTdbPlusPlus, opts, TwoCycleStrategy::kMatching);
+    ASSERT_TRUE(r.status.ok());
+    CoverOptions full = opts;
+    full.include_two_cycles = true;
+    EXPECT_TRUE(VerifyCover(g, r.cover, full, false).feasible)
+        << "seed=" << seed;
+  }
+}
+
+TEST(CombinedCoverTest, PropagatesSolverFailure) {
+  CoverOptions opts;
+  opts.k = 2;  // invalid without 2-cycles: the k-hop stage must reject it
+  CoverResult r =
+      SolveCombinedCover(MakeDirectedCycle(3), CoverAlgorithm::kTdbPlusPlus,
+                         opts, TwoCycleStrategy::kMatching);
+  EXPECT_TRUE(r.status.IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,104 @@
+#include "core/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/fixtures.h"
+#include "graph/generators.h"
+#include "search/brute_force.h"
+#include "util/rng.h"
+
+namespace tdb {
+namespace {
+
+CoverOptions Opts(uint32_t k) {
+  CoverOptions o;
+  o.k = k;
+  return o;
+}
+
+TEST(VerifierTest, EmptyCoverOnAcyclicGraphIsFeasibleAndMinimal) {
+  VerifyReport rep = VerifyCover(MakeDirectedPath(6), {}, Opts(5));
+  EXPECT_TRUE(rep.feasible);
+  EXPECT_TRUE(rep.minimal);
+}
+
+TEST(VerifierTest, EmptyCoverOnTriangleIsInfeasibleWithWitness) {
+  VerifyReport rep = VerifyCover(MakeDirectedCycle(3), {}, Opts(3));
+  EXPECT_FALSE(rep.feasible);
+  EXPECT_EQ(rep.uncovered_cycle.size(), 3u);
+}
+
+TEST(VerifierTest, RedundantVertexFlaggedWithWitness) {
+  // Cover {0, 1} on a triangle: feasible but 1 is redundant.
+  VerifyReport rep = VerifyCover(MakeDirectedCycle(3), {0, 1}, Opts(3));
+  EXPECT_TRUE(rep.feasible);
+  EXPECT_FALSE(rep.minimal);
+  EXPECT_NE(rep.removable_vertex, kInvalidVertex);
+}
+
+TEST(VerifierTest, Figure1Covers) {
+  CsrGraph g = MakeFigure1Ecommerce();
+  VerifyReport a = VerifyCover(g, {0}, Opts(5));
+  EXPECT_TRUE(a.feasible);
+  EXPECT_TRUE(a.minimal);
+  VerifyReport three = VerifyCover(g, {1, 3, 6}, Opts(5));
+  EXPECT_TRUE(three.feasible);
+  EXPECT_TRUE(three.minimal);  // minimal but not minimum
+  VerifyReport partial = VerifyCover(g, {1}, Opts(5));
+  EXPECT_FALSE(partial.feasible);
+  VerifyReport padded = VerifyCover(g, {0, 1}, Opts(5));
+  EXPECT_TRUE(padded.feasible);
+  EXPECT_FALSE(padded.minimal);
+  EXPECT_EQ(padded.removable_vertex, 1u);
+}
+
+TEST(VerifierTest, HopWindowMatters) {
+  CsrGraph g = MakeDirectedCycle(6);
+  EXPECT_TRUE(VerifyCover(g, {}, Opts(5)).feasible);
+  EXPECT_FALSE(VerifyCover(g, {}, Opts(6)).feasible);
+}
+
+TEST(VerifierTest, TwoCycleMode) {
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1}, {1, 0}});
+  EXPECT_TRUE(VerifyCover(g, {}, Opts(5)).feasible);
+  CoverOptions two = Opts(5);
+  two.include_two_cycles = true;
+  EXPECT_FALSE(VerifyCover(g, {}, two).feasible);
+  EXPECT_TRUE(VerifyCover(g, {0}, two).feasible);
+}
+
+TEST(VerifierTest, SkippingMinimalityCheck) {
+  VerifyReport rep =
+      VerifyCover(MakeDirectedCycle(3), {0, 1}, Opts(3), false);
+  EXPECT_TRUE(rep.feasible);
+  EXPECT_FALSE(rep.minimal);  // reported false when skipped
+}
+
+TEST(VerifierTest, AgreesWithExhaustiveCheckOnRandomCovers) {
+  // Random vertex subsets as candidate covers: the search-based verifier
+  // and the enumeration-based oracle must agree on feasibility.
+  Rng rng(99);
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    CsrGraph g = GenerateErdosRenyi(30, 100, seed);
+    const CoverOptions opts = Opts(4);
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<VertexId> cover;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (rng.NextBool(0.25)) cover.push_back(v);
+      }
+      const bool expected = IsCoverExhaustive(
+          g, opts.Constraint(g.num_vertices()), cover);
+      const bool got = VerifyCover(g, cover, opts, false).feasible;
+      EXPECT_EQ(got, expected) << "seed=" << seed << " trial=" << trial;
+    }
+  }
+}
+
+TEST(VerifierTest, ToStringIsInformative) {
+  VerifyReport bad = VerifyCover(MakeDirectedCycle(3), {}, Opts(3));
+  EXPECT_NE(bad.ToString().find("feasible=no"), std::string::npos);
+  EXPECT_NE(bad.ToString().find("uncovered_cycle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,63 @@
+#include "graph/edge_list.h"
+
+#include <gtest/gtest.h>
+
+namespace tdb {
+namespace {
+
+TEST(EdgeListTest, TracksVertexRange) {
+  EdgeListBuilder b;
+  EXPECT_EQ(b.num_vertices(), 0u);
+  b.AddEdge(3, 5);
+  EXPECT_EQ(b.num_vertices(), 6u);
+  b.AddEdge(0, 1);
+  EXPECT_EQ(b.num_vertices(), 6u);
+}
+
+TEST(EdgeListTest, ReserveVerticesKeepsIsolated) {
+  EdgeListBuilder b;
+  b.AddEdge(0, 1);
+  b.ReserveVertices(10);
+  EXPECT_EQ(b.num_vertices(), 10u);
+  b.ReserveVertices(4);  // never shrinks
+  EXPECT_EQ(b.num_vertices(), 10u);
+}
+
+TEST(EdgeListTest, BidirectionalAddsBoth) {
+  EdgeListBuilder b;
+  b.AddBidirectional(1, 2);
+  ASSERT_EQ(b.num_edges(), 2u);
+  EXPECT_EQ(b.edges()[0], (Edge{1, 2}));
+  EXPECT_EQ(b.edges()[1], (Edge{2, 1}));
+}
+
+TEST(EdgeListTest, FinalizeSortsAndDeduplicates) {
+  EdgeListBuilder b;
+  b.AddEdge(2, 1);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 1);
+  b.AddEdge(0, 1);
+  b.Finalize();
+  ASSERT_EQ(b.num_edges(), 2u);
+  EXPECT_EQ(b.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(b.edges()[1], (Edge{2, 1}));
+}
+
+TEST(EdgeListTest, FinalizeDropsSelfLoopsByDefault) {
+  EdgeListBuilder b;
+  b.AddEdge(1, 1);
+  b.AddEdge(0, 1);
+  b.Finalize();
+  ASSERT_EQ(b.num_edges(), 1u);
+  EXPECT_EQ(b.edges()[0], (Edge{0, 1}));
+}
+
+TEST(EdgeListTest, FinalizeCanKeepSelfLoops) {
+  EdgeListBuilder b;
+  b.AddEdge(1, 1);
+  b.Finalize(/*drop_self_loops=*/false);
+  EXPECT_EQ(b.num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace tdb

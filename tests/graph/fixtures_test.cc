@@ -1,0 +1,68 @@
+#include "graph/fixtures.h"
+
+#include <gtest/gtest.h>
+
+#include "search/cycle_enumerator.h"
+
+namespace tdb {
+namespace {
+
+TEST(Figure1Test, HasExactlyThreeSimpleCycles) {
+  CsrGraph g = MakeFigure1Ecommerce();
+  EXPECT_EQ(g.num_vertices(), 8u);
+  CycleConstraint c{.max_hops = 5, .min_len = 3};
+  std::vector<std::vector<VertexId>> cycles;
+  ASSERT_TRUE(EnumerateConstrainedCycles(g, c, 100, &cycles).ok());
+  EXPECT_EQ(cycles.size(), 3u);
+  // Every cycle passes through vertex a (= 0).
+  for (const auto& cyc : cycles) {
+    EXPECT_EQ(cyc.front(), 0u);  // canonical root is the minimum id
+  }
+}
+
+TEST(Figure1Test, VertexNames) {
+  EXPECT_STREQ(Figure1VertexName(0), "a");
+  EXPECT_STREQ(Figure1VertexName(7), "h");
+}
+
+TEST(Figure4Test, OnlyVariantAHasCycleThroughA) {
+  CycleConstraint c{.max_hops = 5, .min_len = 3};
+  EXPECT_EQ(CountConstrainedCycles(MakeFigure4a(), c, 10), 1u);
+  EXPECT_EQ(CountConstrainedCycles(MakeFigure4b(), c, 10), 0u);
+}
+
+TEST(Figure5Test, FanStructure) {
+  CsrGraph g = MakeFigure5Blocks(5);
+  EXPECT_EQ(g.num_vertices(), 9u);
+  EXPECT_EQ(g.out_degree(0), 5u);    // a fans to b_1..b_5
+  EXPECT_EQ(g.in_degree(1), 5u);     // all b_i converge on c
+  // No cycle at all: every path dead-ends at x.
+  CycleConstraint c{.max_hops = 9, .min_len = 3};
+  EXPECT_EQ(CountConstrainedCycles(g, c, 10), 0u);
+}
+
+TEST(VcReductionTest, GadgetShape) {
+  // Single edge {0,1}: gadget adds virtual vertex 2 and three
+  // bidirectional pairs.
+  VcReduction r = BuildVcReduction(2, {{0, 1}});
+  EXPECT_EQ(r.graph.num_vertices(), 3u);
+  EXPECT_EQ(r.graph.num_edges(), 6u);
+  ASSERT_EQ(r.virtual_vertex.size(), 1u);
+  EXPECT_EQ(r.virtual_vertex[0], 2u);
+  // Exactly the two orientations of the triangle under k=3 semantics.
+  CycleConstraint c{.max_hops = 3, .min_len = 3};
+  EXPECT_EQ(CountConstrainedCycles(r.graph, c, 10), 2u);
+}
+
+TEST(VcReductionTest, SharedEndpointsShareOriginals) {
+  // Path 0-1-2: two gadgets, virtual vertices 3 and 4.
+  VcReduction r = BuildVcReduction(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(r.graph.num_vertices(), 5u);
+  EXPECT_EQ(r.num_original, 3u);
+  EXPECT_TRUE(r.graph.HasEdge(1, 3));
+  EXPECT_TRUE(r.graph.HasEdge(1, 4));
+  EXPECT_FALSE(r.graph.HasEdge(0, 4));
+}
+
+}  // namespace
+}  // namespace tdb

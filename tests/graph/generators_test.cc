@@ -1,0 +1,167 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+
+namespace tdb {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCountNoLoops) {
+  CsrGraph g = GenerateErdosRenyi(100, 1000, /*seed=*/1);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 1000u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_FALSE(g.HasEdge(v, v));
+  }
+}
+
+TEST(ErdosRenyiTest, DeterministicPerSeed) {
+  CsrGraph a = GenerateErdosRenyi(50, 400, 7);
+  CsrGraph b = GenerateErdosRenyi(50, 400, 7);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.EdgeDst(e), b.EdgeDst(e));
+    EXPECT_EQ(a.EdgeSrc(e), b.EdgeSrc(e));
+  }
+}
+
+TEST(ErdosRenyiTest, SeedsChangeTheGraph) {
+  CsrGraph a = GenerateErdosRenyi(50, 400, 7);
+  CsrGraph b = GenerateErdosRenyi(50, 400, 8);
+  int diff = 0;
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    if (a.EdgeSrc(e) != b.EdgeSrc(e) || a.EdgeDst(e) != b.EdgeDst(e)) ++diff;
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(ErdosRenyiTest, DenseRequestCompletes) {
+  CsrGraph g = GenerateErdosRenyi(20, 20 * 19, /*seed=*/2);
+  EXPECT_EQ(g.num_edges(), static_cast<EdgeId>(20 * 19));
+}
+
+TEST(PowerLawTest, ApproximatesTargetEdges) {
+  PowerLawParams p;
+  p.n = 3000;
+  p.m = 15000;
+  p.seed = 3;
+  CsrGraph g = GeneratePowerLaw(p);
+  EXPECT_GT(g.num_edges(), p.m * 0.9);
+  // Reciprocal extras may push slightly above target.
+  EXPECT_LT(g.num_edges(), p.m * 1.4);
+}
+
+TEST(PowerLawTest, SkewProducesHubs) {
+  PowerLawParams p;
+  p.n = 5000;
+  p.m = 25000;
+  p.theta = 0.8;
+  p.reciprocity = 0.0;
+  p.seed = 4;
+  GraphStats s = ComputeStats(GeneratePowerLaw(p));
+  // Average out-degree is ~5; a Zipf-0.8 graph must have hubs far above.
+  EXPECT_GT(s.max_out_degree, 50u);
+}
+
+TEST(PowerLawTest, DeterministicPerSeed) {
+  PowerLawParams p;
+  p.n = 500;
+  p.m = 2000;
+  p.seed = 5;
+  CsrGraph a = GeneratePowerLaw(p);
+  CsrGraph b = GeneratePowerLaw(p);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    ASSERT_EQ(a.EdgeSrc(e), b.EdgeSrc(e));
+    ASSERT_EQ(a.EdgeDst(e), b.EdgeDst(e));
+  }
+}
+
+TEST(RmatTest, RespectsScaleAndEdgeTarget) {
+  RmatParams p;
+  p.scale = 10;
+  p.m = 8000;
+  p.seed = 6;
+  CsrGraph g = GenerateRmat(p);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_GT(g.num_edges(), p.m * 0.9);
+}
+
+TEST(RmatTest, SkewedCornerConcentration) {
+  RmatParams p;
+  p.scale = 12;
+  p.m = 30000;
+  p.seed = 7;
+  GraphStats s = ComputeStats(GenerateRmat(p));
+  // The a-heavy recursion concentrates edges on low ids -> strong hubs.
+  EXPECT_GT(s.max_out_degree, 100u);
+}
+
+TEST(PlantedCyclesTest, PlantedCyclesExistInGraph) {
+  PlantedCyclesResult r =
+      GeneratePlantedCycles(200, 600, 10, 3, 6, /*seed=*/8);
+  EXPECT_EQ(r.cycles.size(), 10u);
+  for (const auto& cyc : r.cycles) {
+    ASSERT_GE(cyc.size(), 3u);
+    ASSERT_LE(cyc.size(), 6u);
+    for (size_t i = 0; i + 1 < cyc.size(); ++i) {
+      EXPECT_TRUE(r.graph.HasEdge(cyc[i], cyc[i + 1]));
+    }
+    EXPECT_TRUE(r.graph.HasEdge(cyc.back(), cyc.front()));
+  }
+}
+
+TEST(PlantedCyclesTest, DagPartAloneWouldBeAcyclic) {
+  // With zero planted cycles the generator emits a DAG (all edges ascend).
+  PlantedCyclesResult r = GeneratePlantedCycles(100, 400, 0, 3, 3, 9);
+  for (VertexId u = 0; u < r.graph.num_vertices(); ++u) {
+    for (VertexId v : r.graph.OutNeighbors(u)) EXPECT_LT(u, v);
+  }
+}
+
+TEST(LayeredFunnelTest, ShapeAndAcyclicity) {
+  CsrGraph g = MakeLayeredFunnel(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 4u * 4u * 4u);
+  // All-to-all between consecutive layers, nothing else.
+  for (VertexId a = 0; a < 4; ++a) {
+    for (VertexId b = 0; b < 4; ++b) {
+      EXPECT_TRUE(g.HasEdge(a, 4 + b));
+      EXPECT_FALSE(g.HasEdge(4 + b, a));
+    }
+  }
+  // Acyclic: every edge ascends a layer.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      EXPECT_EQ(v / 4, u / 4 + 1);
+    }
+  }
+}
+
+TEST(LayeredFunnelTest, ReversedIdsFlipTheLayerOrder) {
+  CsrGraph g = MakeLayeredFunnel(3, 4, /*reverse_ids=*/true);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3u * 3u);
+  // With reversed ids, edges descend in id space: layer 0 has the highest
+  // ids and feeds the next-lower block.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      EXPECT_EQ(v / 3 + 1, u / 3);
+    }
+  }
+}
+
+TEST(FixedShapesTest, DirectedCyclePathComplete) {
+  CsrGraph c = MakeDirectedCycle(4);
+  EXPECT_EQ(c.num_edges(), 4u);
+  EXPECT_TRUE(c.HasEdge(3, 0));
+  CsrGraph p = MakeDirectedPath(4);
+  EXPECT_EQ(p.num_edges(), 3u);
+  EXPECT_FALSE(p.HasEdge(3, 0));
+  CsrGraph k = MakeCompleteDigraph(5);
+  EXPECT_EQ(k.num_edges(), 20u);
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,99 @@
+#include "graph/scc.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "graph/generators.h"
+
+namespace tdb {
+namespace {
+
+/// Reference reachability for cross-checking component membership.
+std::vector<uint8_t> ReachableFrom(const CsrGraph& g, VertexId s) {
+  std::vector<uint8_t> seen(g.num_vertices(), 0);
+  std::queue<VertexId> q;
+  q.push(s);
+  seen[s] = 1;
+  while (!q.empty()) {
+    VertexId u = q.front();
+    q.pop();
+    for (VertexId w : g.OutNeighbors(u)) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        q.push(w);
+      }
+    }
+  }
+  return seen;
+}
+
+TEST(SccTest, SingleCycleIsOneComponent) {
+  SccResult r = ComputeScc(MakeDirectedCycle(7));
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_EQ(r.SizeOf(0), 7u);
+}
+
+TEST(SccTest, PathIsAllSingletons) {
+  SccResult r = ComputeScc(MakeDirectedPath(6));
+  EXPECT_EQ(r.num_components, 6u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(r.SizeOf(v), 1u);
+}
+
+TEST(SccTest, TwoCyclesJoinedByBridge) {
+  // 0->1->2->0 and 3->4->5->3 with bridge 2->3: two non-trivial SCCs.
+  CsrGraph g = CsrGraph::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+  SccResult r = ComputeScc(g);
+  EXPECT_EQ(r.num_components, 2u);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[0], r.component[2]);
+  EXPECT_EQ(r.component[3], r.component[4]);
+  EXPECT_NE(r.component[0], r.component[3]);
+}
+
+TEST(SccTest, ComponentSizesSumToVertexCount) {
+  CsrGraph g = GenerateErdosRenyi(300, 900, /*seed=*/21);
+  SccResult r = ComputeScc(g);
+  VertexId total = 0;
+  for (VertexId s : r.component_size) total += s;
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(SccTest, MembershipMatchesMutualReachability) {
+  CsrGraph g = GenerateErdosRenyi(60, 200, /*seed=*/33);
+  SccResult r = ComputeScc(g);
+  std::vector<std::vector<uint8_t>> reach;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    reach.push_back(ReachableFrom(g, v));
+  }
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const bool mutual = reach[u][v] && reach[v][u];
+      EXPECT_EQ(r.component[u] == r.component[v], mutual)
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(SccTest, DeepChainDoesNotOverflowStack) {
+  // Iterative Tarjan must handle paths far deeper than the C stack.
+  CsrGraph g = MakeDirectedPath(500000);
+  SccResult r = ComputeScc(g);
+  EXPECT_EQ(r.num_components, 500000u);
+}
+
+TEST(SccAtLeastMaskTest, FiltersByComponentSize) {
+  // Triangle {0,1,2}, 2-cycle {3,4}, isolated 5.
+  CsrGraph g =
+      CsrGraph::FromEdges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 3}});
+  std::vector<uint8_t> mask3 = SccAtLeastMask(g, 3);
+  EXPECT_TRUE(mask3[0] && mask3[1] && mask3[2]);
+  EXPECT_FALSE(mask3[3] || mask3[4] || mask3[5]);
+  std::vector<uint8_t> mask2 = SccAtLeastMask(g, 2);
+  EXPECT_TRUE(mask2[3] && mask2[4]);
+  EXPECT_FALSE(mask2[5]);
+}
+
+}  // namespace
+}  // namespace tdb

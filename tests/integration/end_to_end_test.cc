@@ -1,0 +1,122 @@
+// Full-pipeline tests: file I/O -> solver -> verifier, plus smoke coverage
+// of the bench dataset proxies at reduced scale.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/solver.h"
+#include "core/verifier.h"
+#include "datasets.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+
+namespace tdb {
+namespace {
+
+TEST(EndToEndTest, LoadSolveVerifyFromTextFile) {
+  // Write a small transaction network, load it back, cover it, verify.
+  const std::string path = testing::TempDir() + "/txn.txt";
+  {
+    std::ofstream out(path);
+    out << "# synthetic transaction log\n";
+    out << "100 200\n200 300\n300 100\n";  // laundering triangle
+    out << "300 400\n400 500\n";           // innocuous tail
+    out << "500 600\n600 500\n";           // bidirectional pair
+  }
+  CsrGraph g;
+  std::vector<uint64_t> original_ids;
+  ASSERT_TRUE(LoadEdgeListText(path, &g, &original_ids).ok());
+  EXPECT_EQ(g.num_vertices(), 6u);
+
+  CoverOptions opts;
+  opts.k = 5;
+  CoverResult r = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.cover.size(), 1u);
+  // The covered account is one of the triangle members.
+  const uint64_t account = original_ids[r.cover[0]];
+  EXPECT_TRUE(account == 100 || account == 200 || account == 300);
+  VerifyReport rep = VerifyCover(g, r.cover, opts);
+  EXPECT_TRUE(rep.feasible && rep.minimal) << rep.ToString();
+}
+
+TEST(EndToEndTest, BinaryPipelineMatchesText) {
+  const std::string text = testing::TempDir() + "/g.txt";
+  {
+    std::ofstream out(text);
+    for (int i = 0; i < 10; ++i) {
+      out << i << " " << (i + 1) % 10 << "\n";  // 10-cycle
+      out << i << " " << (i + 3) % 10 << "\n";  // chords
+    }
+  }
+  CsrGraph g;
+  ASSERT_TRUE(LoadEdgeListText(text, &g).ok());
+  const std::string bin = testing::TempDir() + "/g.bin";
+  ASSERT_TRUE(SaveBinary(g, bin).ok());
+  CsrGraph g2;
+  ASSERT_TRUE(LoadBinary(bin, &g2).ok());
+
+  CoverOptions opts;
+  opts.k = 5;
+  CoverResult a = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
+  CoverResult b = SolveCycleCover(g2, CoverAlgorithm::kTdbPlusPlus, opts);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_EQ(a.cover, b.cover);
+}
+
+TEST(EndToEndTest, DatasetRegistryIsComplete) {
+  EXPECT_EQ(bench::AllDatasets().size(), 16u);
+  EXPECT_EQ(bench::SmallDatasets().size(), 12u);
+  EXPECT_NE(bench::FindDataset("WKV"), nullptr);
+  EXPECT_NE(bench::FindDataset("TW"), nullptr);
+  EXPECT_EQ(bench::FindDataset("NOPE"), nullptr);
+  // Large flags exactly on the four paper-identified graphs.
+  for (const char* name : {"FLK", "LJ", "WKP", "TW"}) {
+    EXPECT_TRUE(bench::FindDataset(name)->large) << name;
+  }
+}
+
+TEST(EndToEndTest, ProxiesMatchPaperDegreeShape) {
+  // At tiny scale, each proxy must land near the paper's average degree —
+  // the statistic the runtime behavior is most sensitive to.
+  for (const auto& spec : bench::AllDatasets()) {
+    CsrGraph g = bench::BuildProxy(spec, /*scale=*/0.125);
+    GraphStats s = ComputeStats(g);
+    EXPECT_GT(s.num_vertices, 0u) << spec.name;
+    // Duplicate-collision losses on dense tiny proxies can shave edges;
+    // allow a loose band.
+    EXPECT_GT(s.avg_degree, spec.paper_davg * 0.5) << spec.name;
+    EXPECT_LT(s.avg_degree, spec.paper_davg * 2.5) << spec.name;
+  }
+}
+
+TEST(EndToEndTest, ProxySolveRoundTrip) {
+  // Solve two contrasting proxies end to end at tiny scale.
+  for (const char* name : {"GNU", "ASC"}) {
+    const auto* spec = bench::FindDataset(name);
+    ASSERT_NE(spec, nullptr);
+    CsrGraph g = bench::BuildProxy(*spec, /*scale=*/0.1);
+    CoverOptions opts;
+    opts.k = 4;
+    CoverResult r = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
+    ASSERT_TRUE(r.status.ok()) << name;
+    VerifyReport rep = VerifyCover(g, r.cover, opts);
+    EXPECT_TRUE(rep.feasible) << name << ": " << rep.ToString();
+    EXPECT_TRUE(rep.minimal) << name << ": " << rep.ToString();
+  }
+}
+
+TEST(EndToEndTest, ProxyGenerationIsDeterministic) {
+  const auto* spec = bench::FindDataset("WKV");
+  CsrGraph a = bench::BuildProxy(*spec, 0.2);
+  CsrGraph b = bench::BuildProxy(*spec, 0.2);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    ASSERT_EQ(a.EdgeSrc(e), b.EdgeSrc(e));
+    ASSERT_EQ(a.EdgeDst(e), b.EdgeDst(e));
+  }
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,154 @@
+// End-to-end solver properties on randomized graph sweeps:
+//   1. every algorithm returns a feasible cover;
+//   2. BUR+, TDB, TDB+, TDB++ return minimal covers;
+//   3. the three top-down variants return the identical vertex set;
+//   4. no heuristic beats the brute-force optimum (small instances);
+//   5. options variants (2-cycles, unconstrained) stay feasible.
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "core/verifier.h"
+#include "graph/generators.h"
+#include "search/brute_force.h"
+
+namespace tdb {
+namespace {
+
+struct SolverSweepParam {
+  uint64_t seed;
+  VertexId n;
+  EdgeId m;
+  double reciprocity;
+  uint32_t k;
+};
+
+class SolverPropertyTest
+    : public ::testing::TestWithParam<SolverSweepParam> {
+ protected:
+  CsrGraph MakeGraph() const {
+    const auto& p = GetParam();
+    if (p.reciprocity == 0.0) {
+      return GenerateErdosRenyi(p.n, p.m, p.seed);
+    }
+    PowerLawParams params;
+    params.n = p.n;
+    params.m = p.m;
+    params.reciprocity = p.reciprocity;
+    params.seed = p.seed;
+    return GeneratePowerLaw(params);
+  }
+
+  CoverOptions Opts() const {
+    CoverOptions o;
+    o.k = GetParam().k;
+    return o;
+  }
+};
+
+TEST_P(SolverPropertyTest, EveryAlgorithmFeasible) {
+  CsrGraph g = MakeGraph();
+  const CoverOptions opts = Opts();
+  for (CoverAlgorithm algo :
+       {CoverAlgorithm::kBur, CoverAlgorithm::kBurPlus, CoverAlgorithm::kTdb,
+        CoverAlgorithm::kTdbPlus, CoverAlgorithm::kTdbPlusPlus,
+        CoverAlgorithm::kDarcDv}) {
+    CoverResult r = SolveCycleCover(g, algo, opts);
+    ASSERT_TRUE(r.status.ok()) << AlgorithmName(algo);
+    VerifyReport rep = VerifyCover(g, r.cover, opts, false);
+    ASSERT_TRUE(rep.feasible)
+        << AlgorithmName(algo) << ": " << rep.ToString();
+  }
+}
+
+TEST_P(SolverPropertyTest, MinimalWhereClaimed) {
+  CsrGraph g = MakeGraph();
+  const CoverOptions opts = Opts();
+  for (CoverAlgorithm algo :
+       {CoverAlgorithm::kBurPlus, CoverAlgorithm::kTdbPlusPlus}) {
+    CoverResult r = SolveCycleCover(g, algo, opts);
+    ASSERT_TRUE(r.status.ok());
+    VerifyReport rep = VerifyCover(g, r.cover, opts);
+    ASSERT_TRUE(rep.minimal)
+        << AlgorithmName(algo) << ": " << rep.ToString();
+  }
+}
+
+TEST_P(SolverPropertyTest, TopDownVariantsAgreeExactly) {
+  CsrGraph g = MakeGraph();
+  const CoverOptions opts = Opts();
+  CoverResult tdb = SolveCycleCover(g, CoverAlgorithm::kTdb, opts);
+  CoverResult plus = SolveCycleCover(g, CoverAlgorithm::kTdbPlus, opts);
+  CoverResult pp = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
+  ASSERT_TRUE(tdb.status.ok());
+  ASSERT_TRUE(plus.status.ok());
+  ASSERT_TRUE(pp.status.ok());
+  EXPECT_EQ(tdb.cover, plus.cover);
+  EXPECT_EQ(tdb.cover, pp.cover);
+}
+
+TEST_P(SolverPropertyTest, NeverBeatsBruteForceOptimum) {
+  const auto& p = GetParam();
+  if (p.n > 30) GTEST_SKIP() << "exact solver limited to tiny instances";
+  CsrGraph g = MakeGraph();
+  const CoverOptions opts = Opts();
+  ExactCoverResult exact;
+  Status s = SolveExactMinimumCover(
+      g, opts.Constraint(g.num_vertices()), 1 << 20, &exact);
+  if (s.IsResourceExhausted()) GTEST_SKIP() << "too many cycles";
+  ASSERT_TRUE(s.ok());
+  for (CoverAlgorithm algo :
+       {CoverAlgorithm::kBurPlus, CoverAlgorithm::kTdbPlusPlus,
+        CoverAlgorithm::kDarcDv}) {
+    CoverResult r = SolveCycleCover(g, algo, opts);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_GE(r.cover.size(), exact.cover.size()) << AlgorithmName(algo);
+  }
+}
+
+TEST_P(SolverPropertyTest, TwoCycleModeFeasible) {
+  CsrGraph g = MakeGraph();
+  CoverOptions opts = Opts();
+  opts.include_two_cycles = true;
+  CoverResult r = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
+  ASSERT_TRUE(r.status.ok());
+  VerifyReport rep = VerifyCover(g, r.cover, opts);
+  EXPECT_TRUE(rep.feasible) << rep.ToString();
+  EXPECT_TRUE(rep.minimal) << rep.ToString();
+  // The 2-cycle cover must also be feasible for the weaker default
+  // constraint family (its cycles are a subset).
+  CoverOptions plain = Opts();
+  EXPECT_TRUE(VerifyCover(g, r.cover, plain, false).feasible);
+}
+
+TEST_P(SolverPropertyTest, UnconstrainedModeFeasible) {
+  CsrGraph g = MakeGraph();
+  CoverOptions opts = Opts();
+  opts.unconstrained = true;
+  CoverResult r = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
+  ASSERT_TRUE(r.status.ok());
+  VerifyReport rep = VerifyCover(g, r.cover, opts);
+  EXPECT_TRUE(rep.feasible) << rep.ToString();
+  EXPECT_TRUE(rep.minimal) << rep.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphSweep, SolverPropertyTest,
+    ::testing::Values(
+        SolverSweepParam{11, 25, 80, 0.0, 3},
+        SolverSweepParam{12, 25, 80, 0.0, 5},
+        SolverSweepParam{13, 30, 120, 0.0, 4},
+        SolverSweepParam{14, 60, 240, 0.0, 4},
+        SolverSweepParam{15, 60, 240, 0.0, 6},
+        SolverSweepParam{16, 50, 200, 0.4, 5},
+        SolverSweepParam{17, 50, 300, 0.7, 4},
+        SolverSweepParam{18, 80, 240, 0.1, 5},
+        SolverSweepParam{19, 40, 320, 0.9, 3},
+        SolverSweepParam{20, 100, 350, 0.0, 5}),
+    [](const ::testing::TestParamInfo<SolverSweepParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.n) + "_k" +
+             std::to_string(info.param.k);
+    });
+
+}  // namespace
+}  // namespace tdb

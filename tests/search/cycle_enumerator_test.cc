@@ -1,0 +1,104 @@
+#include "search/cycle_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+
+namespace tdb {
+namespace {
+
+size_t Factorial(size_t x) { return x <= 1 ? 1 : x * Factorial(x - 1); }
+
+size_t Choose(size_t n, size_t k) {
+  size_t r = 1;
+  for (size_t i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+/// Number of simple directed cycles of length exactly L in K_n:
+/// C(n, L) * (L-1)!.
+size_t CompleteCycleCount(size_t n, size_t length) {
+  return Choose(n, length) * Factorial(length - 1);
+}
+
+TEST(CycleEnumeratorTest, TriangleIsCountedOnce) {
+  CsrGraph g = MakeDirectedCycle(3);
+  CycleConstraint c{.max_hops = 3, .min_len = 3};
+  std::vector<std::vector<VertexId>> cycles;
+  ASSERT_TRUE(EnumerateConstrainedCycles(g, c, 100, &cycles).ok());
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(CycleEnumeratorTest, CompleteGraphCountsMatchFormula) {
+  for (VertexId n : {4u, 5u}) {
+    CsrGraph g = MakeCompleteDigraph(n);
+    for (uint32_t k = 3; k <= n; ++k) {
+      size_t expected = 0;
+      for (size_t len = 3; len <= k; ++len) {
+        expected += CompleteCycleCount(n, len);
+      }
+      CycleConstraint c{.max_hops = k, .min_len = 3};
+      EXPECT_EQ(CountConstrainedCycles(g, c, 1 << 20), expected)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CycleEnumeratorTest, TwoCycleWindow) {
+  CsrGraph g = MakeCompleteDigraph(4);
+  CycleConstraint with2{.max_hops = 2, .min_len = 2};
+  EXPECT_EQ(CountConstrainedCycles(g, with2, 1000), 6u);  // C(4,2) pairs
+  CycleConstraint without{.max_hops = 2, .min_len = 3};
+  EXPECT_EQ(CountConstrainedCycles(g, without, 1000), 0u);
+}
+
+TEST(CycleEnumeratorTest, CanonicalRootIsMinimum) {
+  CsrGraph g = MakeCompleteDigraph(5);
+  CycleConstraint c{.max_hops = 4, .min_len = 3};
+  std::vector<std::vector<VertexId>> cycles;
+  ASSERT_TRUE(EnumerateConstrainedCycles(g, c, 1 << 20, &cycles).ok());
+  std::set<std::vector<VertexId>> unique(cycles.begin(), cycles.end());
+  EXPECT_EQ(unique.size(), cycles.size());  // no duplicates
+  for (const auto& cyc : cycles) {
+    for (size_t i = 1; i < cyc.size(); ++i) EXPECT_LT(cyc[0], cyc[i]);
+  }
+}
+
+TEST(CycleEnumeratorTest, RespectsHopWindowOnMixedGraph) {
+  // Triangle + square sharing no vertices.
+  CsrGraph g = CsrGraph::FromEdges(
+      7, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 6}, {6, 3}});
+  CycleConstraint k3{.max_hops = 3, .min_len = 3};
+  CycleConstraint k4{.max_hops = 4, .min_len = 3};
+  EXPECT_EQ(CountConstrainedCycles(g, k3, 100), 1u);
+  EXPECT_EQ(CountConstrainedCycles(g, k4, 100), 2u);
+}
+
+TEST(CycleEnumeratorTest, LimitTriggersResourceExhausted) {
+  CsrGraph g = MakeCompleteDigraph(6);
+  CycleConstraint c{.max_hops = 6, .min_len = 3};
+  std::vector<std::vector<VertexId>> cycles;
+  Status s = EnumerateConstrainedCycles(g, c, 10, &cycles);
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_EQ(cycles.size(), 11u);  // first limit+1 retained
+}
+
+TEST(CycleEnumeratorTest, CountLimitShortCircuits) {
+  CsrGraph g = MakeCompleteDigraph(6);
+  CycleConstraint c{.max_hops = 6, .min_len = 3};
+  EXPECT_EQ(CountConstrainedCycles(g, c, 25), 25u);
+}
+
+TEST(CycleEnumeratorTest, AcyclicGraphYieldsNothing) {
+  CsrGraph g = MakeDirectedPath(10);
+  CycleConstraint c{.max_hops = 10, .min_len = 3};
+  std::vector<std::vector<VertexId>> cycles;
+  ASSERT_TRUE(EnumerateConstrainedCycles(g, c, 10, &cycles).ok());
+  EXPECT_TRUE(cycles.empty());
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,61 @@
+#include "util/epoch_array.h"
+
+#include <gtest/gtest.h>
+
+namespace tdb {
+namespace {
+
+TEST(EpochArrayTest, DefaultsUntilSet) {
+  EpochArray<uint32_t> arr(4, 7);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(arr.Get(i), 7u);
+    EXPECT_FALSE(arr.IsSet(i));
+  }
+}
+
+TEST(EpochArrayTest, SetAndGet) {
+  EpochArray<uint32_t> arr(4, 0);
+  arr.Set(2, 99);
+  EXPECT_EQ(arr.Get(2), 99u);
+  EXPECT_TRUE(arr.IsSet(2));
+  EXPECT_EQ(arr.Get(1), 0u);
+}
+
+TEST(EpochArrayTest, NewEpochInvalidatesEverything) {
+  EpochArray<int> arr(3, -1);
+  arr.Set(0, 10);
+  arr.Set(1, 20);
+  arr.NewEpoch();
+  EXPECT_EQ(arr.Get(0), -1);
+  EXPECT_EQ(arr.Get(1), -1);
+  EXPECT_FALSE(arr.IsSet(0));
+}
+
+TEST(EpochArrayTest, SetAfterEpochSticks) {
+  EpochArray<int> arr(3, 0);
+  arr.Set(1, 5);
+  arr.NewEpoch();
+  arr.Set(1, 6);
+  EXPECT_EQ(arr.Get(1), 6);
+}
+
+TEST(EpochArrayTest, ManyEpochsStayCorrect) {
+  EpochArray<uint8_t> arr(2, 0);
+  for (int e = 0; e < 10000; ++e) {
+    arr.Set(0, 1);
+    ASSERT_EQ(arr.Get(0), 1);
+    ASSERT_EQ(arr.Get(1), 0);
+    arr.NewEpoch();
+    ASSERT_EQ(arr.Get(0), 0);
+  }
+}
+
+TEST(EpochArrayTest, SizeReflectsConstruction) {
+  EpochArray<int> arr(17);
+  EXPECT_EQ(arr.size(), 17u);
+  EpochArray<int> empty;
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+}  // namespace
+}  // namespace tdb

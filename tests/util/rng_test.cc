@@ -1,0 +1,110 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tdb {
+namespace {
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BoundedOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.NextBounded(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kSamples / kBuckets * 0.9);
+    EXPECT_LT(c, kSamples / kBuckets * 1.1);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoolProbabilityEndpoints) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, BoolProbabilityMid) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 40000; ++i) hits += rng.NextBool(0.25) ? 1 : 0;
+  EXPECT_GT(hits, 40000 * 0.22);
+  EXPECT_LT(hits, 40000 * 0.28);
+}
+
+TEST(ZipfSamplerTest, StaysInRange) {
+  Rng rng(23);
+  ZipfSampler zipf(1000, 0.7);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(zipf.Sample(rng), 1000u);
+}
+
+TEST(ZipfSamplerTest, IsSkewedTowardSmallRanks) {
+  Rng rng(29);
+  ZipfSampler zipf(10000, 0.8);
+  int head = 0;  // samples in the first 1% of ranks
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Sample(rng) < 100) ++head;
+  }
+  // Under uniform sampling the head would get ~1%; Zipf(0.8) gives far
+  // more.
+  EXPECT_GT(head, kSamples / 20);
+}
+
+TEST(ZipfSamplerTest, LargeNConstructionIsCheap) {
+  // Exercises the integral-extrapolated zeta path (n beyond the exact cap).
+  Rng rng(31);
+  ZipfSampler zipf(uint64_t{1} << 30, 0.6);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(zipf.Sample(rng), uint64_t{1} << 30);
+}
+
+TEST(ZipfSamplerTest, SingleElementDomain) {
+  Rng rng(37);
+  ZipfSampler zipf(1, 0.5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,67 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace tdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, FactoryOk) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllErrorFactories) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, PredicatesAreExclusive) {
+  Status s = Status::TimedOut("late");
+  EXPECT_FALSE(s.IsInvalidArgument());
+  EXPECT_FALSE(s.IsNotFound());
+  EXPECT_FALSE(s.IsIOError());
+  EXPECT_FALSE(s.IsResourceExhausted());
+  EXPECT_FALSE(s.IsInternal());
+  EXPECT_TRUE(s.IsTimedOut());
+}
+
+Status FailsThrough() {
+  TDB_RETURN_IF_ERROR(Status::IOError("inner"));
+  return Status::Internal("unreachable");
+}
+
+Status PassesThrough() {
+  TDB_RETURN_IF_ERROR(Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(FailsThrough().IsIOError());
+  EXPECT_TRUE(PassesThrough().ok());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::ResourceExhausted("big");
+  Status copy = s;
+  EXPECT_TRUE(copy.IsResourceExhausted());
+  EXPECT_EQ(copy.message(), "big");
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,73 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace tdb {
+namespace {
+
+TEST(TimerTest, ElapsedIsMonotonic) {
+  Timer t;
+  double a = t.ElapsedSeconds();
+  double b = t.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  t.Reset();
+  EXPECT_LT(t.ElapsedSeconds(), 1.0);
+}
+
+TEST(TimerTest, MillisMatchesSeconds) {
+  Timer t;
+  double s = t.ElapsedSeconds();
+  double ms = t.ElapsedMillis();
+  EXPECT_GE(ms, s * 1e3 * 0.5);  // loose: two separate clock reads
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.unlimited());
+  for (int i = 0; i < 100000; ++i) ASSERT_FALSE(d.Expired());
+  EXPECT_FALSE(d.ExpiredNow());
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  Deadline d = Deadline::AfterSeconds(0.0);
+  EXPECT_TRUE(d.ExpiredNow());
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, NegativeBudgetExpiresImmediately) {
+  Deadline d = Deadline::AfterSeconds(-5.0);
+  EXPECT_TRUE(d.ExpiredNow());
+}
+
+TEST(DeadlineTest, GenerousBudgetDoesNotExpire) {
+  Deadline d = Deadline::AfterSeconds(3600.0);
+  EXPECT_FALSE(d.unlimited());
+  for (int i = 0; i < 10000; ++i) ASSERT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, ExpiryIsSticky) {
+  Deadline d = Deadline::AfterSeconds(0.0);
+  EXPECT_TRUE(d.ExpiredNow());
+  // Once expired, stays expired without further clock reads.
+  EXPECT_TRUE(d.Expired());
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, AmortizedCheckEventuallyObservesExpiry) {
+  Deadline d = Deadline::AfterSeconds(1e-9);
+  // Expired() only consults the clock every kCheckInterval calls; within
+  // a few thousand calls it must notice.
+  bool seen = false;
+  for (int i = 0; i < 100000 && !seen; ++i) seen = d.Expired();
+  EXPECT_TRUE(seen);
+}
+
+}  // namespace
+}  // namespace tdb

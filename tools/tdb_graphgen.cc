@@ -1,0 +1,119 @@
+// tdb_graphgen: emits synthetic graphs (including the paper-dataset
+// proxies) as edge-list or TDBG files, so the CLI and external tooling can
+// consume the exact graphs the benchmarks run on.
+//
+//   tdb_graphgen --proxy WKV [--scale 1.0] --out wkv.txt [--binary]
+//   tdb_graphgen --er N M [--seed S] --out er.txt
+//   tdb_graphgen --powerlaw N M THETA RECIP [--seed S] --out pl.txt
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "datasets.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  tdb_graphgen --proxy NAME [--scale X] --out FILE [--binary]\n"
+      "  tdb_graphgen --er N M [--seed S] --out FILE [--binary]\n"
+      "  tdb_graphgen --powerlaw N M THETA RECIP [--seed S] --out FILE\n"
+      "proxies: WKV ASC GNU EU SAD WND CT WST LOAN WIT WGO WBS FLK LJ WKP "
+      "TW\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tdb;
+  std::string out_path;
+  std::string proxy;
+  bool binary = false;
+  bool use_er = false;
+  bool use_pl = false;
+  double scale = 1.0;
+  uint64_t seed = 1;
+  VertexId n = 0;
+  EdgeId m = 0;
+  double theta = 0.7;
+  double recip = 0.2;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--proxy") {
+      const char* v = next();
+      if (v == nullptr) break;
+      proxy = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) break;
+      out_path = v;
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (v == nullptr) break;
+      scale = std::atof(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) break;
+      seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--binary") {
+      binary = true;
+    } else if (arg == "--er" && i + 2 < argc) {
+      use_er = true;
+      n = static_cast<VertexId>(std::atoll(argv[++i]));
+      m = static_cast<EdgeId>(std::atoll(argv[++i]));
+    } else if (arg == "--powerlaw" && i + 4 < argc) {
+      use_pl = true;
+      n = static_cast<VertexId>(std::atoll(argv[++i]));
+      m = static_cast<EdgeId>(std::atoll(argv[++i]));
+      theta = std::atof(argv[++i]);
+      recip = std::atof(argv[++i]);
+    } else {
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (out_path.empty() || (proxy.empty() && !use_er && !use_pl)) {
+    PrintUsage();
+    return 2;
+  }
+
+  CsrGraph g;
+  if (!proxy.empty()) {
+    const bench::DatasetSpec* spec = bench::FindDataset(proxy);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown proxy %s\n", proxy.c_str());
+      return 2;
+    }
+    g = bench::BuildProxy(*spec, scale);
+  } else if (use_er) {
+    g = GenerateErdosRenyi(n, m, seed);
+  } else {
+    PowerLawParams params;
+    params.n = n;
+    params.m = m;
+    params.theta = theta;
+    params.reciprocity = recip;
+    params.seed = seed;
+    g = GeneratePowerLaw(params);
+  }
+
+  std::fprintf(stderr, "generated: %s\n",
+               ComputeStats(g).ToString().c_str());
+  Status st =
+      binary ? SaveBinary(g, out_path) : SaveEdgeListText(g, out_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}
