@@ -4,24 +4,18 @@
 
 #include "core/minimal_prune.h"
 #include "search/cycle_finder.h"
-#include "util/timer.h"
 
 namespace tdb {
 
-CoverResult SolveBottomUp(const CsrGraph& graph, const CoverOptions& options,
-                          bool minimal) {
+CoverResult SolveBottomUpWithContext(const CsrGraph& graph,
+                                     const CoverOptions& options,
+                                     bool minimal, SearchContext* context,
+                                     Deadline* deadline) {
   CoverResult result;
-  result.status = options.Validate();
-  if (!result.status.ok()) return result;
-
-  Timer timer;
-  Deadline deadline = options.time_limit_seconds > 0
-                          ? Deadline::AfterSeconds(options.time_limit_seconds)
-                          : Deadline();
   const CycleConstraint constraint =
       options.Constraint(graph.num_vertices());
 
-  CycleFinder finder(graph);
+  CycleFinder finder(graph, context);
   // H[v]: how many discovered cycles v participated in so far (paper's
   // hit-times array). Never reset across iterations.
   std::vector<uint32_t> hits(graph.num_vertices(), 0);
@@ -35,11 +29,9 @@ CoverResult SolveBottomUp(const CsrGraph& graph, const CoverOptions& options,
     for (;;) {
       ++result.stats.searches;
       SearchOutcome outcome = finder.FindCycleThrough(
-          v, constraint, active.data(), &cycle, &deadline);
+          v, constraint, active.data(), &cycle, deadline);
       if (outcome == SearchOutcome::kTimedOut) {
         result.status = Status::TimedOut("bottom-up solve exceeded budget");
-        result.stats.elapsed_seconds = timer.ElapsedSeconds();
-        result.stats.expansions = finder.stats().expansions;
         return result;
       }
       if (outcome == SearchOutcome::kNotFound) break;
@@ -55,17 +47,33 @@ CoverResult SolveBottomUp(const CsrGraph& graph, const CoverOptions& options,
       if (cover_node == v) break;  // v itself left the graph
     }
   }
-  result.stats.expansions = finder.stats().expansions;
 
   if (minimal) {
     Status prune_status =
         MinimalPrune(graph, options, PruneEngine::kPlainDfs, &cover,
-                     &result.stats.prune_removed, &deadline);
+                     &result.stats.prune_removed, deadline, context);
     if (!prune_status.ok()) result.status = prune_status;
   }
 
   std::sort(cover.begin(), cover.end());
   result.cover = std::move(cover);
+  return result;
+}
+
+CoverResult SolveBottomUp(const CsrGraph& graph, const CoverOptions& options,
+                          bool minimal) {
+  CoverResult result;
+  result.status = options.Validate();
+  if (!result.status.ok()) return result;
+
+  Timer timer;
+  Deadline deadline = options.time_limit_seconds > 0
+                          ? Deadline::AfterSeconds(options.time_limit_seconds)
+                          : Deadline();
+  SearchContext context;
+  result = SolveBottomUpWithContext(graph, options, minimal, &context,
+                                    &deadline);
+  result.stats.expansions = context.stats.expansions;
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

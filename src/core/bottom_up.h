@@ -9,12 +9,24 @@
 
 #include "core/cover_options.h"
 #include "graph/csr_graph.h"
+#include "search/search_context.h"
+#include "util/timer.h"
 
 namespace tdb {
 
 /// Runs BUR (`minimal=false`) or BUR+ (`minimal=true`).
 CoverResult SolveBottomUp(const CsrGraph& graph, const CoverOptions& options,
                           bool minimal);
+
+/// Engine entry point: same algorithm with borrowed per-worker scratch and
+/// an externally managed deadline (options.time_limit_seconds is ignored).
+/// Assumes options were validated. stats.expansions and
+/// stats.elapsed_seconds are left zero — expansion counters accumulate in
+/// `*context` and timing is the caller's concern.
+CoverResult SolveBottomUpWithContext(const CsrGraph& graph,
+                                     const CoverOptions& options,
+                                     bool minimal, SearchContext* context,
+                                     Deadline* deadline);
 
 }  // namespace tdb
 

@@ -55,6 +55,16 @@ Status CoverOptions::Validate() const {
   if (k >= 0xFFFFFFFEu) {
     return Status::InvalidArgument("k too large");
   }
+  if (num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0 (0 = auto)");
+  }
+  if (num_threads > 4096) {
+    return Status::InvalidArgument("num_threads implausibly large");
+  }
+  if (min_component_parallel_size < 1) {
+    return Status::InvalidArgument(
+        "min_component_parallel_size must be >= 1");
+  }
   return Status::OK();
 }
 

@@ -62,7 +62,18 @@ struct CoverOptions {
   /// Seed for VertexOrder::kRandom and DARC edge-order shuffling.
   uint64_t seed = 42;
   /// Arc budget for the DARC-DV line graph (ResourceExhausted beyond).
+  /// Under the partitioned engine the budget applies per component.
   EdgeId line_graph_max_arcs = EdgeId{1} << 27;
+  /// Worker threads for the SCC-partitioned engine: every solve decomposes
+  /// the graph into strongly connected components and runs the chosen
+  /// algorithm per component. 1 solves the components sequentially on the
+  /// calling thread; 0 means one worker per hardware thread. The cover is
+  /// identical for every thread count (components are independent).
+  int num_threads = 1;
+  /// Components with fewer vertices than this are solved inline on the
+  /// submitting thread instead of being scheduled as pool tasks, which
+  /// amortizes task overhead over the long tail of tiny SCCs.
+  VertexId min_component_parallel_size = 32;
 
   /// Rejects inconsistent settings (e.g. k < 3 without 2-cycles).
   Status Validate() const;

@@ -30,15 +30,18 @@ void PathEdgeIds(const CsrGraph& graph, const std::vector<VertexId>& path,
 }  // namespace
 
 DarcEdgeResult SolveDarcEdgeCover(const CsrGraph& graph,
-                                  const CoverOptions& options) {
+                                  const CoverOptions& options,
+                                  SearchContext* context,
+                                  Deadline* deadline) {
   DarcEdgeResult result;
   result.status = options.Validate();
   if (!result.status.ok()) return result;
 
   Timer timer;
-  Deadline deadline = options.time_limit_seconds > 0
+  Deadline own_deadline = options.time_limit_seconds > 0
                           ? Deadline::AfterSeconds(options.time_limit_seconds)
                           : Deadline();
+  Deadline* dl = deadline != nullptr ? deadline : &own_deadline;
   const CycleConstraint constraint =
       options.Constraint(graph.num_vertices());
   // A cycle of L hops through edge e is e plus a simple dst(e)->src(e)
@@ -62,7 +65,9 @@ DarcEdgeResult SolveDarcEdgeCover(const CsrGraph& graph,
            scc.component[graph.EdgeDst(e)];
   };
 
-  BlockSearch search(graph);
+  SearchContext own_context;
+  SearchContext* ctx = context != nullptr ? context : &own_context;
+  BlockSearch search(graph, ctx);
   std::vector<VertexId> path;
   std::vector<EdgeId> path_edges;
 
@@ -71,7 +76,7 @@ DarcEdgeResult SolveDarcEdgeCover(const CsrGraph& graph,
     ++result.path_queries;
     return search.FindPath(graph.EdgeDst(e), graph.EdgeSrc(e), min_path,
                            max_path, /*active=*/nullptr, st.in_s.data(), out,
-                           &deadline);
+                           dl);
   };
 
   auto augment = [&](EdgeId e) -> SearchOutcome {
@@ -150,30 +155,24 @@ DarcEdgeResult SolveDarcEdgeCover(const CsrGraph& graph,
   return result;
 }
 
-CoverResult SolveDarcDv(const CsrGraph& graph, const CoverOptions& options) {
+CoverResult SolveDarcDvWithContext(const CsrGraph& graph,
+                                   const CoverOptions& options,
+                                   SearchContext* context,
+                                   Deadline* deadline) {
   CoverResult result;
-  result.status = options.Validate();
-  if (!result.status.ok()) return result;
-
-  Timer timer;
   LineGraph line;
   result.status =
       BuildLineGraph(graph, &line, options.line_graph_max_arcs);
-  if (!result.status.ok()) {
-    result.stats.elapsed_seconds = timer.ElapsedSeconds();
-    return result;
-  }
+  if (!result.status.ok()) return result;
 
   // Cycle lengths are preserved by the line-graph mapping, so the same
   // options apply verbatim on L(G).
-  DarcEdgeResult edge_result = SolveDarcEdgeCover(line.graph, options);
+  DarcEdgeResult edge_result =
+      SolveDarcEdgeCover(line.graph, options, context, deadline);
   result.status = edge_result.status;
   result.stats.searches = edge_result.path_queries;
   result.stats.cycles_found = edge_result.augment_cycles;
-  if (!result.status.ok()) {
-    result.stats.elapsed_seconds = timer.ElapsedSeconds();
-    return result;
-  }
+  if (!result.status.ok()) return result;
 
   // Each selected L(G)-arc (e1 -> e2) pivots at dst(e1) in the base graph.
   std::vector<VertexId> cover;
@@ -184,6 +183,20 @@ CoverResult SolveDarcDv(const CsrGraph& graph, const CoverOptions& options) {
   std::sort(cover.begin(), cover.end());
   cover.erase(std::unique(cover.begin(), cover.end()), cover.end());
   result.cover = std::move(cover);
+  return result;
+}
+
+CoverResult SolveDarcDv(const CsrGraph& graph, const CoverOptions& options) {
+  CoverResult result;
+  result.status = options.Validate();
+  if (!result.status.ok()) return result;
+
+  Timer timer;
+  Deadline deadline = options.time_limit_seconds > 0
+                          ? Deadline::AfterSeconds(options.time_limit_seconds)
+                          : Deadline();
+  SearchContext context;
+  result = SolveDarcDvWithContext(graph, options, &context, &deadline);
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

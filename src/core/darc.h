@@ -24,6 +24,8 @@
 
 #include "core/cover_options.h"
 #include "graph/csr_graph.h"
+#include "search/search_context.h"
+#include "util/timer.h"
 
 namespace tdb {
 
@@ -43,11 +45,27 @@ struct DarcEdgeResult {
 
 /// DARC proper: minimal edge set intersecting all constrained cycles of
 /// `graph` (the related k-cycle transversal problem from the paper's §II).
+/// `context` (may be null = private scratch) and `deadline` (may be null =
+/// derive from options.time_limit_seconds) let the parallel engine reuse
+/// per-worker search state and share one wall-clock budget across
+/// components.
 DarcEdgeResult SolveDarcEdgeCover(const CsrGraph& graph,
-                                  const CoverOptions& options);
+                                  const CoverOptions& options,
+                                  SearchContext* context = nullptr,
+                                  Deadline* deadline = nullptr);
 
 /// DARC-DV: the vertex-cover adaptation via the line graph.
 CoverResult SolveDarcDv(const CsrGraph& graph, const CoverOptions& options);
+
+/// Engine entry point: DARC-DV with borrowed per-worker scratch and an
+/// externally managed deadline (options.time_limit_seconds is ignored).
+/// Assumes options were validated; stats.elapsed_seconds is left zero.
+/// Note the context's per-vertex arrays grow to the *line graph's* vertex
+/// count (= the base graph's edge count).
+CoverResult SolveDarcDvWithContext(const CsrGraph& graph,
+                                   const CoverOptions& options,
+                                   SearchContext* context,
+                                   Deadline* deadline);
 
 }  // namespace tdb
 

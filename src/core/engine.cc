@@ -1,0 +1,257 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/bottom_up.h"
+#include "core/darc.h"
+#include "core/top_down.h"
+#include "graph/scc.h"
+#include "graph/subgraph.h"
+#include "search/search_context.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace tdb {
+
+namespace {
+
+bool IsTopDown(CoverAlgorithm algo) {
+  return algo == CoverAlgorithm::kTdb || algo == CoverAlgorithm::kTdbPlus ||
+         algo == CoverAlgorithm::kTdbPlusPlus;
+}
+
+bool IsKnownAlgorithm(CoverAlgorithm algo) {
+  switch (algo) {
+    case CoverAlgorithm::kBur:
+    case CoverAlgorithm::kBurPlus:
+    case CoverAlgorithm::kTdb:
+    case CoverAlgorithm::kTdbPlus:
+    case CoverAlgorithm::kTdbPlusPlus:
+    case CoverAlgorithm::kDarcDv:
+      return true;
+  }
+  return false;
+}
+
+/// One component solve. `order` is required for the top-down family and
+/// ignored otherwise (BUR and DARC process by id / edge id, which the
+/// local-id mapping already preserves).
+CoverResult SolveOnSubgraph(const CsrGraph& graph, CoverAlgorithm algo,
+                            const CoverOptions& options,
+                            const std::vector<VertexId>* order,
+                            SearchContext* context, Deadline* deadline) {
+  switch (algo) {
+    case CoverAlgorithm::kBur:
+      return SolveBottomUpWithContext(graph, options, /*minimal=*/false,
+                                      context, deadline);
+    case CoverAlgorithm::kBurPlus:
+      return SolveBottomUpWithContext(graph, options, /*minimal=*/true,
+                                      context, deadline);
+    case CoverAlgorithm::kTdb:
+      return SolveTopDownOrdered(graph, options, TopDownVariant::kPlain,
+                                 *order, context, deadline);
+    case CoverAlgorithm::kTdbPlus:
+      return SolveTopDownOrdered(graph, options, TopDownVariant::kBlocks,
+                                 *order, context, deadline);
+    case CoverAlgorithm::kTdbPlusPlus:
+      return SolveTopDownOrdered(graph, options,
+                                 TopDownVariant::kBlocksFilter, *order,
+                                 context, deadline);
+    case CoverAlgorithm::kDarcDv:
+      return SolveDarcDvWithContext(graph, options, context, deadline);
+  }
+  CoverResult result;
+  result.status = Status::InvalidArgument("unknown algorithm");
+  return result;
+}
+
+}  // namespace
+
+CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
+                                       CoverAlgorithm algorithm,
+                                       const CoverOptions& options) {
+  CoverResult result;
+  if (!IsKnownAlgorithm(algorithm)) {
+    result.status = Status::InvalidArgument("unknown algorithm");
+    return result;
+  }
+  result.status = options.Validate();
+  if (!result.status.ok()) return result;
+
+  Timer timer;
+  const Deadline master =
+      options.time_limit_seconds > 0
+          ? Deadline::AfterSeconds(options.time_limit_seconds)
+          : Deadline();
+  const VertexId n = graph.num_vertices();
+  if (n == 0) {
+    result.stats.elapsed_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  const SccResult scc = ComputeScc(graph);
+  const VertexId min_scc = options.include_two_cycles ? 2 : 3;
+
+  // Components too small to host a qualifying cycle: every vertex is
+  // discharged with zero search work.
+  std::vector<VertexId> solvable;  // component ids, ascending
+  for (VertexId c = 0; c < scc.num_components; ++c) {
+    if (scc.component_size[c] >= min_scc) {
+      solvable.push_back(c);
+    } else {
+      result.stats.scc_filtered += scc.component_size[c];
+    }
+  }
+
+  // Per-component options: the engine already did the SCC discharge, and
+  // an extracted component is one SCC, so the per-solve prefilter would be
+  // an all-pass recompute.
+  CoverOptions component_options = options;
+  component_options.scc_prefilter = false;
+
+  // The top-down family processes candidates in options.order. Compute the
+  // order once on the whole graph and project it onto the components:
+  // within a component the relative order matches the sequential sweep
+  // exactly, which keeps per-component covers bit-identical to it.
+  std::vector<std::vector<VertexId>> component_order(solvable.size());
+  if (IsTopDown(algorithm) && !solvable.empty()) {
+    std::vector<VertexId> slot_of(scc.num_components, kInvalidVertex);
+    for (size_t s = 0; s < solvable.size(); ++s) {
+      slot_of[solvable[s]] = static_cast<VertexId>(s);
+      component_order[s].reserve(scc.component_size[solvable[s]]);
+    }
+    // local_id[v]: v's dense id inside its component's subgraph (member
+    // lists are sorted, and the extractor assigns local ids in that order).
+    std::vector<VertexId> local_id(n, 0);
+    for (VertexId c : solvable) {
+      const auto members = scc.VerticesOf(c);
+      for (size_t i = 0; i < members.size(); ++i) {
+        local_id[members[i]] = static_cast<VertexId>(i);
+      }
+    }
+    for (VertexId v : MakeCandidateOrder(graph, options)) {
+      const VertexId slot = slot_of[scc.component[v]];
+      if (slot != kInvalidVertex) {
+        component_order[slot].push_back(local_id[v]);
+      }
+    }
+  }
+
+  std::vector<CoverResult> slots(solvable.size());
+
+  auto solve_slot = [&](size_t slot, SearchContext* context,
+                        SubgraphExtractor* extractor) {
+    Deadline deadline = master;  // private copy; shared absolute expiry
+    if (deadline.ExpiredNow()) {
+      slots[slot].status =
+          Status::TimedOut("engine: budget exhausted before component");
+      return;
+    }
+    InducedSubgraph sub = extractor->Extract(scc.VerticesOf(solvable[slot]));
+    const std::vector<VertexId>* order =
+        IsTopDown(algorithm) ? &component_order[slot] : nullptr;
+    CoverResult r = SolveOnSubgraph(sub.graph, algorithm, component_options,
+                                    order, context, &deadline);
+    for (VertexId& v : r.cover) v = sub.to_global[v];
+    slots[slot] = std::move(r);
+  };
+
+  auto merge_context = [&](const SearchContext& context) {
+    result.stats.expansions += context.stats.expansions;
+    result.stats.block_prunes += context.stats.block_prunes;
+  };
+
+  const int requested = options.num_threads == 0
+                            ? ThreadPool::HardwareThreads()
+                            : options.num_threads;
+
+  // Schedule big components first so the pool's long poles start early;
+  // the tail of small components runs inline on this thread meanwhile.
+  std::vector<size_t> by_size_desc(solvable.size());
+  for (size_t s = 0; s < by_size_desc.size(); ++s) by_size_desc[s] = s;
+  std::stable_sort(by_size_desc.begin(), by_size_desc.end(),
+                   [&](size_t a, size_t b) {
+                     return scc.component_size[solvable[a]] >
+                            scc.component_size[solvable[b]];
+                   });
+
+  size_t num_pooled = 0;
+  if (requested > 1) {
+    while (num_pooled < by_size_desc.size() &&
+           scc.component_size[solvable[by_size_desc[num_pooled]]] >=
+               options.min_component_parallel_size) {
+      ++num_pooled;
+    }
+  }
+
+  // Pool when there is any component to offload AND other work to overlap
+  // it with (the one-giant-SCC-plus-tail shape overlaps the giant on a
+  // worker with the tail inline; a single solvable component runs inline).
+  if (num_pooled > 0 && by_size_desc.size() > 1) {
+    // The submitting thread solves the inline tail concurrently, so it
+    // counts against the requested parallelism: total live compute threads
+    // stay == requested.
+    const bool has_inline_tail = num_pooled < by_size_desc.size();
+    const int workers = std::max<int>(
+        1, static_cast<int>(std::min<size_t>(requested, num_pooled)) -
+               (has_inline_tail ? 1 : 0));
+    std::vector<SearchContext> contexts(workers);
+    std::vector<SubgraphExtractor> extractors;
+    extractors.reserve(workers);
+    for (int w = 0; w < workers; ++w) extractors.emplace_back(graph);
+    {
+      ThreadPool pool(workers);
+      for (size_t i = 0; i < num_pooled; ++i) {
+        const size_t slot = by_size_desc[i];
+        pool.Submit([&, slot](int w) {
+          solve_slot(slot, &contexts[w], &extractors[w]);
+        });
+      }
+      SearchContext inline_context;
+      SubgraphExtractor inline_extractor(graph);
+      for (size_t i = num_pooled; i < by_size_desc.size(); ++i) {
+        solve_slot(by_size_desc[i], &inline_context, &inline_extractor);
+      }
+      pool.Wait();
+      merge_context(inline_context);
+    }
+    for (const SearchContext& context : contexts) merge_context(context);
+  } else {
+    SearchContext context;
+    SubgraphExtractor extractor(graph);
+    for (size_t i = 0; i < by_size_desc.size(); ++i) {
+      solve_slot(by_size_desc[i], &context, &extractor);
+    }
+    merge_context(context);
+  }
+
+  // Merge in component order (deterministic regardless of scheduling).
+  for (const CoverResult& r : slots) {
+    result.stats.searches += r.stats.searches;
+    result.stats.cycles_found += r.stats.cycles_found;
+    result.stats.bfs_filtered += r.stats.bfs_filtered;
+    result.stats.scc_filtered += r.stats.scc_filtered;
+    result.stats.prune_removed += r.stats.prune_removed;
+    result.cover.insert(result.cover.end(), r.cover.begin(), r.cover.end());
+  }
+  for (const CoverResult& r : slots) {
+    if (r.status.IsTimedOut()) {
+      result.status = r.status;
+      break;
+    }
+    if (!r.status.ok() && result.status.ok()) result.status = r.status;
+  }
+  if (!result.status.ok()) {
+    // Mirror the sequential solvers: a failed run carries no cover (a
+    // partial merge would not be feasible anyway).
+    result.cover.clear();
+  } else {
+    std::sort(result.cover.begin(), result.cover.end());
+  }
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace tdb

@@ -1,0 +1,54 @@
+// SCC-partitioned parallel execution engine.
+//
+// Every hop-constrained cycle lives inside one strongly connected
+// component (a cycle's vertices are pairwise reachable), so the cycle
+// cover of a graph is exactly the union of the covers of its SCCs — and
+// the components can be solved independently, in parallel, with zero
+// coordination. This engine is the single execution path behind
+// SolveCycleCover for every CoverAlgorithm:
+//
+//   1. compute the SCC decomposition (graph/scc.h, with member lists);
+//   2. discharge components too small to host a qualifying cycle
+//      (size < 3, or < 2 when 2-cycles count) — counted as scc_filtered;
+//   3. extract each remaining component as an induced subgraph over dense
+//      local ids (graph/subgraph.h);
+//   4. schedule components onto a work-stealing pool (util/thread_pool.h),
+//      biggest first; components below min_component_parallel_size run
+//      inline on the submitting thread while the pool chews the big ones;
+//   5. run the chosen solver per component with one SearchContext per
+//      worker (reentrant search layer, no locks on the hot path);
+//   6. merge covers (vertex ids remapped back to the parent graph),
+//      statuses and per-worker stats.
+//
+// Exactness: per-component solves are bit-identical to a whole-graph
+// sequential solve, for every algorithm and thread count. Cycles never
+// cross components, so a solver's keep/discharge decision for v depends
+// only on the state of v's own component; the engine preserves each
+// component's internal processing order by computing the candidate order
+// once on the whole graph and projecting it onto the components (local
+// ids ascend with global ids, so id- and edge-ordered sweeps project
+// automatically). The engine determinism test asserts covers are
+// identical across num_threads = 1 and 8 for all six algorithms.
+//
+// Deadlines: one wall-clock budget (options.time_limit_seconds) is shared
+// by every component; each worker polls a private copy of the master
+// deadline, and components whose turn comes after expiry are not started.
+// Any timed-out component makes the merged result TimedOut.
+#ifndef TDB_CORE_ENGINE_H_
+#define TDB_CORE_ENGINE_H_
+
+#include "core/cover_options.h"
+#include "graph/csr_graph.h"
+
+namespace tdb {
+
+/// Runs `algorithm` per SCC of `graph` on options.num_threads workers and
+/// merges the per-component results. SolveCycleCover routes here; call
+/// directly only to bypass the front door's documentation.
+CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
+                                       CoverAlgorithm algorithm,
+                                       const CoverOptions& options);
+
+}  // namespace tdb
+
+#endif  // TDB_CORE_ENGINE_H_

@@ -9,7 +9,8 @@ namespace tdb {
 
 Status MinimalPrune(const CsrGraph& graph, const CoverOptions& options,
                     PruneEngine engine, std::vector<VertexId>* cover,
-                    uint64_t* removed, Deadline* deadline) {
+                    uint64_t* removed, Deadline* deadline,
+                    SearchContext* context) {
   const CycleConstraint constraint =
       options.Constraint(graph.num_vertices());
   // active == the induced subgraph G - R; the candidate v itself enters the
@@ -18,8 +19,10 @@ Status MinimalPrune(const CsrGraph& graph, const CoverOptions& options,
   std::vector<uint8_t> active(graph.num_vertices(), 1);
   for (VertexId v : *cover) active[v] = 0;
 
-  CycleFinder plain(graph);
-  BlockSearch block(graph);
+  SearchContext own_context;
+  SearchContext* ctx = context != nullptr ? context : &own_context;
+  CycleFinder plain(graph, ctx);
+  BlockSearch block(graph, ctx);
   Deadline no_deadline;
   Deadline* dl = deadline != nullptr ? deadline : &no_deadline;
 

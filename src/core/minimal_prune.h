@@ -11,6 +11,7 @@
 
 #include "core/cover_options.h"
 #include "graph/csr_graph.h"
+#include "search/search_context.h"
 #include "util/timer.h"
 
 namespace tdb {
@@ -24,10 +25,13 @@ enum class PruneEngine {
 /// Shrinks `cover` in place to a minimal feasible cover. Returns the number
 /// of vertices removed, or a TimedOut error leaving `cover` still feasible
 /// (pruning only ever removes provably redundant vertices, so stopping
-/// early preserves feasibility, just not minimality).
+/// early preserves feasibility, just not minimality). `context` (may be
+/// null = private scratch) lets the parallel engine reuse per-worker
+/// search state for the witness searches.
 Status MinimalPrune(const CsrGraph& graph, const CoverOptions& options,
                     PruneEngine engine, std::vector<VertexId>* cover,
-                    uint64_t* removed, Deadline* deadline = nullptr);
+                    uint64_t* removed, Deadline* deadline = nullptr,
+                    SearchContext* context = nullptr);
 
 }  // namespace tdb
 

@@ -1,30 +1,15 @@
 #include "core/solver.h"
 
-#include "core/bottom_up.h"
-#include "core/darc.h"
-#include "core/top_down.h"
+#include "core/engine.h"
 
 namespace tdb {
 
 CoverResult SolveCycleCover(const CsrGraph& graph, CoverAlgorithm algorithm,
                             const CoverOptions& options) {
-  switch (algorithm) {
-    case CoverAlgorithm::kBur:
-      return SolveBottomUp(graph, options, /*minimal=*/false);
-    case CoverAlgorithm::kBurPlus:
-      return SolveBottomUp(graph, options, /*minimal=*/true);
-    case CoverAlgorithm::kTdb:
-      return SolveTopDown(graph, options, TopDownVariant::kPlain);
-    case CoverAlgorithm::kTdbPlus:
-      return SolveTopDown(graph, options, TopDownVariant::kBlocks);
-    case CoverAlgorithm::kTdbPlusPlus:
-      return SolveTopDown(graph, options, TopDownVariant::kBlocksFilter);
-    case CoverAlgorithm::kDarcDv:
-      return SolveDarcDv(graph, options);
-  }
-  CoverResult result;
-  result.status = Status::InvalidArgument("unknown algorithm");
-  return result;
+  // Every solve goes through the SCC-partitioned engine; with the default
+  // num_threads = 1 it degenerates to a sequential per-component sweep
+  // whose cover is bit-identical to the classic whole-graph solvers.
+  return SolveCycleCoverPartitioned(graph, algorithm, options);
 }
 
 }  // namespace tdb

@@ -15,7 +15,10 @@
 namespace tdb {
 
 /// Computes a hop-constrained cycle cover of `graph` with the chosen
-/// algorithm. On success (status.ok()):
+/// algorithm. Every solve runs on the SCC-partitioned engine (core/
+/// engine.h): components are solved independently — in parallel when
+/// options.num_threads allows — and the merged cover is identical for
+/// every thread count. On success (status.ok()):
 ///   - the cover is feasible for every algorithm;
 ///   - it is additionally minimal for BUR+, TDB, TDB+ and TDB++;
 ///   - TDB, TDB+ and TDB++ return the identical vertex set (the block and

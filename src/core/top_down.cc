@@ -8,15 +8,11 @@
 #include "search/cycle_finder.h"
 #include "search/path_search.h"
 #include "util/rng.h"
-#include "util/timer.h"
 
 namespace tdb {
 
-namespace {
-
-/// Candidate processing order (see CoverOptions::order).
-std::vector<VertexId> MakeOrder(const CsrGraph& graph,
-                                const CoverOptions& options) {
+std::vector<VertexId> MakeCandidateOrder(const CsrGraph& graph,
+                                         const CoverOptions& options) {
   std::vector<VertexId> order(graph.num_vertices());
   std::iota(order.begin(), order.end(), 0u);
   switch (options.order) {
@@ -47,18 +43,12 @@ std::vector<VertexId> MakeOrder(const CsrGraph& graph,
   return order;
 }
 
-}  // namespace
-
-CoverResult SolveTopDown(const CsrGraph& graph, const CoverOptions& options,
-                         TopDownVariant variant) {
+CoverResult SolveTopDownOrdered(const CsrGraph& graph,
+                                const CoverOptions& options,
+                                TopDownVariant variant,
+                                const std::vector<VertexId>& order,
+                                SearchContext* context, Deadline* deadline) {
   CoverResult result;
-  result.status = options.Validate();
-  if (!result.status.ok()) return result;
-
-  Timer timer;
-  Deadline deadline = options.time_limit_seconds > 0
-                          ? Deadline::AfterSeconds(options.time_limit_seconds)
-                          : Deadline();
   const CycleConstraint constraint =
       options.Constraint(graph.num_vertices());
 
@@ -72,11 +62,10 @@ CoverResult SolveTopDown(const CsrGraph& graph, const CoverOptions& options,
         graph, options.include_two_cycles ? VertexId{2} : VertexId{3});
   }
 
-  CycleFinder plain(graph);
-  BlockSearch blocks(graph);
-  BfsFilter filter(graph);
+  CycleFinder plain(graph, context);
+  BlockSearch blocks(graph, context);
+  BfsFilter filter(graph, context);
 
-  const std::vector<VertexId> order = MakeOrder(graph, options);
   for (VertexId v : order) {
     // A vertex on no directed cycle at all can never be necessary; the
     // cheap degree test catches sources/sinks, the optional SCC mask
@@ -100,12 +89,11 @@ CoverResult SolveTopDown(const CsrGraph& graph, const CoverOptions& options,
     SearchOutcome outcome =
         variant == TopDownVariant::kPlain
             ? plain.FindCycleThrough(v, constraint, kept.data(), nullptr,
-                                     &deadline)
+                                     deadline)
             : blocks.FindCycleThrough(v, constraint, kept.data(), nullptr,
-                                      &deadline);
+                                      deadline);
     if (outcome == SearchOutcome::kTimedOut) {
       result.status = Status::TimedOut("top-down solve exceeded budget");
-      result.stats.elapsed_seconds = timer.ElapsedSeconds();
       return result;
     }
     if (outcome == SearchOutcome::kFound) {
@@ -118,9 +106,27 @@ CoverResult SolveTopDown(const CsrGraph& graph, const CoverOptions& options,
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
     if (!kept[v]) result.cover.push_back(v);
   }
-  result.stats.expansions =
-      plain.stats().expansions + blocks.stats().expansions;
-  result.stats.block_prunes = blocks.stats().block_prunes;
+  return result;
+}
+
+CoverResult SolveTopDown(const CsrGraph& graph, const CoverOptions& options,
+                         TopDownVariant variant) {
+  CoverResult result;
+  result.status = options.Validate();
+  if (!result.status.ok()) return result;
+
+  Timer timer;
+  Deadline deadline = options.time_limit_seconds > 0
+                          ? Deadline::AfterSeconds(options.time_limit_seconds)
+                          : Deadline();
+  SearchContext context;
+  const std::vector<VertexId> order = MakeCandidateOrder(graph, options);
+  result = SolveTopDownOrdered(graph, options, variant, order, &context,
+                               &deadline);
+  // Populated on every path, including timeouts (the partial counters are
+  // exactly what a budget post-mortem needs).
+  result.stats.expansions = context.stats.expansions;
+  result.stats.block_prunes = context.stats.block_prunes;
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

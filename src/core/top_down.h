@@ -17,8 +17,12 @@
 #ifndef TDB_CORE_TOP_DOWN_H_
 #define TDB_CORE_TOP_DOWN_H_
 
+#include <vector>
+
 #include "core/cover_options.h"
 #include "graph/csr_graph.h"
+#include "search/search_context.h"
+#include "util/timer.h"
 
 namespace tdb {
 
@@ -34,6 +38,25 @@ enum class TopDownVariant {
 /// tests assert.
 CoverResult SolveTopDown(const CsrGraph& graph, const CoverOptions& options,
                          TopDownVariant variant);
+
+/// Candidate processing order for `graph` under `options.order`. Exposed
+/// for the partitioned engine, which computes one whole-graph order and
+/// projects it onto each component so that per-component solves make the
+/// same keep/discharge decisions as a whole-graph sweep.
+std::vector<VertexId> MakeCandidateOrder(const CsrGraph& graph,
+                                         const CoverOptions& options);
+
+/// Engine entry point: one top-down solve processing candidates in
+/// `order` (a permutation of the vertex ids), with borrowed per-worker
+/// scratch and an externally managed deadline (options.time_limit_seconds
+/// is ignored). Assumes options were validated. stats.expansions,
+/// stats.block_prunes and stats.elapsed_seconds are left zero — expansion
+/// counters accumulate in `*context` and timing is the caller's concern.
+CoverResult SolveTopDownOrdered(const CsrGraph& graph,
+                                const CoverOptions& options,
+                                TopDownVariant variant,
+                                const std::vector<VertexId>& order,
+                                SearchContext* context, Deadline* deadline);
 
 }  // namespace tdb
 

@@ -66,6 +66,20 @@ SccResult ComputeScc(const CsrGraph& graph) {
       }
     }
   }
+
+  // Member lists by counting sort; iterating v ascending leaves each
+  // component's slice sorted ascending.
+  result.vertex_offsets.assign(result.num_components + 1, 0);
+  for (VertexId c = 0; c < result.num_components; ++c) {
+    result.vertex_offsets[c + 1] =
+        result.vertex_offsets[c] + result.component_size[c];
+  }
+  result.vertices.resize(n);
+  std::vector<VertexId> cursor(result.vertex_offsets.begin(),
+                               result.vertex_offsets.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    result.vertices[cursor[result.component[v]]++] = v;
+  }
   return result;
 }
 

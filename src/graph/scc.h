@@ -7,6 +7,7 @@
 #ifndef TDB_GRAPH_SCC_H_
 #define TDB_GRAPH_SCC_H_
 
+#include <span>
 #include <vector>
 
 #include "graph/csr_graph.h"
@@ -21,8 +22,21 @@ struct SccResult {
   std::vector<VertexId> component_size;
   VertexId num_components = 0;
 
+  /// Member lists in CSR form: the vertices of component c are
+  /// vertices[vertex_offsets[c] .. vertex_offsets[c + 1]), sorted
+  /// ascending. The parallel engine feeds these straight into subgraph
+  /// extraction.
+  std::vector<VertexId> vertex_offsets;
+  std::vector<VertexId> vertices;
+
   /// Size of the component containing `v`.
   VertexId SizeOf(VertexId v) const { return component_size[component[v]]; }
+
+  /// Vertices of component `c`, sorted ascending.
+  std::span<const VertexId> VerticesOf(VertexId c) const {
+    return {vertices.data() + vertex_offsets[c],
+            vertices.data() + vertex_offsets[c + 1]};
+  }
 };
 
 /// Computes SCCs with an iterative Tarjan traversal (no recursion, safe for

@@ -1,37 +1,52 @@
 #include "search/bfs_filter.h"
 
+#include "util/check.h"
+
 namespace tdb {
 
 BfsFilter::BfsFilter(const CsrGraph& graph)
-    : graph_(graph), visited_(graph.num_vertices(), 0) {}
+    : graph_(graph), owned_context_(std::make_unique<SearchContext>()) {
+  ctx_ = owned_context_.get();
+  ctx_->EnsureBfsSize(graph.num_vertices());
+}
+
+BfsFilter::BfsFilter(const CsrGraph& graph, SearchContext* context)
+    : graph_(graph), ctx_(context) {
+  TDB_CHECK(context != nullptr);
+  ctx_->EnsureBfsSize(graph.num_vertices());
+}
 
 uint32_t BfsFilter::ShortestClosedWalk(VertexId start, uint32_t max_hops,
                                        const uint8_t* active) {
-  visited_.NewEpoch();
-  last_visited_ = 0;
-  frontier_.clear();
-  frontier_.push_back(start);
-  visited_.Set(start, 1);
+  EpochArray<uint8_t>& visited = ctx_->visited;
+  std::vector<VertexId>& frontier = ctx_->frontier;
+  std::vector<VertexId>& next_frontier = ctx_->next_frontier;
 
-  // Invariant: frontier_ holds all vertices at distance `depth` from start.
+  visited.NewEpoch();
+  last_visited_ = 0;
+  frontier.clear();
+  frontier.push_back(start);
+  visited.Set(start, 1);
+
+  // Invariant: frontier holds all vertices at distance `depth` from start.
   // A closed walk of length depth+1 exists iff some frontier vertex has an
   // edge back to start; BFS order makes the first hit the minimum.
   for (uint32_t depth = 0; depth < max_hops; ++depth) {
-    next_frontier_.clear();
-    for (VertexId u : frontier_) {
+    next_frontier.clear();
+    for (VertexId u : frontier) {
       for (VertexId w : graph_.OutNeighbors(u)) {
         if (w == start) return depth + 1;
-        if (visited_.Get(w)) continue;
+        if (visited.Get(w)) continue;
         if (active != nullptr && !active[w]) continue;
-        visited_.Set(w, 1);
+        visited.Set(w, 1);
         ++last_visited_;
         // Vertices at distance max_hops - 1 can still close a walk of
         // length max_hops; deeper ones cannot.
-        if (depth + 1 < max_hops) next_frontier_.push_back(w);
+        if (depth + 1 < max_hops) next_frontier.push_back(w);
       }
     }
-    frontier_.swap(next_frontier_);
-    if (frontier_.empty()) break;
+    frontier.swap(next_frontier);
+    if (frontier.empty()) break;
   }
   return max_hops + 1;
 }

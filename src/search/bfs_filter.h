@@ -10,17 +10,27 @@
 #ifndef TDB_SEARCH_BFS_FILTER_H_
 #define TDB_SEARCH_BFS_FILTER_H_
 
+#include <memory>
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "search/search_context.h"
 #include "util/epoch_array.h"
 
 namespace tdb {
 
-/// Reusable BFS scratch. Not thread-safe.
+/// Reusable BFS scratch. Reentrant across instances: the visited marks and
+/// frontier buffers live in the SearchContext, so concurrent filters need
+/// only distinct contexts. A single (instance, context) pair is not
+/// thread-safe.
 class BfsFilter {
  public:
+  /// Self-contained form: owns a private context.
   explicit BfsFilter(const CsrGraph& graph);
+
+  /// Reentrant form: scratch lives in `*context` (borrowed, must outlive
+  /// the filter), grown to the graph's size on construction.
+  BfsFilter(const CsrGraph& graph, SearchContext* context);
 
   /// Length of the shortest closed walk through `start` inside the
   /// subgraph induced by `active` (start exempt), or any value > max_hops
@@ -38,9 +48,8 @@ class BfsFilter {
 
  private:
   const CsrGraph& graph_;
-  EpochArray<uint8_t> visited_;
-  std::vector<VertexId> frontier_;
-  std::vector<VertexId> next_frontier_;
+  std::unique_ptr<SearchContext> owned_context_;
+  SearchContext* ctx_;
   uint64_t last_visited_ = 0;
 };
 

@@ -5,7 +5,16 @@
 namespace tdb {
 
 CycleFinder::CycleFinder(const CsrGraph& graph)
-    : graph_(graph), on_path_(graph.num_vertices(), 0) {}
+    : graph_(graph), owned_context_(std::make_unique<SearchContext>()) {
+  ctx_ = owned_context_.get();
+  ctx_->EnsureDfsSize(graph.num_vertices());
+}
+
+CycleFinder::CycleFinder(const CsrGraph& graph, SearchContext* context)
+    : graph_(graph), ctx_(context) {
+  TDB_CHECK(context != nullptr);
+  ctx_->EnsureDfsSize(graph.num_vertices());
+}
 
 SearchOutcome CycleFinder::FindCycleThrough(VertexId start,
                                             const CycleConstraint& constraint,
@@ -34,11 +43,11 @@ size_t CycleFinder::EnumeratePathsPlain(
   TDB_CHECK(s < graph_.num_vertices() && t < graph_.num_vertices());
   if (max_hops == 0 || min_hops > max_hops) return 0;
   std::vector<VertexId> prefix{s};
-  on_path_[s] = 1;
+  ctx_->on_path[s] = 1;
   size_t count = 0;
   EnumerateFromPlain(s, t, min_hops, max_hops, active, blocked_edges,
                      &prefix, &count, sink);
-  on_path_[s] = 0;
+  ctx_->on_path[s] = 0;
   return count;
 }
 
@@ -51,7 +60,7 @@ bool CycleFinder::EnumerateFromPlain(
   bool keep_going = true;
   for (EdgeId eid = graph_.OutEdgeBegin(u);
        keep_going && eid < graph_.OutEdgeEnd(u); ++eid) {
-    ++stats_.expansions;
+    ++ctx_->stats.expansions;
     if (blocked_edges != nullptr && blocked_edges[eid]) continue;
     const VertexId w = graph_.EdgeDst(eid);
     if (w == t) {
@@ -63,15 +72,15 @@ bool CycleFinder::EnumerateFromPlain(
       prefix->pop_back();
       continue;
     }
-    if (on_path_[w]) continue;
+    if (ctx_->on_path[w]) continue;
     if (active != nullptr && !active[w]) continue;
     if (depth_u + 2 > max_hops) continue;
-    on_path_[w] = 1;
+    ctx_->on_path[w] = 1;
     prefix->push_back(w);
     keep_going = EnumerateFromPlain(w, t, min_hops, max_hops, active,
                                     blocked_edges, prefix, count, sink);
     prefix->pop_back();
-    on_path_[w] = 0;
+    ctx_->on_path[w] = 0;
   }
   return keep_going;
 }
@@ -84,22 +93,25 @@ SearchOutcome CycleFinder::Search(VertexId s, VertexId t, uint32_t min_hops,
   TDB_CHECK(s < graph_.num_vertices() && t < graph_.num_vertices());
   if (max_hops == 0 || min_hops > max_hops) return SearchOutcome::kNotFound;
 
+  std::vector<uint8_t>& on_path = ctx_->on_path;
+  std::vector<SearchFrame>& stack = ctx_->stack;
+
   auto cleanup = [&] {
-    for (const Frame& f : stack_) on_path_[f.v] = 0;
-    stack_.clear();
+    for (const SearchFrame& f : stack) on_path[f.v] = 0;
+    stack.clear();
   };
 
-  stack_.clear();
-  stack_.push_back({s, graph_.OutEdgeBegin(s)});
-  on_path_[s] = 1;
-  ++stats_.pushes;
+  stack.clear();
+  stack.push_back({s, graph_.OutEdgeBegin(s)});
+  on_path[s] = 1;
+  ++ctx_->stats.pushes;
 
-  while (!stack_.empty()) {
-    Frame& frame = stack_.back();
+  while (!stack.empty()) {
+    SearchFrame& frame = stack.back();
     const VertexId u = frame.v;
     if (frame.next < graph_.OutEdgeEnd(u)) {
       const EdgeId eid = frame.next++;
-      ++stats_.expansions;
+      ++ctx_->stats.expansions;
       if (deadline != nullptr && deadline->Expired()) {
         cleanup();
         return SearchOutcome::kTimedOut;
@@ -107,32 +119,32 @@ SearchOutcome CycleFinder::Search(VertexId s, VertexId t, uint32_t min_hops,
       if (blocked_edges != nullptr && blocked_edges[eid]) continue;
       const VertexId w = graph_.EdgeDst(eid);
       // Hop count of u from s == its depth on the stack.
-      const uint32_t depth_u = static_cast<uint32_t>(stack_.size()) - 1;
+      const uint32_t depth_u = static_cast<uint32_t>(stack.size()) - 1;
       if (w == t) {
         const uint32_t len = depth_u + 1;
         if (len < min_hops || len > max_hops) {
-          ++stats_.closures_rejected;
+          ++ctx_->stats.closures_rejected;
           continue;
         }
         if (out != nullptr) {
           out->clear();
-          for (const Frame& f : stack_) out->push_back(f.v);
+          for (const SearchFrame& f : stack) out->push_back(f.v);
           if (t != s) out->push_back(t);
         }
         cleanup();
         return SearchOutcome::kFound;
       }
-      if (on_path_[w]) continue;
+      if (on_path[w]) continue;
       if (active != nullptr && !active[w]) continue;
       const uint32_t depth_w = depth_u + 1;
       // w still needs >= 1 hop to reach t, so stop one level early.
       if (depth_w + 1 > max_hops) continue;
-      on_path_[w] = 1;
-      ++stats_.pushes;
-      stack_.push_back({w, graph_.OutEdgeBegin(w)});
+      on_path[w] = 1;
+      ++ctx_->stats.pushes;
+      stack.push_back({w, graph_.OutEdgeBegin(w)});
     } else {
-      on_path_[u] = 0;
-      stack_.pop_back();
+      on_path[u] = 0;
+      stack.pop_back();
     }
   }
   return SearchOutcome::kNotFound;

@@ -11,18 +11,27 @@
 #define TDB_SEARCH_CYCLE_FINDER_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "search/search_context.h"
 #include "search/search_types.h"
 #include "util/timer.h"
 
 namespace tdb {
 
-/// Reusable plain-DFS searcher. Not thread-safe; one instance per thread.
+/// Reusable plain-DFS searcher. Reentrant across instances: all mutable
+/// state lives in the SearchContext, so concurrent searches need only
+/// distinct contexts. A single (instance, context) pair is not thread-safe.
 class CycleFinder {
  public:
+  /// Self-contained form: owns a private context.
   explicit CycleFinder(const CsrGraph& graph);
+
+  /// Reentrant form: scratch and stats live in `*context` (borrowed, must
+  /// outlive the finder), grown to the graph's size on construction.
+  CycleFinder(const CsrGraph& graph, SearchContext* context);
 
   /// Searches for a simple cycle through `start` with hop count in
   /// [constraint.min_len, constraint.max_hops].
@@ -57,8 +66,9 @@ class CycleFinder {
       const uint8_t* active, const uint8_t* blocked_edges,
       const std::function<bool(const std::vector<VertexId>&)>& sink);
 
-  const SearchStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  /// Counters of the underlying context (shared if the context is).
+  const SearchStats& stats() const { return ctx_->stats; }
+  void ResetStats() { ctx_->stats.Reset(); }
 
  private:
   bool EnumerateFromPlain(
@@ -72,15 +82,9 @@ class CycleFinder {
                        const uint8_t* blocked_edges,
                        std::vector<VertexId>* out, Deadline* deadline);
 
-  struct Frame {
-    VertexId v;
-    EdgeId next;  // cursor into the out-CSR edge-id range of v
-  };
-
   const CsrGraph& graph_;
-  std::vector<uint8_t> on_path_;
-  std::vector<Frame> stack_;
-  SearchStats stats_;
+  std::unique_ptr<SearchContext> owned_context_;
+  SearchContext* ctx_;
 };
 
 }  // namespace tdb

@@ -7,10 +7,18 @@
 namespace tdb {
 
 BlockSearch::BlockSearch(const CsrGraph& graph)
-    : graph_(graph),
-      block_(graph.num_vertices(), 0),
-      edge_to_target_(graph.num_vertices(), 0),
-      on_path_(graph.num_vertices(), 0) {}
+    : graph_(graph), owned_context_(std::make_unique<SearchContext>()) {
+  ctx_ = owned_context_.get();
+  ctx_->EnsureDfsSize(graph.num_vertices());
+  ctx_->EnsureBlockSize(graph.num_vertices());
+}
+
+BlockSearch::BlockSearch(const CsrGraph& graph, SearchContext* context)
+    : graph_(graph), ctx_(context) {
+  TDB_CHECK(context != nullptr);
+  ctx_->EnsureDfsSize(graph.num_vertices());
+  ctx_->EnsureBlockSize(graph.num_vertices());
+}
 
 SearchOutcome BlockSearch::FindCycleThrough(VertexId start,
                                             const CycleConstraint& constraint,
@@ -45,44 +53,49 @@ SearchOutcome BlockSearch::Search(VertexId s, VertexId t, uint32_t min_hops,
   TDB_CHECK_MSG(min_hops <= 3, "unsupported min_hops=%u", min_hops);
   if (max_hops == 0 || min_hops > max_hops) return SearchOutcome::kNotFound;
 
-  block_.NewEpoch();
-  edge_to_target_.NewEpoch();
+  EpochArray<uint32_t>& block = ctx_->block;
+  EpochArray<uint8_t>& edge_to_target = ctx_->edge_to_target;
+  std::vector<uint8_t>& on_path = ctx_->on_path;
+  std::vector<SearchFrame>& stack = ctx_->stack;
+
+  block.NewEpoch();
+  edge_to_target.NewEpoch();
   // Mark vertices owning a direct edge to the target so the failure path
   // can recognize the skipped-closure case in O(1).
-  for (VertexId u : graph_.InNeighbors(t)) edge_to_target_.Set(u, 1);
+  for (VertexId u : graph_.InNeighbors(t)) edge_to_target.Set(u, 1);
 
   auto cleanup = [&] {
-    for (const Frame& f : stack_) on_path_[f.v] = 0;
-    stack_.clear();
+    for (const SearchFrame& f : stack) on_path[f.v] = 0;
+    stack.clear();
   };
 
-  stack_.clear();
-  stack_.push_back({s, graph_.OutEdgeBegin(s)});
-  on_path_[s] = 1;
-  ++stats_.pushes;
+  stack.clear();
+  stack.push_back({s, graph_.OutEdgeBegin(s)});
+  on_path[s] = 1;
+  ++ctx_->stats.pushes;
 
-  while (!stack_.empty()) {
-    Frame& frame = stack_.back();
+  while (!stack.empty()) {
+    SearchFrame& frame = stack.back();
     const VertexId u = frame.v;
     if (frame.next < graph_.OutEdgeEnd(u)) {
       const EdgeId eid = frame.next++;
-      ++stats_.expansions;
+      ++ctx_->stats.expansions;
       if (deadline != nullptr && deadline->Expired()) {
         cleanup();
         return SearchOutcome::kTimedOut;
       }
       if (blocked_edges != nullptr && blocked_edges[eid]) continue;
       const VertexId w = graph_.EdgeDst(eid);
-      const uint32_t depth_u = static_cast<uint32_t>(stack_.size()) - 1;
+      const uint32_t depth_u = static_cast<uint32_t>(stack.size()) - 1;
       if (w == t) {
         const uint32_t len = depth_u + 1;
         if (len < min_hops || len > max_hops) {
-          ++stats_.closures_rejected;
+          ++ctx_->stats.closures_rejected;
           continue;
         }
         if (out != nullptr) {
           out->clear();
-          for (const Frame& f : stack_) out->push_back(f.v);
+          for (const SearchFrame& f : stack) out->push_back(f.v);
           if (t != s) out->push_back(t);
         }
         // Paper Algorithm 9 line 7: relax blocks along the successful
@@ -92,29 +105,29 @@ SearchOutcome BlockSearch::Search(VertexId s, VertexId t, uint32_t min_hops,
         cleanup();
         return SearchOutcome::kFound;
       }
-      if (on_path_[w]) continue;
+      if (on_path[w]) continue;
       if (active != nullptr && !active[w]) continue;
       const uint32_t depth_w = depth_u + 1;
       // Entering w costs depth_w hops and at least max(block, 1) more to
       // come back to t; prune unless that fits the budget
       // (paper Algorithm 9 line 13).
-      const uint32_t bound = std::max(block_.Get(w), 1u);
+      const uint32_t bound = std::max(block.Get(w), 1u);
       if (bound == kInfiniteBlock ||
           static_cast<uint64_t>(depth_w) + bound > max_hops) {
-        ++stats_.block_prunes;
+        ++ctx_->stats.block_prunes;
         continue;
       }
-      on_path_[w] = 1;
-      ++stats_.pushes;
-      stack_.push_back({w, graph_.OutEdgeBegin(w)});
+      on_path[w] = 1;
+      ++ctx_->stats.pushes;
+      stack.push_back({w, graph_.OutEdgeBegin(w)});
     } else {
       // Exhausted u without reaching t: record the failure bound
       // (paper Algorithm 9 line 3 semantics, applied at pop time).
-      on_path_[u] = 0;
-      const uint32_t depth_u = static_cast<uint32_t>(stack_.size()) - 1;
-      stack_.pop_back();
+      on_path[u] = 0;
+      const uint32_t depth_u = static_cast<uint32_t>(stack.size()) - 1;
+      stack.pop_back();
       if (u == s) break;  // root exhausted
-      if (depth_u + 1 < min_hops && edge_to_target_.Get(u) != 0) {
+      if (depth_u + 1 < min_hops && edge_to_target.Get(u) != 0) {
         // Skipped-closure case: u owns an edge to t whose use was rejected
         // only because the resulting cycle would be too short at this
         // depth. Deeper entries can still succeed through that edge, so
@@ -126,10 +139,10 @@ SearchOutcome BlockSearch::Search(VertexId s, VertexId t, uint32_t min_hops,
         // the excluded-2-cycle setting.
         Unblock(u, 1, active);
       } else if (permanent_block) {
-        block_.Set(u, kInfiniteBlock);
+        block.Set(u, kInfiniteBlock);
       } else {
         // No path of length <= max_hops - depth_u exists from u.
-        block_.Set(u, max_hops - depth_u + 1);
+        block.Set(u, max_hops - depth_u + 1);
       }
     }
   }
@@ -145,17 +158,17 @@ size_t BlockSearch::EnumeratePaths(
   TDB_CHECK_MSG(min_hops <= 3, "unsupported min_hops=%u", min_hops);
   if (max_hops == 0 || min_hops > max_hops) return 0;
 
-  block_.NewEpoch();
-  edge_to_target_.NewEpoch();
-  for (VertexId u : graph_.InNeighbors(t)) edge_to_target_.Set(u, 1);
+  ctx_->block.NewEpoch();
+  ctx_->edge_to_target.NewEpoch();
+  for (VertexId u : graph_.InNeighbors(t)) ctx_->edge_to_target.Set(u, 1);
 
   std::vector<VertexId> prefix{s};
-  on_path_[s] = 1;
+  ctx_->on_path[s] = 1;
   size_t count = 0;
   bool emitted_any = false;
   EnumerateFrom(s, t, min_hops, max_hops, active, blocked_edges, &prefix,
                 &count, &emitted_any, sink);
-  on_path_[s] = 0;
+  ctx_->on_path[s] = 0;
   return count;
 }
 
@@ -169,13 +182,13 @@ bool BlockSearch::EnumerateFrom(
   bool keep_going = true;
   for (EdgeId eid = graph_.OutEdgeBegin(u);
        keep_going && eid < graph_.OutEdgeEnd(u); ++eid) {
-    ++stats_.expansions;
+    ++ctx_->stats.expansions;
     if (blocked_edges != nullptr && blocked_edges[eid]) continue;
     const VertexId w = graph_.EdgeDst(eid);
     if (w == t) {
       const uint32_t len = depth_u + 1;
       if (len < min_hops || len > max_hops) {
-        ++stats_.closures_rejected;
+        ++ctx_->stats.closures_rejected;
         continue;
       }
       prefix->push_back(t);
@@ -185,23 +198,23 @@ bool BlockSearch::EnumerateFrom(
       prefix->pop_back();
       continue;
     }
-    if (on_path_[w]) continue;
+    if (ctx_->on_path[w]) continue;
     if (active != nullptr && !active[w]) continue;
     const uint32_t depth_w = depth_u + 1;
-    const uint32_t bound = std::max(block_.Get(w), 1u);
+    const uint32_t bound = std::max(ctx_->block.Get(w), 1u);
     if (static_cast<uint64_t>(depth_w) + bound > max_hops) {
-      ++stats_.block_prunes;
+      ++ctx_->stats.block_prunes;
       continue;
     }
-    on_path_[w] = 1;
-    ++stats_.pushes;
+    ctx_->on_path[w] = 1;
+    ++ctx_->stats.pushes;
     prefix->push_back(w);
     bool child_emitted = false;
     keep_going = EnumerateFrom(w, t, min_hops, max_hops, active,
                                blocked_edges, prefix, count, &child_emitted,
                                sink);
     prefix->pop_back();
-    on_path_[w] = 0;
+    ctx_->on_path[w] = 0;
     if (child_emitted) {
       subtree_emitted = true;
       // Success: reopen routes through w for vertices blocked while w was
@@ -211,10 +224,10 @@ bool BlockSearch::EnumerateFrom(
     } else {
       // Failure: same certified bounds as the existence search, including
       // the skipped-closure special case.
-      if (depth_w + 1 < min_hops && edge_to_target_.Get(w) != 0) {
+      if (depth_w + 1 < min_hops && ctx_->edge_to_target.Get(w) != 0) {
         Unblock(w, 1, active);
       } else {
-        block_.Set(w, max_hops - depth_w + 1);
+        ctx_->block.Set(w, max_hops - depth_w + 1);
       }
     }
   }
@@ -236,13 +249,13 @@ void BlockSearch::Unblock(VertexId u, uint32_t level, const uint8_t* active) {
   while (!work.empty()) {
     auto [v, l] = work.back();
     work.pop_back();
-    if (!first && block_.Get(v) <= l) continue;  // already as relaxed
+    if (!first && ctx_->block.Get(v) <= l) continue;  // already as relaxed
     first = false;
-    block_.Set(v, l);
+    ctx_->block.Set(v, l);
     for (VertexId w : graph_.InNeighbors(v)) {
-      if (on_path_[w]) continue;
+      if (ctx_->on_path[w]) continue;
       if (active != nullptr && !active[w]) continue;
-      const uint32_t bw = block_.Get(w);
+      const uint32_t bw = ctx_->block.Get(w);
       if (bw > l + 1 && bw != 0) work.push_back({w, l + 1});
     }
   }

@@ -19,9 +19,11 @@
 #define TDB_SEARCH_PATH_SEARCH_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "search/search_context.h"
 #include "search/search_types.h"
 #include "util/epoch_array.h"
 #include "util/timer.h"
@@ -29,10 +31,18 @@
 namespace tdb {
 
 /// Reusable block-based searcher. Per-vertex block state is epoch-versioned
-/// so consecutive searches pay O(1) reset. Not thread-safe.
+/// so consecutive searches pay O(1) reset. Reentrant across instances: all
+/// mutable state lives in the SearchContext, so concurrent searches need
+/// only distinct contexts. A single (instance, context) pair is not
+/// thread-safe.
 class BlockSearch {
  public:
+  /// Self-contained form: owns a private context.
   explicit BlockSearch(const CsrGraph& graph);
+
+  /// Reentrant form: scratch and stats live in `*context` (borrowed, must
+  /// outlive the searcher), grown to the graph's size on construction.
+  BlockSearch(const CsrGraph& graph, SearchContext* context);
 
   /// Node-necessity validation (paper Algorithm 9): is there a simple cycle
   /// through `start` with hop count in [min_len, max_hops] inside the
@@ -71,8 +81,9 @@ class BlockSearch {
       const uint8_t* active, const uint8_t* blocked_edges,
       const std::function<bool(const std::vector<VertexId>&)>& sink);
 
-  const SearchStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  /// Counters of the underlying context (shared if the context is).
+  const SearchStats& stats() const { return ctx_->stats; }
+  void ResetStats() { ctx_->stats.Reset(); }
 
  private:
   SearchOutcome Search(VertexId s, VertexId t, uint32_t min_hops,
@@ -94,19 +105,12 @@ class BlockSearch {
   /// but it is exercised and unit-tested for the enumeration use case.
   void Unblock(VertexId u, uint32_t level, const uint8_t* active);
 
-  struct Frame {
-    VertexId v;
-    EdgeId next;
-  };
-
   const CsrGraph& graph_;
-  /// Certified lower bound on remaining hops to the target; 0 == unknown.
-  EpochArray<uint32_t> block_;
-  /// Marks in-neighbors of the target for the depth-1 closure special case.
-  EpochArray<uint8_t> edge_to_target_;
-  std::vector<uint8_t> on_path_;
-  std::vector<Frame> stack_;
-  SearchStats stats_;
+  std::unique_ptr<SearchContext> owned_context_;
+  /// Holds the per-vertex state: `block` (certified lower bound on
+  /// remaining hops to the target; 0 == unknown) and `edge_to_target`
+  /// (marks in-neighbors of the target for the depth-1 closure case).
+  SearchContext* ctx_;
 };
 
 /// Block value meaning "never re-enter" (only set in permanent mode).

@@ -4,6 +4,8 @@
 
 #include <cstdint>
 
+#include "graph/types.h"
+
 namespace tdb {
 
 /// Result of a bounded existence search.
@@ -26,6 +28,13 @@ struct SearchStats {
   uint64_t closures_rejected = 0;
 
   void Reset() { *this = SearchStats{}; }
+};
+
+/// One explicit DFS frame: a vertex plus the cursor into its out-CSR
+/// edge-id range. Shared by every iterative search engine.
+struct SearchFrame {
+  VertexId v;
+  EdgeId next;
 };
 
 /// Search-side view of the problem's cycle semantics.

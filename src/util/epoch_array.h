@@ -30,6 +30,16 @@ class EpochArray {
 
   size_t size() const { return values_.size(); }
 
+  /// Grows to `size` slots (new slots hold the default); never shrinks, so
+  /// a per-worker array can be reused across graphs of varying size.
+  void Resize(size_t size) {
+    if (size <= values_.size()) return;
+    values_.resize(size, default_);
+    // Epoch 0 is never current (the counter starts at 1 and the wrap
+    // handler skips it), so fresh slots read as unset.
+    epochs_.resize(size, 0u);
+  }
+
   /// Invalidates every slot in O(1).
   void NewEpoch() {
     ++current_epoch_;
@@ -59,6 +69,12 @@ class EpochArray {
     TDB_CHECK(i < values_.size());
     return epochs_[i] == current_epoch_;
   }
+
+  uint32_t current_epoch() const { return current_epoch_; }
+
+  /// Test hook: jumps the epoch counter (e.g. next to the wrap boundary)
+  /// without touching slot state, as 2^32 real NewEpoch calls would.
+  void SetEpochForTesting(uint32_t epoch) { current_epoch_ = epoch; }
 
  private:
   T default_{};

@@ -83,6 +83,25 @@ TEST(SccTest, DeepChainDoesNotOverflowStack) {
   EXPECT_EQ(r.num_components, 500000u);
 }
 
+TEST(SccTest, VertexListsPartitionTheGraph) {
+  CsrGraph g = GenerateErdosRenyi(80, 160, /*seed=*/9);
+  SccResult r = ComputeScc(g);
+  ASSERT_EQ(r.vertex_offsets.size(), r.num_components + 1u);
+  EXPECT_EQ(r.vertex_offsets.front(), 0u);
+  EXPECT_EQ(r.vertex_offsets.back(), g.num_vertices());
+  std::vector<uint8_t> seen(g.num_vertices(), 0);
+  for (VertexId c = 0; c < r.num_components; ++c) {
+    auto members = r.VerticesOf(c);
+    ASSERT_EQ(members.size(), r.component_size[c]);
+    for (size_t i = 0; i < members.size(); ++i) {
+      EXPECT_EQ(r.component[members[i]], c);
+      if (i > 0) EXPECT_LT(members[i - 1], members[i]);  // sorted ascending
+      EXPECT_FALSE(seen[members[i]]);
+      seen[members[i]] = 1;
+    }
+  }
+}
+
 TEST(SccAtLeastMaskTest, FiltersByComponentSize) {
   // Triangle {0,1,2}, 2-cycle {3,4}, isolated 5.
   CsrGraph g =

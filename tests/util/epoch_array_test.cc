@@ -57,5 +57,54 @@ TEST(EpochArrayTest, SizeReflectsConstruction) {
   EXPECT_EQ(empty.size(), 0u);
 }
 
+TEST(EpochArrayTest, ResizeGrowsWithUnsetSlots) {
+  EpochArray<int> arr(2, -1);
+  arr.Set(0, 5);
+  arr.Resize(5);
+  EXPECT_EQ(arr.size(), 5u);
+  EXPECT_EQ(arr.Get(0), 5);      // existing data survives
+  EXPECT_EQ(arr.Get(4), -1);     // new slots read as unset
+  EXPECT_FALSE(arr.IsSet(4));
+  arr.Set(4, 9);
+  EXPECT_EQ(arr.Get(4), 9);
+  // Shrinking is a no-op: the arrays are per-worker scratch that only
+  // ever grows to the largest graph seen.
+  arr.Resize(1);
+  EXPECT_EQ(arr.size(), 5u);
+}
+
+TEST(EpochArrayTest, EpochCounterWrapHardResets) {
+  // Regression: after 2^32 NewEpoch calls the uint32 counter wraps. The
+  // wrap handler must hard-reset slot epochs, otherwise a slot written
+  // eons ago (stored epoch e) would leak back the moment the counter
+  // wraps around to e again.
+  EpochArray<uint32_t> arr(3, 0);
+  arr.SetEpochForTesting(0xFFFFFFFFu);
+  arr.Set(0, 123);  // stored with epoch 2^32 - 1
+  EXPECT_EQ(arr.Get(0), 123u);
+  arr.NewEpoch();   // wraps: hard reset, counter back to 1
+  EXPECT_EQ(arr.current_epoch(), 1u);
+  EXPECT_EQ(arr.Get(0), 0u);
+  EXPECT_FALSE(arr.IsSet(0));
+  // A fresh write in the post-wrap epoch behaves normally...
+  arr.Set(1, 7);
+  EXPECT_EQ(arr.Get(1), 7u);
+  // ...and the next epoch invalidates it as usual.
+  arr.NewEpoch();
+  EXPECT_EQ(arr.current_epoch(), 2u);
+  EXPECT_EQ(arr.Get(1), 0u);
+}
+
+TEST(EpochArrayTest, StaleEpochNeverAliasesAfterWrap) {
+  // A slot written at epoch 1, left untouched across a wrap, must not
+  // read as set when the counter revisits small values.
+  EpochArray<int> arr(2, -1);
+  arr.Set(0, 42);  // epoch 1
+  arr.SetEpochForTesting(0xFFFFFFFFu);
+  arr.NewEpoch();  // wrap: epochs cleared to 0, counter = 1 again
+  EXPECT_FALSE(arr.IsSet(0));
+  EXPECT_EQ(arr.Get(0), -1);
+}
+
 }  // namespace
 }  // namespace tdb

@@ -2,13 +2,14 @@
 //
 //   tdb_cover --graph edges.txt --k 5 --algo TDB++ [--verify]
 //             [--two-cycles] [--unconstrained] [--time-limit 60]
-//             [--order deg-asc|id|deg-desc|random] [--output cover.txt]
-//             [--stats]
+//             [--order deg-asc|id|deg-desc|random] [--threads N]
+//             [--output cover.txt] [--stats]
 //
 // Reads a SNAP-style text edge list (or TDBG binary with --binary),
 // computes a hop-constrained cycle cover, and prints it (original vertex
 // ids) one per line to stdout or --output.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -28,6 +29,7 @@ struct CliArgs {
   std::string algo = "TDB++";
   std::string order = "deg-asc";
   uint32_t k = 5;
+  int threads = 1;
   bool binary = false;
   bool verify = false;
   bool two_cycles = false;
@@ -45,6 +47,8 @@ void PrintUsage() {
       "  --k N               hop constraint (default 5)\n"
       "  --algo NAME         BUR | BUR+ | TDB | TDB+ | TDB++ | DARC-DV\n"
       "  --order NAME        deg-asc | id | deg-desc | random\n"
+      "  --threads N         SCC-parallel workers (0 = all cores, "
+      "default 1)\n"
       "  --two-cycles        also cover 2-cycles\n"
       "  --unconstrained     cover cycles of every length\n"
       "  --time-limit SEC    wall-clock budget (0 = unlimited)\n"
@@ -79,6 +83,16 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->k = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      // Strict parse: atoi's silent 0 on garbage would mean "all cores".
+      char* end = nullptr;
+      args->threads = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "invalid --threads value: %s\n", v);
+        return false;
+      }
     } else if (arg == "--time-limit") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -136,6 +150,7 @@ int main(int argc, char** argv) {
   options.include_two_cycles = args.two_cycles;
   options.unconstrained = args.unconstrained;
   options.time_limit_seconds = args.time_limit;
+  options.num_threads = args.threads;
   if (args.order == "deg-asc") {
     options.order = VertexOrder::kByDegreeAsc;
   } else if (args.order == "id") {
