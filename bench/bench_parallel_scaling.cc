@@ -10,10 +10,15 @@
 //   TDB_BENCH_BLOCK_N   vertices per block          (default 600)
 //   TDB_BENCH_DEGREE    extra chords per vertex     (default 6)
 //   TDB_BENCH_REPEATS   runs per thread count, best kept (default 3)
+//
+// `--json <path>` additionally writes machine-readable rows for
+// tools/check_bench_regression.py.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "bench_runner.h"
 #include "core/solver.h"
 #include "graph/csr_graph.h"
 #include "graph/scc.h"
@@ -57,7 +62,7 @@ CsrGraph MakeMultiSccGraph(VertexId blocks, VertexId block_n,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const VertexId blocks =
       static_cast<VertexId>(EnvOr("TDB_BENCH_BLOCKS", 12));
   const VertexId block_n =
@@ -83,6 +88,13 @@ int main() {
   opts.min_component_parallel_size = 1;
 
   const int repeats = static_cast<int>(EnvOr("TDB_BENCH_REPEATS", 3));
+
+  JsonSink json("parallel_scaling");
+  json.BeginRow();
+  json.Str("row", "params");
+  json.Num("blocks", static_cast<uint64_t>(blocks));
+  json.Num("block_n", static_cast<uint64_t>(block_n));
+  json.Num("degree", static_cast<uint64_t>(degree));
 
   TablePrinter table({"threads", "seconds", "speedup", "cover"});
   double base_seconds = 0.0;
@@ -119,7 +131,12 @@ int main() {
                   base_seconds / best_seconds);
     table.AddRow({std::to_string(threads), seconds, speedup,
                   FormatCount(r.cover.size())});
+    json.BeginRow();
+    json.Num("threads", static_cast<uint64_t>(threads));
+    json.Num("seconds", best_seconds);
+    json.Num("speedup", base_seconds / best_seconds);
+    json.Num("cover", static_cast<uint64_t>(r.cover.size()));
   }
   table.Print();
-  return 0;
+  return json.Write(JsonSink::PathFromArgs(argc, argv)) ? 0 : 1;
 }

@@ -65,6 +65,9 @@ Status CoverOptions::Validate() const {
     return Status::InvalidArgument(
         "min_component_parallel_size must be >= 1");
   }
+  if (min_intra_parallel_size < 1) {
+    return Status::InvalidArgument("min_intra_parallel_size must be >= 1");
+  }
   return Status::OK();
 }
 

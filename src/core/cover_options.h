@@ -74,6 +74,14 @@ struct CoverOptions {
   /// submitting thread instead of being scheduled as pool tasks, which
   /// amortizes task overhead over the long tail of tiny SCCs.
   VertexId min_component_parallel_size = 32;
+  /// Components with at least this many vertices are solved *in place* on
+  /// the parent graph through a SubgraphView (no per-component edge copy)
+  /// and, when num_threads > 1, with intra-component speculative parallel
+  /// candidate probing (batched validation on the pool + sequential
+  /// commit in canonical order; the cover stays bit-identical to the
+  /// sequential solve — see core/probe_executor.h). DARC-DV is exempt:
+  /// its line-graph construction needs a materialized subgraph.
+  VertexId min_intra_parallel_size = 2048;
 
   /// Rejects inconsistent settings (e.g. k < 3 without 2-cycles).
   Status Validate() const;
@@ -100,6 +108,14 @@ struct CoverStats {
   uint64_t scc_filtered = 0;
   /// Vertices removed by the minimal-pruning pass (BUR+ only).
   uint64_t prune_removed = 0;
+  /// Speculative intra-component candidate validations executed by the
+  /// parallel probing engine (0 on sequential runs). Unlike the fields
+  /// above, this depends on the thread count and batch schedule.
+  uint64_t intra_probes = 0;
+  /// Speculative validations that were stale at commit time (an earlier
+  /// candidate in the batch mutated the solver state) and were redone
+  /// sequentially.
+  uint64_t intra_restarts = 0;
 };
 
 /// A solver run's outcome. `cover` is sorted ascending.

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/bottom_up.h"
 #include "core/darc.h"
+#include "core/probe_executor.h"
 #include "core/top_down.h"
 #include "graph/scc.h"
 #include "graph/subgraph.h"
@@ -22,6 +24,17 @@ bool IsTopDown(CoverAlgorithm algo) {
          algo == CoverAlgorithm::kTdbPlusPlus;
 }
 
+TopDownVariant VariantOf(CoverAlgorithm algo) {
+  switch (algo) {
+    case CoverAlgorithm::kTdb:
+      return TopDownVariant::kPlain;
+    case CoverAlgorithm::kTdbPlus:
+      return TopDownVariant::kBlocks;
+    default:
+      return TopDownVariant::kBlocksFilter;
+  }
+}
+
 bool IsKnownAlgorithm(CoverAlgorithm algo) {
   switch (algo) {
     case CoverAlgorithm::kBur:
@@ -35,9 +48,17 @@ bool IsKnownAlgorithm(CoverAlgorithm algo) {
   return false;
 }
 
-/// One component solve. `order` is required for the top-down family and
-/// ignored otherwise (BUR and DARC process by id / edge id, which the
-/// local-id mapping already preserves).
+/// DARC-DV builds a line graph per component, which needs a materialized
+/// CSR and has a strictly sequential augment/prune chain — everything
+/// else can solve in place through a SubgraphView with mask-restricted
+/// searches and, above the intra threshold, parallel candidate probing.
+bool SupportsInPlaceSolve(CoverAlgorithm algo) {
+  return algo != CoverAlgorithm::kDarcDv;
+}
+
+/// One component solve on a materialized subgraph. `order` is required
+/// for the top-down family and ignored otherwise (BUR and DARC process by
+/// id / edge id, which the local-id mapping already preserves).
 CoverResult SolveOnSubgraph(const CsrGraph& graph, CoverAlgorithm algo,
                             const CoverOptions& options,
                             const std::vector<VertexId>* order,
@@ -111,10 +132,27 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
   CoverOptions component_options = options;
   component_options.scc_prefilter = false;
 
+  // Routing: components at or above the intra threshold solve *in place*
+  // on the parent graph through a SubgraphView (no edge copy; searches are
+  // restricted by the kept/active masks) and, with more than one thread,
+  // with intra-component parallel candidate probing. The long tail still
+  // materializes compact per-component subgraphs.
+  std::vector<uint8_t> in_place(solvable.size(), 0);
+  for (size_t s = 0; s < solvable.size(); ++s) {
+    if (SupportsInPlaceSolve(algorithm) &&
+        scc.component_size[solvable[s]] >=
+            options.min_intra_parallel_size) {
+      in_place[s] = 1;
+    }
+  }
+
   // The top-down family processes candidates in options.order. Compute the
   // order once on the whole graph and project it onto the components:
   // within a component the relative order matches the sequential sweep
   // exactly, which keeps per-component covers bit-identical to it.
+  // In-place slots take the order in global ids; materialized slots in
+  // dense local ids (member lists are sorted, so local ids ascend with
+  // global ids).
   std::vector<std::vector<VertexId>> component_order(solvable.size());
   if (IsTopDown(algorithm) && !solvable.empty()) {
     std::vector<VertexId> slot_of(scc.num_components, kInvalidVertex);
@@ -122,11 +160,12 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
       slot_of[solvable[s]] = static_cast<VertexId>(s);
       component_order[s].reserve(scc.component_size[solvable[s]]);
     }
-    // local_id[v]: v's dense id inside its component's subgraph (member
-    // lists are sorted, and the extractor assigns local ids in that order).
+    // local_id[v]: v's dense id inside its component's subgraph, needed
+    // only for materialized slots.
     std::vector<VertexId> local_id(n, 0);
-    for (VertexId c : solvable) {
-      const auto members = scc.VerticesOf(c);
+    for (size_t s = 0; s < solvable.size(); ++s) {
+      if (in_place[s]) continue;
+      const auto members = scc.VerticesOf(solvable[s]);
       for (size_t i = 0; i < members.size(); ++i) {
         local_id[members[i]] = static_cast<VertexId>(i);
       }
@@ -134,7 +173,7 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
     for (VertexId v : MakeCandidateOrder(graph, options)) {
       const VertexId slot = slot_of[scc.component[v]];
       if (slot != kInvalidVertex) {
-        component_order[slot].push_back(local_id[v]);
+        component_order[slot].push_back(in_place[slot] ? v : local_id[v]);
       }
     }
   }
@@ -167,20 +206,71 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
                             ? ThreadPool::HardwareThreads()
                             : options.num_threads;
 
+  // Split the slots: in-place components run first, biggest first, each
+  // using the whole pool internally; the materialized tail then runs under
+  // the across-component scheduler.
+  std::vector<size_t> big_desc;
+  std::vector<size_t> rest;
+  for (size_t s = 0; s < solvable.size(); ++s) {
+    (in_place[s] ? big_desc : rest).push_back(s);
+  }
+  auto size_desc = [&](std::vector<size_t>* v) {
+    std::stable_sort(v->begin(), v->end(), [&](size_t a, size_t b) {
+      return scc.component_size[solvable[a]] >
+             scc.component_size[solvable[b]];
+    });
+  };
+  size_desc(&big_desc);
+  size_desc(&rest);
+
+  // ------------------------------------------------ in-place components
+  if (!big_desc.empty()) {
+    std::optional<ThreadPool> pool;
+    std::vector<SearchContext> worker_contexts;
+    SearchContext main_context;
+    ProbeExecutor executor;
+    executor.main_context = &main_context;
+    if (requested > 1) {
+      // All `requested` workers probe while this thread commits; the two
+      // phases alternate, so live compute threads stay <= requested.
+      pool.emplace(requested);
+      worker_contexts.resize(requested);
+      executor.pool = &*pool;
+      executor.worker_contexts = worker_contexts;
+    }
+    for (size_t slot : big_desc) {
+      Deadline deadline = master;
+      if (deadline.ExpiredNow()) {
+        slots[slot].status =
+            Status::TimedOut("engine: budget exhausted before component");
+        continue;
+      }
+      const SubgraphView view(graph, scc.VerticesOf(solvable[slot]));
+      CoverResult r;
+      if (IsTopDown(algorithm)) {
+        r = SolveTopDownOnView(view, component_options,
+                               VariantOf(algorithm), component_order[slot],
+                               executor, &deadline);
+      } else {
+        r = SolveBottomUpOnView(view, component_options,
+                                algorithm == CoverAlgorithm::kBurPlus,
+                                executor, &deadline);
+      }
+      slots[slot] = std::move(r);  // cover already in global ids
+    }
+    merge_context(main_context);
+    for (const SearchContext& context : worker_contexts) {
+      merge_context(context);
+    }
+  }
+
+  // --------------------------------------------- materialized components
   // Schedule big components first so the pool's long poles start early;
   // the tail of small components runs inline on this thread meanwhile.
-  std::vector<size_t> by_size_desc(solvable.size());
-  for (size_t s = 0; s < by_size_desc.size(); ++s) by_size_desc[s] = s;
-  std::stable_sort(by_size_desc.begin(), by_size_desc.end(),
-                   [&](size_t a, size_t b) {
-                     return scc.component_size[solvable[a]] >
-                            scc.component_size[solvable[b]];
-                   });
-
   size_t num_pooled = 0;
   if (requested > 1) {
-    while (num_pooled < by_size_desc.size() &&
-           scc.component_size[solvable[by_size_desc[num_pooled]]] >=
+    while (num_pooled < rest.size() &&
+           scc.component_size[solvable[rest[num_pooled]]] >=
                options.min_component_parallel_size) {
       ++num_pooled;
     }
@@ -189,11 +279,11 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
   // Pool when there is any component to offload AND other work to overlap
   // it with (the one-giant-SCC-plus-tail shape overlaps the giant on a
   // worker with the tail inline; a single solvable component runs inline).
-  if (num_pooled > 0 && by_size_desc.size() > 1) {
+  if (num_pooled > 0 && rest.size() > 1) {
     // The submitting thread solves the inline tail concurrently, so it
     // counts against the requested parallelism: total live compute threads
     // stay == requested.
-    const bool has_inline_tail = num_pooled < by_size_desc.size();
+    const bool has_inline_tail = num_pooled < rest.size();
     const int workers = std::max<int>(
         1, static_cast<int>(std::min<size_t>(requested, num_pooled)) -
                (has_inline_tail ? 1 : 0));
@@ -204,25 +294,25 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
     {
       ThreadPool pool(workers);
       for (size_t i = 0; i < num_pooled; ++i) {
-        const size_t slot = by_size_desc[i];
+        const size_t slot = rest[i];
         pool.Submit([&, slot](int w) {
           solve_slot(slot, &contexts[w], &extractors[w]);
         });
       }
       SearchContext inline_context;
       SubgraphExtractor inline_extractor(graph);
-      for (size_t i = num_pooled; i < by_size_desc.size(); ++i) {
-        solve_slot(by_size_desc[i], &inline_context, &inline_extractor);
+      for (size_t i = num_pooled; i < rest.size(); ++i) {
+        solve_slot(rest[i], &inline_context, &inline_extractor);
       }
       pool.Wait();
       merge_context(inline_context);
     }
     for (const SearchContext& context : contexts) merge_context(context);
-  } else {
+  } else if (!rest.empty()) {
     SearchContext context;
     SubgraphExtractor extractor(graph);
-    for (size_t i = 0; i < by_size_desc.size(); ++i) {
-      solve_slot(by_size_desc[i], &context, &extractor);
+    for (size_t i = 0; i < rest.size(); ++i) {
+      solve_slot(rest[i], &context, &extractor);
     }
     merge_context(context);
   }
@@ -234,6 +324,8 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
     result.stats.bfs_filtered += r.stats.bfs_filtered;
     result.stats.scc_filtered += r.stats.scc_filtered;
     result.stats.prune_removed += r.stats.prune_removed;
+    result.stats.intra_probes += r.stats.intra_probes;
+    result.stats.intra_restarts += r.stats.intra_restarts;
     result.cover.insert(result.cover.end(), r.cover.begin(), r.cover.end());
   }
   for (const CoverResult& r : slots) {

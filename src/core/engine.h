@@ -10,14 +10,21 @@
 //   1. compute the SCC decomposition (graph/scc.h, with member lists);
 //   2. discharge components too small to host a qualifying cycle
 //      (size < 3, or < 2 when 2-cycles count) — counted as scc_filtered;
-//   3. extract each remaining component as an induced subgraph over dense
-//      local ids (graph/subgraph.h);
-//   4. schedule components onto a work-stealing pool (util/thread_pool.h),
-//      biggest first; components below min_component_parallel_size run
-//      inline on the submitting thread while the pool chews the big ones;
-//   5. run the chosen solver per component with one SearchContext per
+//   3. route each remaining component by size:
+//      * >= options.min_intra_parallel_size — solve IN PLACE on the
+//        parent graph through a SubgraphView (graph/subgraph.h): no edge
+//        copy, searches restricted by the kept/active masks, and — with
+//        num_threads > 1 — intra-component speculative parallel candidate
+//        probing (core/probe_executor.h). This is the giant-SCC path: one
+//        huge component no longer pins a single worker.
+//      * smaller — materialize a compact induced subgraph over dense
+//        local ids and schedule it onto a work-stealing pool
+//        (util/thread_pool.h), biggest first; components below
+//        min_component_parallel_size run inline on the submitting thread
+//        while the pool chews the big ones;
+//   4. run the chosen solver per component with one SearchContext per
 //      worker (reentrant search layer, no locks on the hot path);
-//   6. merge covers (vertex ids remapped back to the parent graph),
+//   5. merge covers (vertex ids remapped back to the parent graph),
 //      statuses and per-worker stats.
 //
 // Exactness: per-component solves are bit-identical to a whole-graph
@@ -27,8 +34,13 @@
 // component's internal processing order by computing the candidate order
 // once on the whole graph and projecting it onto the components (local
 // ids ascend with global ids, so id- and edge-ordered sweeps project
-// automatically). The engine determinism test asserts covers are
-// identical across num_threads = 1 and 8 for all six algorithms.
+// automatically). Intra-component probing preserves exactness too:
+// speculative validations commit sequentially in the canonical candidate
+// order, and any verdict the interleaved commits could have invalidated
+// is re-validated against the committed state (see probe_executor.h for
+// the monotonicity argument). The engine determinism tests assert covers
+// are identical across num_threads = 1, 2 and 8 for all six algorithms,
+// on multi-SCC graphs and on single-giant-SCC graphs.
 //
 // Deadlines: one wall-clock budget (options.time_limit_seconds) is shared
 // by every component; each worker polls a private copy of the master

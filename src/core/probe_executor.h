@@ -1,0 +1,86 @@
+// Execution resources for intra-component speculative parallel probing.
+//
+// The SCC-partitioned engine parallelizes *across* components, but the
+// paper's target workloads are dominated by one giant SCC, so the hot
+// path would still be one worker. For components above
+// CoverOptions::min_intra_parallel_size the engine instead parallelizes
+// *inside* the component: candidates are validated speculatively in
+// batches against a frozen snapshot of the solver state (the kept/active
+// masks), fanned out onto the work-stealing pool with one epoch-isolated
+// SearchContext per worker, and then committed sequentially in the
+// canonical candidate order.
+//
+// Exactness hinges on the monotonicity of the per-algorithm state:
+//
+//   * top-down: the kept mask only grows, so a speculative kFound stays
+//     kFound under any later commit; only speculative discharges can be
+//     stale and are re-validated inline when a state change preceded
+//     them in the batch.
+//   * bottom-up: the active mask only shrinks, so a speculative
+//     "no cycle" proof stays valid forever; only speculative kFound
+//     results (whose witness cycle may use a since-deleted vertex) are
+//     redone.
+//   * minimal pruning: the active mask only grows (drops return vertices
+//     to the graph), mirroring the top-down case with the roles of the
+//     outcomes swapped.
+//
+// Every candidate's committed decision therefore equals the decision a
+// sequential sweep would have made, and covers are bit-identical at
+// every thread count — the engine determinism tests assert exactly that.
+#ifndef TDB_CORE_PROBE_EXECUTOR_H_
+#define TDB_CORE_PROBE_EXECUTOR_H_
+
+#include <cstddef>
+#include <span>
+
+#include "search/search_context.h"
+#include "util/thread_pool.h"
+
+namespace tdb {
+
+/// Borrowed resources for one in-place component solve. With a null pool
+/// the solve runs strictly sequentially (still through the view, still
+/// materialization-free); with a pool, candidate validation fans out.
+struct ProbeExecutor {
+  /// Probe pool; null means sequential in-place solving.
+  ThreadPool* pool = nullptr;
+  /// One context per pool worker (size >= pool->num_threads()); used only
+  /// when pool != nullptr.
+  std::span<SearchContext> worker_contexts;
+  /// Scratch for the sequential commit path (and the whole solve when
+  /// pool is null). Required.
+  SearchContext* main_context = nullptr;
+
+  /// Probe batches adapt between 1 and workers() * this factor.
+  int max_batch_factor = 8;
+
+  int workers() const { return pool != nullptr ? pool->num_threads() : 0; }
+
+  /// Batches start at size 1: the solvers' state-mutating phase usually
+  /// comes first (top-down discharges cheaply while G0 is sparse), and a
+  /// 1-batch runs inline on the commit path — sequential semantics, zero
+  /// speculative waste, no pool round-trip.
+  size_t StartBatch() const { return 1; }
+  size_t MaxBatch() const {
+    return static_cast<size_t>(workers()) *
+           static_cast<size_t>(max_batch_factor);
+  }
+};
+
+/// Adaptive batch sizing shared by the probing solvers. Exponential
+/// growth while commits are restart-free (speculation is paying off:
+/// double, up to max), exponential backoff when a quarter or more of the
+/// batch went stale (the phase is mutation-heavy: halve, down to the
+/// inline 1-batch), hold otherwise. Batch size affects scheduling only —
+/// committed decisions are identical for every size — so this needs no
+/// determinism argument beyond the commit loop's.
+inline size_t NextBatchSize(size_t current, size_t executed,
+                            size_t restarts, size_t max_batch) {
+  if (restarts == 0) return current * 2 <= max_batch ? current * 2 : max_batch;
+  if (restarts * 4 >= executed) return current / 2 > 0 ? current / 2 : 1;
+  return current;
+}
+
+}  // namespace tdb
+
+#endif  // TDB_CORE_PROBE_EXECUTOR_H_

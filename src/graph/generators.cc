@@ -174,6 +174,24 @@ PlantedCyclesResult GeneratePlantedCycles(VertexId n, EdgeId dag_edges,
   return result;
 }
 
+CsrGraph GenerateChordedCycle(VertexId n, VertexId chords_per_vertex,
+                              uint64_t seed) {
+  TDB_CHECK(n >= 2);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * (1 + chords_per_vertex));
+  for (VertexId i = 0; i < n; ++i) {
+    edges.push_back(Edge{i, static_cast<VertexId>((i + 1) % n)});
+  }
+  const EdgeId chords = static_cast<EdgeId>(n) * chords_per_vertex;
+  for (EdgeId c = 0; c < chords; ++c) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u != v) edges.push_back(Edge{u, v});
+  }
+  return CsrGraph::FromEdges(n, std::move(edges));
+}
+
 CsrGraph MakeDirectedCycle(VertexId n) {
   TDB_CHECK(n >= 2);
   std::vector<Edge> edges;

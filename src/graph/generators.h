@@ -73,6 +73,15 @@ PlantedCyclesResult GeneratePlantedCycles(VertexId n, EdgeId dag_edges,
                                           VertexId min_len, VertexId max_len,
                                           uint64_t seed);
 
+/// One strongly connected component: a directed cycle backbone over all
+/// `n` vertices (guarantees a single SCC) plus `n * chords_per_vertex`
+/// random chords (duplicates and would-be self-loops are dropped by the
+/// CSR build). The canonical giant-SCC workload of the intra-component
+/// parallel engine — shared by its determinism tests and
+/// bench_giant_scc so the two can never drift apart.
+CsrGraph GenerateChordedCycle(VertexId n, VertexId chords_per_vertex,
+                              uint64_t seed);
+
 /// Simple deterministic shapes used across tests and micro-benchmarks.
 CsrGraph MakeDirectedCycle(VertexId n);
 CsrGraph MakeCompleteDigraph(VertexId n);

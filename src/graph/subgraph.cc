@@ -45,4 +45,33 @@ InducedSubgraph ExtractInducedSubgraph(const CsrGraph& parent,
   return extractor.Extract(members);
 }
 
+SubgraphView::SubgraphView(const CsrGraph& parent,
+                           std::span<const VertexId> members)
+    : parent_(&parent), members_(members) {
+  for (size_t i = 0; i < members_.size(); ++i) {
+    TDB_CHECK(members_[i] < parent.num_vertices());
+    TDB_CHECK_MSG(i == 0 || members_[i - 1] < members_[i],
+                  "members must be sorted ascending and unique");
+  }
+}
+
+EdgeId SubgraphView::CountEdges() const {
+  EdgeId count = 0;
+  for (VertexId g : members_) {
+    for (VertexId w : parent_->OutNeighbors(g)) {
+      if (Contains(w)) ++count;
+    }
+  }
+  return count;
+}
+
+void SubgraphView::FillMemberMask(std::vector<uint8_t>* mask) const {
+  mask->assign(parent_->num_vertices(), 0);
+  for (VertexId g : members_) (*mask)[g] = 1;
+}
+
+InducedSubgraph SubgraphView::Materialize() const {
+  return ExtractInducedSubgraph(*parent_, members_);
+}
+
 }  // namespace tdb

@@ -17,7 +17,8 @@ BfsFilter::BfsFilter(const CsrGraph& graph, SearchContext* context)
 }
 
 uint32_t BfsFilter::ShortestClosedWalk(VertexId start, uint32_t max_hops,
-                                       const uint8_t* active) {
+                                       const uint8_t* active,
+                                       Deadline* deadline) {
   EpochArray<uint8_t>& visited = ctx_->visited;
   std::vector<VertexId>& frontier = ctx_->frontier;
   std::vector<VertexId>& next_frontier = ctx_->next_frontier;
@@ -34,6 +35,7 @@ uint32_t BfsFilter::ShortestClosedWalk(VertexId start, uint32_t max_hops,
   for (uint32_t depth = 0; depth < max_hops; ++depth) {
     next_frontier.clear();
     for (VertexId u : frontier) {
+      if (deadline != nullptr && deadline->Expired()) return kTimedOutWalk;
       for (VertexId w : graph_.OutNeighbors(u)) {
         if (w == start) return depth + 1;
         if (visited.Get(w)) continue;

@@ -16,6 +16,7 @@
 #include "graph/csr_graph.h"
 #include "search/search_context.h"
 #include "util/epoch_array.h"
+#include "util/timer.h"
 
 namespace tdb {
 
@@ -35,13 +36,19 @@ class BfsFilter {
   /// Length of the shortest closed walk through `start` inside the
   /// subgraph induced by `active` (start exempt), or any value > max_hops
   /// if no closed walk of length <= max_hops exists. The exact return in
-  /// the "none" case is max_hops + 1.
+  /// the "none" case is max_hops + 1. If `deadline` (may be null) expires
+  /// mid-scan the filter returns 0 — never a valid walk length — and the
+  /// caller maps that to a timeout.
   ///
   /// Note: a 2-walk over a bidirectional edge counts — it must, because a
   /// depth-1 neighbor can also close a *long* simple cycle, so skipping
   /// those closures would make the filter unsound (see bfs_filter_test).
   uint32_t ShortestClosedWalk(VertexId start, uint32_t max_hops,
-                              const uint8_t* active);
+                              const uint8_t* active,
+                              Deadline* deadline = nullptr);
+
+  /// ShortestClosedWalk's timeout sentinel.
+  static constexpr uint32_t kTimedOutWalk = 0;
 
   /// Number of vertices the last call visited (instrumentation).
   uint64_t last_visited() const { return last_visited_; }

@@ -23,7 +23,11 @@ namespace tdb {
 
 /// Reusable plain-DFS searcher. Reentrant across instances: all mutable
 /// state lives in the SearchContext, so concurrent searches need only
-/// distinct contexts. A single (instance, context) pair is not thread-safe.
+/// distinct contexts — the intra-SCC probing engine runs one instance per
+/// pool worker against a shared `active` mask, which is sound exactly
+/// while the mask is frozen (its batch-validate / sequential-commit cycle
+/// guarantees that). A single (instance, context) pair is not
+/// thread-safe.
 class CycleFinder {
  public:
   /// Self-contained form: owns a private context.

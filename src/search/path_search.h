@@ -33,8 +33,9 @@ namespace tdb {
 /// Reusable block-based searcher. Per-vertex block state is epoch-versioned
 /// so consecutive searches pay O(1) reset. Reentrant across instances: all
 /// mutable state lives in the SearchContext, so concurrent searches need
-/// only distinct contexts. A single (instance, context) pair is not
-/// thread-safe.
+/// only distinct contexts — the intra-SCC probing engine runs one instance
+/// per pool worker against a shared frozen `active` mask. A single
+/// (instance, context) pair is not thread-safe.
 class BlockSearch {
  public:
   /// Self-contained form: owns a private context.

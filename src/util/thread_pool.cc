@@ -47,6 +47,15 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::ParallelFor(
+    size_t count, const std::function<void(size_t index, int worker)>& body) {
+  // `body` is captured by reference: Wait() below outlives every task.
+  for (size_t i = 0; i < count; ++i) {
+    Submit([&body, i](int worker) { body(i, worker); });
+  }
+  Wait();
+}
+
 int ThreadPool::HardwareThreads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }

@@ -44,6 +44,14 @@ class ThreadPool {
   /// Blocks until every submitted task has finished running.
   void Wait();
 
+  /// Runs body(index, worker) for every index in [0, count) across the
+  /// pool and blocks until all iterations finish. The barrier is Wait(),
+  /// which is pool-global, so do not interleave ParallelFor with
+  /// independently submitted tasks. This is the batch primitive behind
+  /// the engine's intra-component speculative candidate probing.
+  void ParallelFor(size_t count,
+                   const std::function<void(size_t index, int worker)>& body);
+
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// std::thread::hardware_concurrency with a floor of 1.

@@ -12,6 +12,7 @@
 #include "core/verifier.h"
 #include "graph/fixtures.h"
 #include "graph/generators.h"
+#include "graph/scc.h"
 
 namespace tdb {
 namespace {
@@ -151,6 +152,128 @@ TEST(EngineTest, OptionVariantsStayDeterministic) {
           << " unconstrained=" << unconstrained;
     }
   }
+}
+
+// The tentpole regression net: on a graph that is ONE giant SCC, the
+// across-component engine degenerates to a single worker, so these tests
+// pin down the intra-component machinery — in-place view solving and
+// speculative parallel probing — for every algorithm.
+TEST(EngineTest, GiantSingleSccIdenticalAcrossThreadCounts) {
+  CsrGraph g = GenerateChordedCycle(150, 3, /*seed=*/9);
+  ASSERT_EQ(ComputeScc(g).num_components, 1);
+  for (CoverAlgorithm algo : kAll) {
+    CoverOptions opts;
+    opts.k = 4;
+    opts.min_component_parallel_size = 1;
+    opts.min_intra_parallel_size = 1;  // force the in-place path
+    opts.num_threads = 1;
+    CoverResult sequential = SolveCycleCover(g, algo, opts);
+    ASSERT_TRUE(sequential.status.ok()) << AlgorithmName(algo);
+    EXPECT_TRUE(VerifyCover(g, sequential.cover, opts, false).feasible)
+        << AlgorithmName(algo);
+    for (int threads : {2, 8}) {
+      opts.num_threads = threads;
+      CoverResult parallel = SolveCycleCover(g, algo, opts);
+      ASSERT_TRUE(parallel.status.ok())
+          << AlgorithmName(algo) << " threads=" << threads;
+      EXPECT_EQ(sequential.cover, parallel.cover)
+          << AlgorithmName(algo) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(EngineTest, InPlaceViewMatchesMaterializedSolve) {
+  CsrGraph g = GenerateChordedCycle(120, 3, /*seed=*/17);
+  for (CoverAlgorithm algo : kAll) {
+    CoverOptions opts;
+    opts.k = 4;
+    opts.num_threads = 1;
+    opts.min_intra_parallel_size = 1;  // in place through the view
+    CoverResult in_place = SolveCycleCover(g, algo, opts);
+    opts.min_intra_parallel_size = 1000000;  // materialized subgraph
+    CoverResult materialized = SolveCycleCover(g, algo, opts);
+    ASSERT_TRUE(in_place.status.ok()) << AlgorithmName(algo);
+    ASSERT_TRUE(materialized.status.ok()) << AlgorithmName(algo);
+    EXPECT_EQ(in_place.cover, materialized.cover) << AlgorithmName(algo);
+  }
+}
+
+TEST(EngineTest, IntraParallelMatchesForEveryOrder) {
+  CsrGraph g = GenerateChordedCycle(100, 3, /*seed=*/23);
+  for (VertexOrder order :
+       {VertexOrder::kByDegreeAsc, VertexOrder::kById,
+        VertexOrder::kByDegreeDesc, VertexOrder::kRandom}) {
+    CoverOptions opts;
+    opts.k = 4;
+    opts.order = order;
+    opts.min_intra_parallel_size = 1;
+    opts.num_threads = 1;
+    CoverResult sequential =
+        SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
+    opts.num_threads = 8;
+    CoverResult parallel =
+        SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
+    ASSERT_TRUE(sequential.status.ok());
+    ASSERT_TRUE(parallel.status.ok());
+    EXPECT_EQ(sequential.cover, parallel.cover)
+        << "order=" << static_cast<int>(order);
+  }
+}
+
+TEST(EngineTest, IntraParallelOptionVariantsStayDeterministic) {
+  CsrGraph g = GenerateChordedCycle(90, 3, /*seed=*/31);
+  for (bool two_cycles : {false, true}) {
+    for (bool unconstrained : {false, true}) {
+      CoverOptions opts;
+      opts.k = 4;
+      opts.include_two_cycles = two_cycles;
+      opts.unconstrained = unconstrained;
+      opts.min_intra_parallel_size = 1;
+      opts.num_threads = 1;
+      CoverResult a = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
+      opts.num_threads = 8;
+      CoverResult b = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
+      ASSERT_TRUE(a.status.ok());
+      ASSERT_TRUE(b.status.ok());
+      EXPECT_EQ(a.cover, b.cover) << "two_cycles=" << two_cycles
+                                  << " unconstrained=" << unconstrained;
+    }
+  }
+}
+
+TEST(EngineTest, IntraParallelReportsProbes) {
+  CsrGraph g = GenerateChordedCycle(100, 3, /*seed=*/41);
+  CoverOptions opts;
+  opts.k = 4;
+  opts.min_intra_parallel_size = 1;
+  opts.num_threads = 4;
+  CoverResult r = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
+  ASSERT_TRUE(r.status.ok());
+  // Some candidates validate speculatively (the adaptive batch falls back
+  // to inline 1-batches during mutation-heavy phases, so not all do).
+  EXPECT_GT(r.stats.intra_probes, 0u);
+  EXPECT_LE(r.stats.intra_probes,
+            static_cast<uint64_t>(2 * g.num_vertices()));
+  opts.num_threads = 1;
+  CoverResult seq = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
+  ASSERT_TRUE(seq.status.ok());
+  EXPECT_EQ(seq.stats.intra_probes, 0u);
+  // Deterministic solver-decision stats stay thread-count independent.
+  EXPECT_EQ(seq.stats.searches, r.stats.searches);
+  EXPECT_EQ(seq.stats.cycles_found, r.stats.cycles_found);
+  EXPECT_EQ(seq.stats.bfs_filtered, r.stats.bfs_filtered);
+}
+
+TEST(EngineTest, IntraParallelTimeoutStillTimesOut) {
+  CsrGraph g = MakeCompleteDigraph(60);
+  CoverOptions opts;
+  opts.k = 6;
+  opts.time_limit_seconds = 1e-9;
+  opts.num_threads = 4;
+  opts.min_intra_parallel_size = 1;
+  CoverResult r = SolveCycleCover(g, CoverAlgorithm::kTdbPlus, opts);
+  EXPECT_TRUE(r.status.IsTimedOut());
+  EXPECT_TRUE(r.cover.empty());
 }
 
 TEST(EngineTest, SkippedComponentsCountAsSccFiltered) {

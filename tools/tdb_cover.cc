@@ -3,7 +3,7 @@
 //   tdb_cover --graph edges.txt --k 5 --algo TDB++ [--verify]
 //             [--two-cycles] [--unconstrained] [--time-limit 60]
 //             [--order deg-asc|id|deg-desc|random] [--threads N]
-//             [--output cover.txt] [--stats]
+//             [--intra-threshold N] [--output cover.txt] [--stats]
 //
 // Reads a SNAP-style text edge list (or TDBG binary with --binary),
 // computes a hop-constrained cycle cover, and prints it (original vertex
@@ -30,6 +30,7 @@ struct CliArgs {
   std::string order = "deg-asc";
   uint32_t k = 5;
   int threads = 1;
+  VertexId intra_threshold = 0;  // 0 = keep the library default
   bool binary = false;
   bool verify = false;
   bool two_cycles = false;
@@ -49,6 +50,8 @@ void PrintUsage() {
       "  --order NAME        deg-asc | id | deg-desc | random\n"
       "  --threads N         SCC-parallel workers (0 = all cores, "
       "default 1)\n"
+      "  --intra-threshold N  min SCC size for in-place solving with\n"
+      "                      intra-SCC parallel probing (default 2048)\n"
       "  --two-cycles        also cover 2-cycles\n"
       "  --unconstrained     cover cycles of every length\n"
       "  --time-limit SEC    wall-clock budget (0 = unlimited)\n"
@@ -93,6 +96,19 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
         std::fprintf(stderr, "invalid --threads value: %s\n", v);
         return false;
       }
+    } else if (arg == "--intra-threshold") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      // strtol rather than strtoul: the latter silently wraps "-1" into
+      // a huge threshold instead of erroring.
+      char* end = nullptr;
+      const long parsed = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || parsed < 1 ||
+          parsed > static_cast<long>(0xFFFFFFFEu)) {
+        std::fprintf(stderr, "invalid --intra-threshold value: %s\n", v);
+        return false;
+      }
+      args->intra_threshold = static_cast<VertexId>(parsed);
     } else if (arg == "--time-limit") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -151,6 +167,9 @@ int main(int argc, char** argv) {
   options.unconstrained = args.unconstrained;
   options.time_limit_seconds = args.time_limit;
   options.num_threads = args.threads;
+  if (args.intra_threshold > 0) {
+    options.min_intra_parallel_size = args.intra_threshold;
+  }
   if (args.order == "deg-asc") {
     options.order = VertexOrder::kByDegreeAsc;
   } else if (args.order == "id") {
