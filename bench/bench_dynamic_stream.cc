@@ -2,44 +2,103 @@
 // the DARC baseline's original publication): amortized per-edge cost of
 // incremental DARC along a transaction stream vs recomputing from scratch
 // at checkpoints.
+//
+// By default the stream is a seeded shuffle of three dataset proxies.
+// With `--stream FILE [--k N]` it instead replays a timestamped stream
+// written by `tdb_graphgen --stream` — the exact workload tdb_serve
+// replays, so the offline comparator and the serving layer are measured
+// on identical input.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/darc.h"
 #include "core/dynamic_darc.h"
 #include "datasets.h"
+#include "graph/graph_io.h"
 #include "table_printer.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tdb;
   using namespace tdb::bench;
 
   const double scale = BenchScale();
-  constexpr uint32_t kHop = 4;
+  uint32_t hop = 4;
+  std::string stream_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stream") == 0 && i + 1 < argc) {
+      stream_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--k") == 0 && i + 1 < argc) {
+      hop = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_dynamic_stream [--stream FILE] [--k N]\n");
+      return 2;
+    }
+  }
 
   std::printf("== Dynamic stream: incremental DARC vs recompute (k = %u) "
               "==\n",
-              kHop);
+              hop);
   TablePrinter table({"Name", "edges", "incr total s", "us/edge",
                       "recompute s", "speedup", "incr |S|", "static |S|"});
-  for (const char* name : {"GNU", "EU", "WKV"}) {
-    const DatasetSpec* spec = FindDataset(name);
-    CsrGraph g = BuildProxy(*spec, scale * 0.5);
+
+  struct Workload {
+    std::string name;
+    VertexId n;
     std::vector<Edge> stream;
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      stream.push_back(Edge{g.EdgeSrc(e), g.EdgeDst(e)});
+  };
+  std::vector<Workload> workloads;
+  if (!stream_path.empty()) {
+    std::vector<TimedEdge> timed;
+    Status st = LoadEdgeStreamText(stream_path, &timed);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot load stream: %s\n",
+                   st.ToString().c_str());
+      return 1;
     }
-    Rng rng(7);
-    for (size_t i = stream.size(); i > 1; --i) {
-      std::swap(stream[i - 1], stream[rng.NextBounded(i)]);
+    std::stable_sort(timed.begin(), timed.end(),
+                     [](const TimedEdge& a, const TimedEdge& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    Workload w;
+    w.name = stream_path;
+    w.n = 0;
+    for (const TimedEdge& e : timed) {
+      w.n = std::max(w.n, std::max(e.src, e.dst) + 1);
+      w.stream.push_back(Edge{e.src, e.dst});
     }
+    workloads.push_back(std::move(w));
+  } else {
+    for (const char* name : {"GNU", "EU", "WKV"}) {
+      const DatasetSpec* spec = FindDataset(name);
+      CsrGraph g = BuildProxy(*spec, scale * 0.5);
+      Workload w;
+      w.name = name;
+      w.n = g.num_vertices();
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        w.stream.push_back(Edge{g.EdgeSrc(e), g.EdgeDst(e)});
+      }
+      Rng rng(7);
+      for (size_t i = w.stream.size(); i > 1; --i) {
+        std::swap(w.stream[i - 1], w.stream[rng.NextBounded(i)]);
+      }
+      workloads.push_back(std::move(w));
+    }
+  }
+
+  for (const Workload& w : workloads) {
+    const std::vector<Edge>& stream = w.stream;
+    CsrGraph g = CsrGraph::FromEdges(w.n, stream);
 
     CoverOptions opts;
-    opts.k = kHop;
+    opts.k = hop;
 
     Timer timer;
-    DynamicDarc dynamic(g.num_vertices(), opts);
+    DynamicDarc dynamic(w.n, opts);
     for (const Edge& e : stream) dynamic.InsertEdge(e.src, e.dst);
     const double incr_s = timer.ElapsedSeconds();
 
@@ -55,7 +114,7 @@ int main() {
     std::snprintf(speed, sizeof(speed), "%.0fx",
                   incr_s > 0 ? static_s / (incr_s / double(stream.size()))
                              : 0.0);
-    table.AddRow({name, FormatCount(stream.size()),
+    table.AddRow({w.name, FormatCount(stream.size()),
                   FormatSeconds(incr_s, false), us,
                   FormatSeconds(static_s, false), speed,
                   FormatCount(dynamic.EdgeCover().size()),

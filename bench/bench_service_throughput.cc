@@ -1,0 +1,191 @@
+// Serving-layer throughput: batched ingest + concurrent admission QPS of
+// the CycleBreakService, swept over admission reader thread counts.
+//
+// Each row replays the identical deterministic workload — a power-law
+// base snapshot plus a seeded random edge stream ingested in batches with
+// synchronous compactions — while N reader threads each fire a fixed
+// number of admission queries. The final transversal size ("cover") must
+// be identical across rows (readers never mutate; ingest is
+// deterministic); any drift is a correctness bug and the bench exits
+// non-zero, mirroring bench_giant_scc's determinism hard-fail.
+//
+// Knobs: TDB_BENCH_SERVICE_N (vertices), TDB_BENCH_SERVICE_BASE_M (base
+// edges), TDB_BENCH_SERVICE_STREAM_M (stream edges),
+// TDB_BENCH_SERVICE_BATCH, TDB_BENCH_SERVICE_QUERIES (per reader).
+// --json PATH emits rows for tools/check_bench_regression.py.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_runner.h"
+#include "graph/generators.h"
+#include "service/cycle_break_service.h"
+#include "table_printer.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace tdb;
+using namespace tdb::bench;
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? static_cast<uint64_t>(std::atoll(env)) : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const VertexId n =
+      static_cast<VertexId>(EnvOr("TDB_BENCH_SERVICE_N", 2000));
+  const EdgeId base_m = EnvOr("TDB_BENCH_SERVICE_BASE_M", 6000);
+  const EdgeId stream_m = EnvOr("TDB_BENCH_SERVICE_STREAM_M", 8000);
+  const size_t batch = EnvOr("TDB_BENCH_SERVICE_BATCH", 256);
+  const uint64_t queries = EnvOr("TDB_BENCH_SERVICE_QUERIES", 40000);
+  constexpr uint32_t kHop = 4;
+
+  // Deterministic workload shared by every row.
+  PowerLawParams params;
+  params.n = n;
+  params.m = base_m;
+  params.theta = 0.6;
+  params.reciprocity = 0.2;
+  params.seed = 7;
+  const CsrGraph base = GeneratePowerLaw(params);
+  std::vector<Edge> stream;
+  {
+    Rng rng(11);
+    stream.reserve(stream_m);
+    for (EdgeId i = 0; i < stream_m; ++i) {
+      VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      if (u == v) v = (v + 1) % n;
+      stream.push_back(Edge{u, v});
+    }
+  }
+
+  std::printf("== Service throughput: ingest %llu edges + admission sweep "
+              "(n=%u, k=%u) ==\n",
+              static_cast<unsigned long long>(stream_m), n, kHop);
+  TablePrinter table({"admit threads", "seconds", "ingest eps",
+                      "admit qps", "cover", "epochs", "compactions"});
+  JsonSink json("service_throughput");
+  json.BeginRow();
+  json.Str("row", "params");
+  json.Num("n", static_cast<uint64_t>(n));
+  json.Num("base_m", base_m);
+  json.Num("stream_m", stream_m);
+  json.Num("batch", static_cast<uint64_t>(batch));
+  json.Num("queries", queries);
+  json.Num("k", static_cast<uint64_t>(kHop));
+
+  // Content digest of the final transversal (sorted S pairs + base cover
+  // + delta size): size-preserving drift across rows must fail too.
+  const auto transversal_digest = [](const ServiceSnapshot& snap) {
+    uint64_t digest = 1469598103934665603ull;  // FNV-1a
+    const auto mix = [&digest](uint64_t x) {
+      digest = (digest ^ x) * 1099511628211ull;
+    };
+    std::vector<std::pair<VertexId, VertexId>> s_edges;
+    s_edges.reserve(snap.cover.covered.size());
+    for (EdgeId e : snap.cover.covered) {
+      s_edges.push_back({snap.graph.EdgeSrc(e), snap.graph.EdgeDst(e)});
+    }
+    std::sort(s_edges.begin(), s_edges.end());
+    for (const auto& [u, v] : s_edges) {
+      mix(u);
+      mix(v);
+    }
+    for (VertexId v : snap.cover.base->vertices) mix(v);
+    mix(snap.graph.delta_edges());
+    return digest;
+  };
+  bool have_reference = false;
+  uint64_t reference_digest = 0;
+  bool determinism_ok = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    ServiceOptions options;
+    options.cover.k = kHop;
+    options.compact_delta_threshold = 2048;
+    options.synchronous_compaction = true;  // deterministic epoch count
+    CsrGraph base_copy = base;  // the service takes ownership per row
+    Timer timer;
+    CycleBreakService service(std::move(base_copy), options);
+    std::vector<std::thread> readers;
+    readers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      readers.emplace_back([&service, t, queries, n] {
+        Rng rng(500 + static_cast<uint64_t>(t));
+        for (uint64_t q = 0; q < queries; ++q) {
+          const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+          const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+          (void)service.CheckAdmission(u, v);
+        }
+      });
+    }
+    for (size_t at = 0; at < stream.size(); at += batch) {
+      const size_t len = std::min(batch, stream.size() - at);
+      service.SubmitEdges(std::span<const Edge>(stream.data() + at, len));
+    }
+    for (auto& r : readers) r.join();
+    const double seconds = timer.ElapsedSeconds();
+
+    const ServiceStatsSnapshot stats = service.Stats();
+    const auto snap = service.PinSnapshot();
+    const uint64_t cover =
+        snap->cover.covered.size() + snap->cover.base->vertices.size();
+    const uint64_t digest = transversal_digest(*snap);
+    if (!have_reference) {
+      have_reference = true;
+      reference_digest = digest;
+    } else if (digest != reference_digest) {
+      determinism_ok = false;
+    }
+    const double eps =
+        seconds > 0 ? static_cast<double>(stream.size()) / seconds : 0;
+    const double qps =
+        seconds > 0
+            ? static_cast<double>(queries) * threads / seconds
+            : 0;
+
+    char sec_s[32], eps_s[32], qps_s[32];
+    std::snprintf(sec_s, sizeof sec_s, "%.3f", seconds);
+    std::snprintf(eps_s, sizeof eps_s, "%.0f", eps);
+    std::snprintf(qps_s, sizeof qps_s, "%.0f", qps);
+    table.AddRow({std::to_string(threads), sec_s, eps_s, qps_s,
+                  FormatCount(cover),
+                  std::to_string(stats.epochs_published),
+                  std::to_string(stats.compactions)});
+    std::fflush(stdout);
+
+    // Identity keys (threads/epochs/compactions) are deterministic;
+    // throughput rates are machine-dependent and stay out of the JSON so
+    // the regression checker matches rows across runners.
+    json.BeginRow();
+    json.Num("threads", static_cast<uint64_t>(threads));
+    json.Num("epochs", stats.epochs_published);
+    json.Num("compactions", stats.compactions);
+    json.Num("seconds", seconds);
+    json.Num("cover", cover);
+  }
+  table.Print();
+
+  if (!determinism_ok) {
+    std::fprintf(stderr,
+                 "DETERMINISM VIOLATION: final transversal content "
+                 "drifted across reader thread counts\n");
+    return 1;
+  }
+  if (!json.Write(JsonSink::PathFromArgs(argc, argv))) return 1;
+  std::printf(
+      "\nReading: admission readers scale with threads while the single\n"
+      "writer ingests at a fixed batch cadence; \"cover\" identical on\n"
+      "every row is the concurrency-safety certificate.\n");
+  return 0;
+}

@@ -57,8 +57,20 @@ struct CoverOptions {
   bool scc_prefilter = false;
   /// Wall-clock budget in seconds; <= 0 means unlimited. On expiry the
   /// result carries Status::TimedOut and the partial cover is NOT a
-  /// feasible cover.
+  /// feasible cover (unless split_budget_by_work is set, below).
   double time_limit_seconds = 0.0;
+  /// Work-budget deadline split. When false (default), every component of
+  /// the partitioned engine polls one shared wall clock and any timeout
+  /// voids the whole result. When true and time_limit_seconds > 0, the
+  /// budget is instead divided across components in proportion to their
+  /// edge mass, each component gets a private deadline for its share, and
+  /// a component that exhausts it falls back to its full vertex set —
+  /// feasible, just not minimal there. The merged result then stays ok
+  /// with stats.components_timed_out counting the fallbacks, so callers
+  /// that must always publish a usable cover (the serving layer's
+  /// compaction) get a fair partial answer instead of nothing. Covers are
+  /// only deterministic while no component times out.
+  bool split_budget_by_work = false;
   /// Seed for VertexOrder::kRandom and DARC edge-order shuffling.
   uint64_t seed = 42;
   /// Arc budget for the DARC-DV line graph (ResourceExhausted beyond).
@@ -116,6 +128,10 @@ struct CoverStats {
   /// candidate in the batch mutated the solver state) and were redone
   /// sequentially.
   uint64_t intra_restarts = 0;
+  /// Components that exhausted their split work budget and fell back to
+  /// their full vertex set (split_budget_by_work mode only; always 0
+  /// otherwise — a shared-clock timeout voids the result instead).
+  uint64_t components_timed_out = 0;
 };
 
 /// A solver run's outcome. `cover` is sorted ascending.

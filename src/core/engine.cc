@@ -102,8 +102,10 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
   if (!result.status.ok()) return result;
 
   Timer timer;
+  // With the work-budget split every component carries a private deadline
+  // (computed below); the shared master clock applies otherwise.
   const Deadline master =
-      options.time_limit_seconds > 0
+      options.time_limit_seconds > 0 && !options.split_budget_by_work
           ? Deadline::AfterSeconds(options.time_limit_seconds)
           : Deadline();
   const VertexId n = graph.num_vertices();
@@ -123,6 +125,32 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
       solvable.push_back(c);
     } else {
       result.stats.scc_filtered += scc.component_size[c];
+    }
+  }
+
+  // Work-budget deadline split: divide the wall-clock budget across the
+  // solvable components in proportion to their edge mass (vertices +
+  // out-degrees — cross-component edges inflate the proxy a little, which
+  // is harmless for a share computation). Each component's deadline
+  // starts when its solve starts, so a fast early component cannot starve
+  // a later one — the "fair partial cover" the serving layer's compaction
+  // needs under timeout.
+  const bool split_budget =
+      options.split_budget_by_work && options.time_limit_seconds > 0;
+  std::vector<double> budget_share;
+  if (split_budget && !solvable.empty()) {
+    budget_share.resize(solvable.size(), 0.0);
+    double total_work = 0.0;
+    for (size_t s = 0; s < solvable.size(); ++s) {
+      double work = 0.0;
+      for (VertexId v : scc.VerticesOf(solvable[s])) {
+        work += 1.0 + static_cast<double>(graph.out_degree(v));
+      }
+      budget_share[s] = work;
+      total_work += work;
+    }
+    for (double& share : budget_share) {
+      share = options.time_limit_seconds * share / total_work;
     }
   }
 
@@ -180,12 +208,28 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
 
   std::vector<CoverResult> slots(solvable.size());
 
+  // Split-budget fallback: a component that exhausted its share keeps its
+  // full vertex set in the cover (trivially feasible there) and the slot
+  // reports ok, so the merged result is a usable partial cover.
+  auto fallback_cover = [&](size_t slot, CoverResult* r) {
+    const auto members = scc.VerticesOf(solvable[slot]);
+    r->cover.assign(members.begin(), members.end());
+    r->stats.components_timed_out = 1;
+    r->status = Status::OK();
+  };
+
+  auto slot_deadline = [&](size_t slot) {
+    return split_budget ? Deadline::AfterSeconds(budget_share[slot])
+                        : master;  // private copy; shared absolute expiry
+  };
+
   auto solve_slot = [&](size_t slot, SearchContext* context,
                         SubgraphExtractor* extractor) {
-    Deadline deadline = master;  // private copy; shared absolute expiry
+    Deadline deadline = slot_deadline(slot);
     if (deadline.ExpiredNow()) {
       slots[slot].status =
           Status::TimedOut("engine: budget exhausted before component");
+      if (split_budget) fallback_cover(slot, &slots[slot]);
       return;
     }
     InducedSubgraph sub = extractor->Extract(scc.VerticesOf(solvable[slot]));
@@ -193,7 +237,11 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
         IsTopDown(algorithm) ? &component_order[slot] : nullptr;
     CoverResult r = SolveOnSubgraph(sub.graph, algorithm, component_options,
                                     order, context, &deadline);
-    for (VertexId& v : r.cover) v = sub.to_global[v];
+    if (split_budget && r.status.IsTimedOut()) {
+      fallback_cover(slot, &r);  // member list is already global ids
+    } else {
+      for (VertexId& v : r.cover) v = sub.to_global[v];
+    }
     slots[slot] = std::move(r);
   };
 
@@ -239,10 +287,11 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
       executor.worker_contexts = worker_contexts;
     }
     for (size_t slot : big_desc) {
-      Deadline deadline = master;
+      Deadline deadline = slot_deadline(slot);
       if (deadline.ExpiredNow()) {
         slots[slot].status =
             Status::TimedOut("engine: budget exhausted before component");
+        if (split_budget) fallback_cover(slot, &slots[slot]);
         continue;
       }
       const SubgraphView view(graph, scc.VerticesOf(solvable[slot]));
@@ -256,6 +305,7 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
                                 algorithm == CoverAlgorithm::kBurPlus,
                                 executor, &deadline);
       }
+      if (split_budget && r.status.IsTimedOut()) fallback_cover(slot, &r);
       slots[slot] = std::move(r);  // cover already in global ids
     }
     merge_context(main_context);
@@ -326,6 +376,7 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
     result.stats.prune_removed += r.stats.prune_removed;
     result.stats.intra_probes += r.stats.intra_probes;
     result.stats.intra_restarts += r.stats.intra_restarts;
+    result.stats.components_timed_out += r.stats.components_timed_out;
     result.cover.insert(result.cover.end(), r.cover.begin(), r.cover.end());
   }
   for (const CoverResult& r : slots) {

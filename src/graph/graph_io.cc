@@ -20,6 +20,34 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+/// Shared line pump of the text loaders: presents each logical data line
+/// (comments and blanks skipped, leading whitespace trimmed) to `fn` as
+/// (text, line_no) and stops on the first non-ok Status. Lines longer
+/// than the 255-byte buffer are presented as their first chunk once and
+/// the tail chunks are dropped — fine for comment lines; numeric data
+/// lines never get near the limit.
+template <typename Fn>
+Status ForEachDataLine(std::FILE* f, Fn&& fn) {
+  char line[256];
+  size_t line_no = 0;
+  bool continuation = false;  // mid-line chunk of an over-long line
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    const size_t len = std::strlen(line);
+    const bool complete = len > 0 && line[len - 1] == '\n';
+    const bool skip_chunk = continuation;
+    // The next chunk continues this line iff no newline was consumed.
+    continuation = !complete;
+    if (skip_chunk) continue;  // tail of an over-long (comment) line
+    ++line_no;
+    const char* p = line;
+    while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+    if (*p == '\0' || *p == '#' || *p == '%') continue;
+    Status st = fn(p, line_no);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status LoadEdgeListText(const std::string& path, CsrGraph* graph,
@@ -37,20 +65,7 @@ Status LoadEdgeListText(const std::string& path, CsrGraph* graph,
     return it->second;
   };
 
-  char line[256];
-  size_t line_no = 0;
-  bool continuation = false;  // mid-line chunk of an over-long line
-  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
-    const size_t len = std::strlen(line);
-    const bool complete = len > 0 && line[len - 1] == '\n';
-    const bool skip_chunk = continuation;
-    // The next chunk continues this line iff no newline was consumed.
-    continuation = !complete;
-    if (skip_chunk) continue;  // tail of an over-long (comment) line
-    ++line_no;
-    const char* p = line;
-    while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
-    if (*p == '\0' || *p == '#' || *p == '%') continue;
+  Status st = ForEachDataLine(f.get(), [&](const char* p, size_t line_no) {
     unsigned long long u = 0;
     unsigned long long v = 0;
     if (std::sscanf(p, "%llu %llu", &u, &v) != 2) {
@@ -58,7 +73,9 @@ Status LoadEdgeListText(const std::string& path, CsrGraph* graph,
                                      std::to_string(line_no));
     }
     edges.push_back(Edge{densify(u), densify(v)});
-  }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
   *graph = CsrGraph::FromEdges(static_cast<VertexId>(inverse.size()),
                                std::move(edges));
   if (original_ids != nullptr) *original_ids = std::move(inverse);
@@ -133,6 +150,42 @@ Status LoadBinary(const std::string& path, CsrGraph* graph) {
   }
   *graph = CsrGraph::FromEdges(static_cast<VertexId>(n), std::move(edges));
   return Status::OK();
+}
+
+Status SaveEdgeStreamText(std::span<const TimedEdge> stream,
+                          const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fprintf(f.get(), "# tdb edge stream: %llu events (src dst ts)\n",
+               static_cast<unsigned long long>(stream.size()));
+  for (const TimedEdge& e : stream) {
+    std::fprintf(f.get(), "%u %u %llu\n", e.src, e.dst,
+                 static_cast<unsigned long long>(e.timestamp));
+  }
+  return Status::OK();
+}
+
+Status LoadEdgeStreamText(const std::string& path,
+                          std::vector<TimedEdge>* stream) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  stream->clear();
+  return ForEachDataLine(f.get(), [&](const char* p, size_t line_no) {
+    unsigned long long u = 0;
+    unsigned long long v = 0;
+    unsigned long long t = 0;
+    if (std::sscanf(p, "%llu %llu %llu", &u, &v, &t) != 3) {
+      return Status::InvalidArgument(path + ": malformed stream line " +
+                                     std::to_string(line_no));
+    }
+    if (u >= kInvalidVertex || v >= kInvalidVertex) {
+      return Status::InvalidArgument(path + ": vertex id overflow, line " +
+                                     std::to_string(line_no));
+    }
+    stream->push_back(TimedEdge{static_cast<VertexId>(u),
+                                static_cast<VertexId>(v), t});
+    return Status::OK();
+  });
 }
 
 }  // namespace tdb

@@ -1,4 +1,5 @@
-// Graph persistence: SNAP-style text edge lists and a compact binary format.
+// Graph persistence: SNAP-style text edge lists, a compact binary format,
+// and timestamped edge streams.
 //
 // Text format (what snap.stanford.edu distributes): one "src dst" pair per
 // line, '#' or '%' comment lines, arbitrary whitespace. Vertex ids may be
@@ -7,9 +8,16 @@
 // Binary format: a fixed little-endian header ("TDBG", version, n, m)
 // followed by the raw edge array — loading a billion-edge graph is one
 // sequential read.
+//
+// Stream format: one "src dst timestamp" triple per line, same comment
+// rules, ids NOT densified (streams address a fixed universe shared with
+// the base snapshot they replay against). tdb_graphgen --stream writes
+// it; tdb_serve and bench_dynamic_stream replay it, so the two can run
+// identical workloads.
 #ifndef TDB_GRAPH_GRAPH_IO_H_
 #define TDB_GRAPH_GRAPH_IO_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,6 +26,15 @@
 #include "util/status.h"
 
 namespace tdb {
+
+/// One stream event: the edge plus its (logical) arrival timestamp.
+struct TimedEdge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  uint64_t timestamp = 0;
+
+  friend bool operator==(const TimedEdge&, const TimedEdge&) = default;
+};
 
 /// Parses a SNAP-style text edge list into `graph`.
 ///
@@ -35,6 +52,15 @@ Status SaveBinary(const CsrGraph& graph, const std::string& path);
 
 /// Loads a TDBG binary file.
 Status LoadBinary(const std::string& path, CsrGraph* graph);
+
+/// Writes a timestamped edge stream as text ("src dst timestamp" lines).
+Status SaveEdgeStreamText(std::span<const TimedEdge> stream,
+                          const std::string& path);
+
+/// Parses a timestamped edge stream. Events keep file order (replay
+/// order); timestamps are carried through untouched.
+Status LoadEdgeStreamText(const std::string& path,
+                          std::vector<TimedEdge>* stream);
 
 }  // namespace tdb
 

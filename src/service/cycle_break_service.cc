@@ -1,0 +1,189 @@
+#include "service/cycle_break_service.h"
+
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "core/solver.h"
+#include "util/check.h"
+
+namespace tdb {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+}  // namespace
+
+Status ServiceOptions::Validate() const {
+  Status st = cover.Validate();
+  if (!st.ok()) return st;
+  if (cover.unconstrained) {
+    return Status::InvalidArgument(
+        "the service maintains hop-constrained covers only");
+  }
+  if (ingest_threads < 0 || ingest_threads > 4096) {
+    return Status::InvalidArgument("ingest_threads out of range");
+  }
+  return Status::OK();
+}
+
+CycleBreakService::CycleBreakService(CsrGraph base,
+                                     const ServiceOptions& options)
+    : options_(options),
+      working_(std::make_shared<const CsrGraph>(std::move(base))) {
+  TDB_CHECK(options_.Validate().ok());
+  if (options_.ingest_threads != 1) {
+    ingest_pool_ = std::make_unique<ThreadPool>(
+        options_.ingest_threads == 0 ? ThreadPool::HardwareThreads()
+                                     : options_.ingest_threads);
+  }
+  const CsrGraph& snapshot = working_.base();
+  CoverResult solved = SolveBase(snapshot);
+  std::vector<VertexId> cover = std::move(solved.cover);
+  if (!solved.status.ok()) {
+    // Always-valid service: fall back to the trivially feasible
+    // all-vertices cover and record the failure.
+    cover.resize(snapshot.num_vertices());
+    std::iota(cover.begin(), cover.end(), VertexId{0});
+    stats_.compactions_failed.fetch_add(1, kRelaxed);
+  }
+  state_.base = BaseCover::FromVertexCover(
+      snapshot.num_vertices(), std::move(cover), solved.status);
+  stats_.compaction_components_timed_out.fetch_add(
+      solved.stats.components_timed_out, kRelaxed);
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  PublishLocked();
+}
+
+CycleBreakService::~CycleBreakService() { WaitForCompaction(); }
+
+SubmitResult CycleBreakService::SubmitEdges(std::span<const Edge> batch) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const BatchAugmentStats s = BatchAugment(&working_, &state_,
+                                           options_.cover, batch,
+                                           ingest_pool_.get());
+  stats_.batches.fetch_add(1, kRelaxed);
+  stats_.edges_submitted.fetch_add(s.submitted, kRelaxed);
+  stats_.edges_inserted.fetch_add(s.inserted, kRelaxed);
+  stats_.edges_rejected.fetch_add(s.rejected, kRelaxed);
+  stats_.cycles_covered.fetch_add(s.cycles_covered, kRelaxed);
+  stats_.path_queries.fetch_add(s.path_queries, kRelaxed);
+  stats_.speculative_probes.fetch_add(s.speculative_probes, kRelaxed);
+  stats_.prunes.fetch_add(s.prunes, kRelaxed);
+  if (ShouldCompactLocked()) CompactLocked();
+  SubmitResult result;
+  result.stats = s;
+  result.epoch = PublishLocked();
+  return result;
+}
+
+AdmissionVerdict CycleBreakService::CheckAdmission(VertexId u,
+                                                   VertexId v) const {
+  const auto pinned = published_.Load();
+  PathProber prober(pinned.state->options);
+  const AdmissionVerdict verdict =
+      CheckAdmissionOn(*pinned.state, u, v, &prober);
+  stats_.admission_queries.fetch_add(1, kRelaxed);
+  if (verdict.would_close) {
+    stats_.admission_would_close.fetch_add(1, kRelaxed);
+  }
+  return verdict;
+}
+
+std::shared_ptr<const ServiceSnapshot> CycleBreakService::PinSnapshot()
+    const {
+  return published_.Load().state;
+}
+
+void CycleBreakService::WaitForCompaction() {
+  std::lock_guard<std::mutex> lock(compact_mu_);
+  if (compact_thread_.joinable()) compact_thread_.join();
+}
+
+uint64_t CycleBreakService::PublishLocked() {
+  auto snapshot = std::make_shared<ServiceSnapshot>(working_, state_,
+                                                    options_.cover);
+  // writer_mu_ serializes every Store, so the pre-stamped epoch and the
+  // one EpochPtr assigns must agree; the check pins that invariant.
+  const uint64_t next_epoch = published_.epoch() + 1;
+  snapshot->epoch = next_epoch;
+  const uint64_t epoch = published_.Store(std::move(snapshot));
+  TDB_CHECK(epoch == next_epoch);
+  stats_.epochs_published.fetch_add(1, kRelaxed);
+  return epoch;
+}
+
+bool CycleBreakService::ShouldCompactLocked() const {
+  return options_.compact_delta_threshold > 0 &&
+         working_.delta_edges() >= options_.compact_delta_threshold &&
+         !compact_running_.load(std::memory_order_acquire);
+}
+
+void CycleBreakService::CompactLocked() {
+  const EdgeId cut_delta = working_.delta_edges();
+  if (options_.synchronous_compaction) {
+    auto input = std::make_shared<const CsrGraph>(working_.ToCsr());
+    InstallCompactionLocked(input, cut_delta, SolveBase(*input));
+    return;  // the caller's publish covers the swap
+  }
+  compact_running_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(compact_mu_);
+  // A previous compaction thread can only be joinable here if it already
+  // finished (compact_running_ was false), so this join is immediate.
+  if (compact_thread_.joinable()) compact_thread_.join();
+  // Only an O(delta) overlay copy happens under writer_mu_; the O(n + m)
+  // CSR materialization and the solve run on the compaction thread.
+  compact_thread_ = std::thread([this, cut_delta, frozen = working_] {
+    auto input = std::make_shared<const CsrGraph>(frozen.ToCsr());
+    CoverResult solved = SolveBase(*input);  // no locks held
+    {
+      std::lock_guard<std::mutex> writer_lock(writer_mu_);
+      InstallCompactionLocked(input, cut_delta, std::move(solved));
+      PublishLocked();
+    }
+    compact_running_.store(false, std::memory_order_release);
+  });
+}
+
+void CycleBreakService::InstallCompactionLocked(
+    std::shared_ptr<const CsrGraph> base, EdgeId cut_delta,
+    CoverResult solved) {
+  const VertexId n = base->num_vertices();
+  std::vector<VertexId> cover = std::move(solved.cover);
+  if (!solved.status.ok()) {
+    cover.resize(n);
+    std::iota(cover.begin(), cover.end(), VertexId{0});
+    stats_.compactions_failed.fetch_add(1, kRelaxed);
+  }
+  // Edges that arrived after the compaction cut stay in the delta and are
+  // replayed below against the fresh base, which restores the invariant
+  // for cycles mixing pre- and post-cut edges (the new vertex cover only
+  // accounts for pre-cut ones).
+  const auto delta = working_.delta();
+  const std::vector<Edge> remaining(delta.begin() + cut_delta, delta.end());
+  working_ = OverlayGraph(std::move(base));
+  state_ = TransversalState{};
+  state_.base = BaseCover::FromVertexCover(n, std::move(cover),
+                                           solved.status);
+  const BatchAugmentStats replay = BatchAugment(
+      &working_, &state_, options_.cover, remaining, ingest_pool_.get());
+  // Replayed edges were already counted at their original submission;
+  // only the fresh search work is new.
+  stats_.cycles_covered.fetch_add(replay.cycles_covered, kRelaxed);
+  stats_.path_queries.fetch_add(replay.path_queries, kRelaxed);
+  stats_.speculative_probes.fetch_add(replay.speculative_probes, kRelaxed);
+  stats_.prunes.fetch_add(replay.prunes, kRelaxed);
+  stats_.compactions.fetch_add(1, kRelaxed);
+  stats_.compaction_components_timed_out.fetch_add(
+      solved.stats.components_timed_out, kRelaxed);
+}
+
+CoverResult CycleBreakService::SolveBase(const CsrGraph& graph) const {
+  CoverOptions opts = options_.cover;
+  opts.time_limit_seconds = options_.compact_time_limit_seconds;
+  opts.split_budget_by_work = opts.time_limit_seconds > 0;
+  return SolveCycleCover(graph, options_.compact_algorithm, opts);
+}
+
+}  // namespace tdb

@@ -1,0 +1,171 @@
+// Online cycle-break service: concurrent batched ingest + admission
+// queries over a snapshot/delta graph store.
+//
+// This is the serving layer for the paper's motivating deployment
+// (online fraud prevention): a long-lived process owns the transaction
+// graph and answers, for every incoming edge, "would admitting this edge
+// close a hop-constrained cycle that nothing covers yet?" — while
+// ingesting the edges that were admitted.
+//
+// Architecture (one writer, many readers, background compaction):
+//
+//   * The graph lives as an immutable CSR snapshot plus a mutable delta
+//     overlay (graph/overlay_graph.h). The transversal has a matching
+//     two-layer shape: the snapshot's vertex cover from the last full
+//     solve plus incremental covered-edge sets (core/batch_augment.h).
+//   * SubmitEdges (the single writer, internally serialized) ingests a
+//     batch: insertions, speculative parallel cycle probes on the ingest
+//     ThreadPool, sequential AUGMENT commits, one PRUNE pass — then
+//     publishes a frozen copy-on-write ServiceSnapshot through an
+//     EpochPtr (util/epoch_ptr.h). Publication cost is O(delta + |S|),
+//     never O(graph).
+//   * CheckAdmission (any number of concurrent readers) pins the latest
+//     snapshot and runs a read-only bounded path probe against it. A
+//     pinned snapshot stays valid forever; readers never block the
+//     writer beyond the pointer swap itself.
+//   * When the delta exceeds compact_delta_threshold, the service
+//     compacts: freeze base+delta into a fresh CSR, re-run the full
+//     SCC-partitioned parallel engine (SolveCycleCover) on it — in the
+//     background by default, under a work-budget-split deadline so even
+//     a timed-out solve yields a fair partial cover — then atomically
+//     install the new base, replay the edges that arrived during the
+//     solve, and publish. Readers are never blocked; the writer is
+//     blocked only for the install itself.
+#ifndef TDB_SERVICE_CYCLE_BREAK_SERVICE_H_
+#define TDB_SERVICE_CYCLE_BREAK_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+
+#include "core/batch_augment.h"
+#include "core/cover_options.h"
+#include "graph/csr_graph.h"
+#include "graph/overlay_graph.h"
+#include "service/snapshot.h"
+#include "service/stats.h"
+#include "util/epoch_ptr.h"
+#include "util/thread_pool.h"
+
+namespace tdb {
+
+/// Configuration of a CycleBreakService.
+struct ServiceOptions {
+  /// Cycle semantics (k, include_two_cycles) for ingest and admission,
+  /// plus the engine knobs (num_threads, thresholds, order) used by
+  /// compaction solves. `unconstrained` is rejected — the service is a
+  /// hop-constrained system. time_limit_seconds here is ignored; use
+  /// compact_time_limit_seconds.
+  CoverOptions cover;
+  /// Algorithm for the initial solve and every compaction.
+  CoverAlgorithm compact_algorithm = CoverAlgorithm::kTdbPlusPlus;
+  /// Delta size (edges) that triggers a compaction after a SubmitEdges;
+  /// 0 disables compaction entirely.
+  EdgeId compact_delta_threshold = 4096;
+  /// Run compactions inline inside the triggering SubmitEdges instead of
+  /// on a background thread. Deterministic epoch sequence — intended for
+  /// tests and benchmarks; production wants the default.
+  bool synchronous_compaction = false;
+  /// Workers for the speculative per-edge ingest probes: 1 = sequential,
+  /// 0 = one per hardware thread. The committed state is identical at
+  /// every setting.
+  int ingest_threads = 1;
+  /// Wall-clock budget per compaction solve (and the constructor's
+  /// initial solve); <= 0 = unlimited. When set, the engine runs with
+  /// split_budget_by_work so a timed-out solve still yields a feasible
+  /// partial cover instead of failing the compaction.
+  double compact_time_limit_seconds = 0.0;
+
+  Status Validate() const;
+};
+
+/// Outcome of one SubmitEdges call.
+struct SubmitResult {
+  /// Epoch of the state this call published.
+  uint64_t epoch = 0;
+  BatchAugmentStats stats;
+};
+
+/// Long-lived serving object. Thread-safety contract: SubmitEdges may be
+/// called from any thread (calls are serialized internally);
+/// CheckAdmission / PinSnapshot / Stats / epoch may be called from any
+/// number of threads concurrently with everything else.
+class CycleBreakService {
+ public:
+  /// Takes ownership of the base snapshot and synchronously computes its
+  /// initial cover with compact_algorithm (epoch 1). If that solve fails
+  /// (e.g. DARC-DV line-graph budget), the service falls back to the
+  /// all-vertices cover — always feasible — and records the failure in
+  /// Stats() and in the published BaseCover::solve_status.
+  CycleBreakService(CsrGraph base, const ServiceOptions& options);
+  ~CycleBreakService();
+
+  CycleBreakService(const CycleBreakService&) = delete;
+  CycleBreakService& operator=(const CycleBreakService&) = delete;
+
+  /// Ingests a batch of edges (duplicates / self-loops / out-of-universe
+  /// endpoints are counted and skipped), restores the cover invariant,
+  /// publishes the new state, and possibly triggers a compaction.
+  SubmitResult SubmitEdges(std::span<const Edge> batch);
+
+  /// Would admitting u -> v close an uncovered constrained cycle?
+  /// Lock-free against the latest published snapshot.
+  AdmissionVerdict CheckAdmission(VertexId u, VertexId v) const;
+
+  /// Pins the latest published snapshot (never null after construction).
+  std::shared_ptr<const ServiceSnapshot> PinSnapshot() const;
+
+  /// Latest published epoch.
+  uint64_t epoch() const { return published_.epoch(); }
+
+  ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
+
+  /// Blocks until no background compaction is in flight. (Shutdown and
+  /// test barrier; the destructor calls it.)
+  void WaitForCompaction();
+
+ private:
+  /// Copies the working state into a fresh snapshot and publishes it.
+  /// Requires writer_mu_.
+  uint64_t PublishLocked();
+  /// Requires writer_mu_.
+  bool ShouldCompactLocked() const;
+  /// Captures the compaction input and either solves inline
+  /// (synchronous_compaction) or launches the background solve.
+  /// Requires writer_mu_.
+  void CompactLocked();
+  /// Swaps in the solved base, resets the incremental layer, and replays
+  /// the `remaining` delta edges that arrived during the solve.
+  /// Requires writer_mu_.
+  void InstallCompactionLocked(std::shared_ptr<const CsrGraph> base,
+                               EdgeId cut_delta, CoverResult solved);
+  /// The full-engine solve used at construction and for compactions.
+  CoverResult SolveBase(const CsrGraph& graph) const;
+
+  const ServiceOptions options_;
+  std::unique_ptr<ThreadPool> ingest_pool_;
+
+  /// Serializes SubmitEdges, publication, and compaction install.
+  std::mutex writer_mu_;
+  OverlayGraph working_;    // guarded by writer_mu_
+  TransversalState state_;  // guarded by writer_mu_
+
+  EpochPtr<ServiceSnapshot> published_;
+
+  /// Guards the compaction thread handle. Lock order: writer_mu_ before
+  /// compact_mu_; the compaction thread itself only ever takes
+  /// writer_mu_, and the handle is only joined once the thread is past
+  /// its last use of it (compact_running_ false) or from
+  /// WaitForCompaction, which holds neither lock the thread needs.
+  std::mutex compact_mu_;
+  std::thread compact_thread_;
+  std::atomic<bool> compact_running_{false};
+
+  mutable ServiceStats stats_;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_SERVICE_CYCLE_BREAK_SERVICE_H_

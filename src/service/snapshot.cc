@@ -1,0 +1,28 @@
+#include "service/snapshot.h"
+
+namespace tdb {
+
+AdmissionVerdict CheckAdmissionOn(const ServiceSnapshot& snapshot,
+                                  VertexId u, VertexId v,
+                                  PathProber* prober) {
+  AdmissionVerdict verdict;
+  verdict.epoch = snapshot.epoch;
+  const VertexId n = snapshot.graph.num_vertices();
+  // No-op insertions (self-loop, outside the universe, already present)
+  // close nothing.
+  if (u == v || u >= n || v >= n) return verdict;
+  if (snapshot.graph.HasEdge(u, v)) return verdict;
+  // If u is in the base vertex cover, the closing edge u -> v would
+  // itself be covered, so any cycle it closes is broken by construction.
+  if (snapshot.cover.VertexCovered(u)) return verdict;
+  // Otherwise the edge closes an uncovered cycle iff an uncovered simple
+  // path v ->* u with hop count in [min_len - 1, k - 1] exists.
+  if (prober->FindPath(snapshot.graph, snapshot.cover, v, u,
+                       /*path=*/nullptr)) {
+    verdict.would_close = true;
+    verdict.admissible = false;
+  }
+  return verdict;
+}
+
+}  // namespace tdb

@@ -1,0 +1,61 @@
+// Immutable published state of the cycle-break service.
+//
+// One ServiceSnapshot is the unit of the service's epoch/publish
+// protocol: a frozen OverlayGraph (shared CSR base + the delta as of the
+// publish) together with the transversal that covers every constrained
+// cycle of exactly that graph. Readers pin a snapshot via the service's
+// EpochPtr and run admission checks against it lock-free for as long as
+// they like — newer publishes and even compactions cannot invalidate a
+// pinned state, because nothing in it is ever mutated.
+#ifndef TDB_SERVICE_SNAPSHOT_H_
+#define TDB_SERVICE_SNAPSHOT_H_
+
+#include <cstdint>
+
+#include "core/batch_augment.h"
+#include "core/cover_options.h"
+#include "graph/overlay_graph.h"
+
+namespace tdb {
+
+/// One published (graph, cover) pair. Immutable after publication.
+struct ServiceSnapshot {
+  /// Publication epoch (1 for the state published by the constructor,
+  /// +1 per subsequent publish).
+  uint64_t epoch = 0;
+  /// The graph as of this epoch: shared base CSR + frozen delta copy.
+  OverlayGraph graph;
+  /// The transversal covering every constrained cycle of `graph`.
+  TransversalState cover;
+  /// The cycle semantics the cover was maintained under (k, 2-cycles).
+  CoverOptions options;
+
+  ServiceSnapshot(OverlayGraph g, TransversalState c, CoverOptions o)
+      : graph(std::move(g)), cover(std::move(c)), options(std::move(o)) {}
+};
+
+/// Verdict of one admission query.
+struct AdmissionVerdict {
+  /// True iff admitting the edge cannot close an uncovered constrained
+  /// cycle (it may still close covered ones — those are already broken).
+  bool admissible = true;
+  /// True iff the edge would close at least one uncovered constrained
+  /// cycle (= !admissible; split out for readability at call sites).
+  bool would_close = false;
+  /// Epoch of the snapshot the verdict was computed against.
+  uint64_t epoch = 0;
+};
+
+/// Read-only admission check against a pinned snapshot: would inserting
+/// u -> v close a constrained cycle that no covered edge breaks? Safe to
+/// call from any number of threads concurrently (the snapshot is
+/// immutable; `prober` carries the per-thread scratch). Self-loops,
+/// duplicates of existing edges, and out-of-universe endpoints are
+/// admissible by definition (inserting them is a no-op).
+AdmissionVerdict CheckAdmissionOn(const ServiceSnapshot& snapshot,
+                                  VertexId u, VertexId v,
+                                  PathProber* prober);
+
+}  // namespace tdb
+
+#endif  // TDB_SERVICE_SNAPSHOT_H_

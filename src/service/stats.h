@@ -1,0 +1,122 @@
+// Instrumentation for the online cycle-break service.
+//
+// ServiceStats is written from concurrent ingest/admission/compaction
+// paths, so every counter is a relaxed atomic — the numbers are
+// monitoring data, not synchronization. LatencyHistogram is the same
+// idea for latencies: fixed power-of-two buckets over nanoseconds,
+// lock-free recording, approximate percentiles (each reported value is
+// the upper bound of its bucket, i.e. within 2x of the true value —
+// plenty for a p50/p95/p99 serving dashboard).
+#ifndef TDB_SERVICE_STATS_H_
+#define TDB_SERVICE_STATS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace tdb {
+
+/// Plain-value snapshot of ServiceStats (each counter is exact at read
+/// time; cross-counter invariants are not guaranteed mid-flight).
+struct ServiceStatsSnapshot {
+  uint64_t batches = 0;
+  uint64_t edges_submitted = 0;
+  uint64_t edges_inserted = 0;
+  uint64_t edges_rejected = 0;
+  uint64_t cycles_covered = 0;
+  uint64_t path_queries = 0;
+  uint64_t speculative_probes = 0;
+  uint64_t prunes = 0;
+  uint64_t admission_queries = 0;
+  uint64_t admission_would_close = 0;
+  uint64_t epochs_published = 0;
+  uint64_t compactions = 0;
+  uint64_t compactions_failed = 0;
+  uint64_t compaction_components_timed_out = 0;
+};
+
+/// Monotonic service counters; all members are thread-safe to bump with
+/// fetch_add(std::memory_order_relaxed).
+struct ServiceStats {
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> edges_submitted{0};
+  std::atomic<uint64_t> edges_inserted{0};
+  std::atomic<uint64_t> edges_rejected{0};
+  std::atomic<uint64_t> cycles_covered{0};
+  std::atomic<uint64_t> path_queries{0};
+  std::atomic<uint64_t> speculative_probes{0};
+  std::atomic<uint64_t> prunes{0};
+  std::atomic<uint64_t> admission_queries{0};
+  std::atomic<uint64_t> admission_would_close{0};
+  std::atomic<uint64_t> epochs_published{0};
+  std::atomic<uint64_t> compactions{0};
+  std::atomic<uint64_t> compactions_failed{0};
+  std::atomic<uint64_t> compaction_components_timed_out{0};
+
+  ServiceStatsSnapshot Snapshot() const {
+    ServiceStatsSnapshot out;
+    const auto get = [](const std::atomic<uint64_t>& c) {
+      return c.load(std::memory_order_relaxed);
+    };
+    out.batches = get(batches);
+    out.edges_submitted = get(edges_submitted);
+    out.edges_inserted = get(edges_inserted);
+    out.edges_rejected = get(edges_rejected);
+    out.cycles_covered = get(cycles_covered);
+    out.path_queries = get(path_queries);
+    out.speculative_probes = get(speculative_probes);
+    out.prunes = get(prunes);
+    out.admission_queries = get(admission_queries);
+    out.admission_would_close = get(admission_would_close);
+    out.epochs_published = get(epochs_published);
+    out.compactions = get(compactions);
+    out.compactions_failed = get(compactions_failed);
+    out.compaction_components_timed_out =
+        get(compaction_components_timed_out);
+    return out;
+  }
+};
+
+/// Lock-free log2-bucketed latency histogram over nanoseconds.
+class LatencyHistogram {
+ public:
+  /// Records one sample. Thread-safe, wait-free.
+  void Record(double seconds) {
+    const double ns = seconds * 1e9;
+    const uint64_t ticks = ns <= 1.0 ? 1 : static_cast<uint64_t>(ns);
+    const int bucket = 64 - std::countl_zero(ticks);
+    counts_[bucket >= kBuckets ? kBuckets - 1 : bucket].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  uint64_t TotalCount() const {
+    uint64_t total = 0;
+    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Approximate p-th percentile (p in [0, 1]) in seconds: the upper edge
+  /// of the bucket containing that rank, or 0 with no samples.
+  double PercentileSeconds(double p) const {
+    const uint64_t total = TotalCount();
+    if (total == 0) return 0.0;
+    uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+    if (rank >= total) rank = total - 1;
+    uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts_[b].load(std::memory_order_relaxed);
+      if (seen > rank) {
+        return static_cast<double>(uint64_t{1} << b) * 1e-9;
+      }
+    }
+    return 0.0;
+  }
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::atomic<uint64_t> counts_[kBuckets] = {};
+};
+
+}  // namespace tdb
+
+#endif  // TDB_SERVICE_STATS_H_

@@ -5,14 +5,21 @@
 //   tdb_graphgen --proxy WKV [--scale 1.0] --out wkv.txt [--binary]
 //   tdb_graphgen --er N M [--seed S] --out er.txt
 //   tdb_graphgen --powerlaw N M THETA RECIP [--seed S] --out pl.txt
+//   tdb_graphgen --er N M --stream --out er_stream.txt
+//
+// --stream emits the generated edges as a shuffled timestamped stream
+// ("u v t" per line, t = arrival index) instead of a graph file, so
+// tdb_serve and bench_dynamic_stream can replay the identical workload.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "datasets.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -23,8 +30,28 @@ void PrintUsage() {
       "  tdb_graphgen --proxy NAME [--scale X] --out FILE [--binary]\n"
       "  tdb_graphgen --er N M [--seed S] --out FILE [--binary]\n"
       "  tdb_graphgen --powerlaw N M THETA RECIP [--seed S] --out FILE\n"
+      "  any of the above + --stream: write a shuffled timestamped edge\n"
+      "  stream (one \"u v t\" per line; shuffle seeded by --seed)\n"
       "proxies: WKV ASC GNU EU SAD WND CT WST LOAN WIT WGO WBS FLK LJ WKP "
       "TW\n");
+}
+
+/// The generated graph's edges in a seeded-shuffle arrival order with
+/// timestamps 0, 1, 2, ... — the canonical replay workload.
+std::vector<tdb::TimedEdge> ToStream(const tdb::CsrGraph& g, uint64_t seed) {
+  std::vector<tdb::TimedEdge> stream;
+  stream.reserve(g.num_edges());
+  for (tdb::EdgeId e = 0; e < g.num_edges(); ++e) {
+    stream.push_back(tdb::TimedEdge{g.EdgeSrc(e), g.EdgeDst(e), 0});
+  }
+  tdb::Rng rng(seed);
+  for (size_t i = stream.size(); i > 1; --i) {
+    std::swap(stream[i - 1], stream[rng.NextBounded(i)]);
+  }
+  for (size_t i = 0; i < stream.size(); ++i) {
+    stream[i].timestamp = i;
+  }
+  return stream;
 }
 
 }  // namespace
@@ -33,6 +60,7 @@ int main(int argc, char** argv) {
   using namespace tdb;
   std::string out_path;
   std::string proxy;
+  bool stream = false;
   bool binary = false;
   bool use_er = false;
   bool use_pl = false;
@@ -66,6 +94,8 @@ int main(int argc, char** argv) {
       seed = static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--binary") {
       binary = true;
+    } else if (arg == "--stream") {
+      stream = true;
     } else if (arg == "--er" && i + 2 < argc) {
       use_er = true;
       n = static_cast<VertexId>(std::atoll(argv[++i]));
@@ -108,8 +138,12 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr, "generated: %s\n",
                ComputeStats(g).ToString().c_str());
-  Status st =
-      binary ? SaveBinary(g, out_path) : SaveEdgeListText(g, out_path);
+  Status st;
+  if (stream) {
+    st = SaveEdgeStreamText(ToStream(g, seed), out_path);
+  } else {
+    st = binary ? SaveBinary(g, out_path) : SaveEdgeListText(g, out_path);
+  }
   if (!st.ok()) {
     std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
     return 1;

@@ -1,0 +1,302 @@
+// tdb_serve: stream-replay driver for the online cycle-break service.
+//
+//   tdb_serve --stream FILE [--base FILE] [--k 5] [--batch 256]
+//             [--admit-threads 2] [--ingest-threads 1] [--algo TDB++]
+//             [--compact-threshold 4096] [--sync-compaction] [--gate]
+//             [--two-cycles] [--seed 42] [--compact-budget SEC]
+//
+// Replays a timestamped edge stream (tdb_graphgen --stream) through a
+// CycleBreakService: the main thread ingests in batches while
+// --admit-threads reader threads fire CheckAdmission queries drawn from
+// the same vertex universe, concurrently and without coordination. With
+// --gate, each stream edge is admission-checked first and dropped when it
+// would close an uncovered cycle — the fraud-prevention deployment shape.
+// Gate verdicts come from the last *published* snapshot, so admitted
+// edges still pending in the current batch window are invisible to the
+// check (a cycle completed entirely within one batch passes the gate and
+// is covered at ingest instead); run with --batch 1 for exact per-edge
+// gating. Reports ingest/admission throughput and latency percentiles.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/graph_io.h"
+#include "service/cycle_break_service.h"
+#include "service/ingest_batcher.h"
+#include "service/stats.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace tdb;
+
+struct CliArgs {
+  std::string stream_path;
+  std::string base_path;
+  std::string algo = "TDB++";
+  uint32_t k = 5;
+  size_t batch = 256;
+  int admit_threads = 2;
+  int ingest_threads = 1;
+  EdgeId compact_threshold = 4096;
+  double compact_budget = 0.0;
+  uint64_t seed = 42;
+  bool sync_compaction = false;
+  bool gate = false;
+  bool two_cycles = false;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: tdb_serve --stream FILE [options]\n"
+      "  --stream FILE         timestamped edge stream (tdb_graphgen "
+      "--stream)\n"
+      "  --base FILE           SNAP-style edge list to preload as the "
+      "snapshot\n"
+      "  --k N                 hop constraint (default 5)\n"
+      "  --batch N             ingest batch size (default 256)\n"
+      "  --admit-threads N     concurrent admission reader threads "
+      "(default 2)\n"
+      "  --ingest-threads N    speculative probe workers (default 1)\n"
+      "  --algo NAME           compaction algorithm (default TDB++)\n"
+      "  --compact-threshold N delta size triggering compaction "
+      "(default 4096, 0 = never)\n"
+      "  --compact-budget SEC  work-budget-split deadline per compaction\n"
+      "  --sync-compaction     compact inline instead of in background\n"
+      "  --gate                drop stream edges that would close an\n"
+      "                        uncovered cycle instead of ingesting them\n"
+      "                        (verdicts see the last published batch;\n"
+      "                        use --batch 1 for exact per-edge gating)\n"
+      "  --two-cycles          also treat 2-cycles as cycles\n"
+      "  --seed S              admission query workload seed\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--stream" && (v = next()) != nullptr) {
+      args->stream_path = v;
+    } else if (arg == "--base" && (v = next()) != nullptr) {
+      args->base_path = v;
+    } else if (arg == "--algo" && (v = next()) != nullptr) {
+      args->algo = v;
+    } else if (arg == "--k" && (v = next()) != nullptr) {
+      args->k = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--batch" && (v = next()) != nullptr) {
+      args->batch = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--admit-threads" && (v = next()) != nullptr) {
+      args->admit_threads = std::atoi(v);
+    } else if (arg == "--ingest-threads" && (v = next()) != nullptr) {
+      args->ingest_threads = std::atoi(v);
+    } else if (arg == "--compact-threshold" && (v = next()) != nullptr) {
+      args->compact_threshold = static_cast<EdgeId>(std::atoll(v));
+    } else if (arg == "--compact-budget" && (v = next()) != nullptr) {
+      args->compact_budget = std::atof(v);
+    } else if (arg == "--seed" && (v = next()) != nullptr) {
+      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--sync-compaction") {
+      args->sync_compaction = true;
+    } else if (arg == "--gate") {
+      args->gate = true;
+    } else if (arg == "--two-cycles") {
+      args->two_cycles = true;
+    } else {
+      if (arg != "--help" && arg != "-h") {
+        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      }
+      return false;
+    }
+  }
+  return !args->stream_path.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintUsage();
+    return 2;
+  }
+
+  std::vector<TimedEdge> stream;
+  Status st = LoadEdgeStreamText(args.stream_path, &stream);
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot load stream: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const TimedEdge& a, const TimedEdge& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+
+  // The stream format addresses raw (non-densified) vertex ids, so the
+  // base must be re-expressed over the same raw ids — LoadEdgeListText
+  // densifies in first-appearance order, which would silently renumber a
+  // base whose file order is not already dense.
+  std::vector<Edge> base_edges;
+  VertexId universe = 0;
+  if (!args.base_path.empty()) {
+    CsrGraph dense;
+    std::vector<uint64_t> original_ids;
+    st = LoadEdgeListText(args.base_path, &dense, &original_ids);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot load base: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    for (uint64_t raw : original_ids) {
+      if (raw >= kInvalidVertex) {
+        std::fprintf(stderr,
+                     "base vertex id %llu does not fit the stream's "
+                     "32-bit universe\n",
+                     static_cast<unsigned long long>(raw));
+        return 1;
+      }
+      universe = std::max(universe, static_cast<VertexId>(raw) + 1);
+    }
+    base_edges.reserve(dense.num_edges());
+    for (EdgeId e = 0; e < dense.num_edges(); ++e) {
+      base_edges.push_back(
+          Edge{static_cast<VertexId>(original_ids[dense.EdgeSrc(e)]),
+               static_cast<VertexId>(original_ids[dense.EdgeDst(e)])});
+    }
+  }
+  for (const TimedEdge& e : stream) {
+    universe = std::max(universe, std::max(e.src, e.dst) + 1);
+  }
+  CsrGraph base = CsrGraph::FromEdges(universe, std::move(base_edges));
+
+  ServiceOptions options;
+  options.cover.k = args.k;
+  options.cover.include_two_cycles = args.two_cycles;
+  options.compact_delta_threshold = args.compact_threshold;
+  options.synchronous_compaction = args.sync_compaction;
+  options.ingest_threads = args.ingest_threads;
+  options.compact_time_limit_seconds = args.compact_budget;
+  st = ParseAlgorithm(args.algo, &options.compact_algorithm);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  st = options.Validate();
+  if (!st.ok()) {
+    std::fprintf(stderr, "bad options: %s\n", st.ToString().c_str());
+    return 2;
+  }
+
+  std::fprintf(stderr,
+               "serving universe of %u vertices: base %llu edges, stream "
+               "%zu events\n",
+               universe, static_cast<unsigned long long>(base.num_edges()),
+               stream.size());
+
+  Timer setup_timer;
+  CycleBreakService service(std::move(base), options);
+  std::fprintf(stderr, "initial solve + publish: %.3fs (epoch %llu)\n",
+               setup_timer.ElapsedSeconds(),
+               static_cast<unsigned long long>(service.epoch()));
+
+  LatencyHistogram ingest_lat;
+  LatencyHistogram admit_lat;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> background_queries{0};
+
+  // Background admission readers: uniform random pairs over the universe,
+  // each thread with a private seeded stream.
+  std::vector<std::thread> readers;
+  for (int t = 0; t < args.admit_threads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(args.seed + 1000 + static_cast<uint64_t>(t));
+      uint64_t count = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        const VertexId u = static_cast<VertexId>(rng.NextBounded(universe));
+        const VertexId v = static_cast<VertexId>(rng.NextBounded(universe));
+        Timer timer;
+        (void)service.CheckAdmission(u, v);
+        admit_lat.Record(timer.ElapsedSeconds());
+        ++count;
+      }
+      background_queries.fetch_add(count, std::memory_order_relaxed);
+    });
+  }
+
+  // Foreground replay: batch ingest, optionally admission-gated.
+  Timer run_timer;
+  IngestBatcher batcher(&service, args.batch);
+  uint64_t gated = 0;
+  for (const TimedEdge& e : stream) {
+    if (args.gate) {
+      const AdmissionVerdict verdict = service.CheckAdmission(e.src, e.dst);
+      if (verdict.would_close) {
+        ++gated;
+        continue;
+      }
+    }
+    Timer timer;
+    const SubmitResult r = batcher.Add(e.src, e.dst);
+    if (r.epoch != 0) ingest_lat.Record(timer.ElapsedSeconds());
+  }
+  {
+    Timer timer;
+    if (batcher.Flush().epoch != 0) ingest_lat.Record(timer.ElapsedSeconds());
+  }
+  service.WaitForCompaction();
+  const double ingest_seconds = run_timer.ElapsedSeconds();
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& r : readers) r.join();
+
+  const ServiceStatsSnapshot s = service.Stats();
+  const auto snapshot = service.PinSnapshot();
+  const double qps =
+      ingest_seconds > 0
+          ? static_cast<double>(s.admission_queries) / ingest_seconds
+          : 0.0;
+  const double eps =
+      ingest_seconds > 0 ? static_cast<double>(stream.size()) / ingest_seconds
+                         : 0.0;
+  std::printf("== tdb_serve replay: %s ==\n", args.stream_path.c_str());
+  std::printf("ingest:     %zu events in %.3fs (%.0f events/s), "
+              "%llu batches, %llu inserted, %llu rejected%s\n",
+              stream.size(), ingest_seconds, eps,
+              static_cast<unsigned long long>(s.batches),
+              static_cast<unsigned long long>(s.edges_inserted),
+              static_cast<unsigned long long>(s.edges_rejected),
+              args.gate ? " (gated)" : "");
+  if (args.gate) {
+    std::printf("gate:       %llu edges dropped as cycle-closing\n",
+                static_cast<unsigned long long>(gated));
+  }
+  std::printf("admission:  %llu queries (%.0f/s), %llu would close an "
+              "uncovered cycle\n",
+              static_cast<unsigned long long>(s.admission_queries), qps,
+              static_cast<unsigned long long>(s.admission_would_close));
+  std::printf("latency:    ingest batch p50 %.1fus p95 %.1fus p99 %.1fus | "
+              "admission p50 %.1fus p95 %.1fus p99 %.1fus\n",
+              ingest_lat.PercentileSeconds(0.50) * 1e6,
+              ingest_lat.PercentileSeconds(0.95) * 1e6,
+              ingest_lat.PercentileSeconds(0.99) * 1e6,
+              admit_lat.PercentileSeconds(0.50) * 1e6,
+              admit_lat.PercentileSeconds(0.95) * 1e6,
+              admit_lat.PercentileSeconds(0.99) * 1e6);
+  std::printf("state:      epoch %llu, %llu compactions (%llu failed), "
+              "cycles covered %llu, |S| %zu, base cover %zu, delta %llu\n",
+              static_cast<unsigned long long>(service.epoch()),
+              static_cast<unsigned long long>(s.compactions),
+              static_cast<unsigned long long>(s.compactions_failed),
+              static_cast<unsigned long long>(s.cycles_covered),
+              snapshot->cover.covered.size(),
+              snapshot->cover.base->vertices.size(),
+              static_cast<unsigned long long>(snapshot->graph.delta_edges()));
+  return 0;
+}
