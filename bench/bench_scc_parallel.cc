@@ -1,0 +1,224 @@
+// Thread-scaling sweep of the parallel SCC condenser: one multi-SCC
+// graph (strongly connected blocks, cross-block DAG edges, and a trim
+// fringe of acyclic vertices), condensed by sequential Tarjan and by the
+// trim + forward-backward strategy at 1/2/4/8 threads. The SccResult is
+// asserted byte-identical to Tarjan's for every configuration — a
+// determinism violation exits non-zero and fails CI.
+//
+//   TDB_BENCH_SCC_BLOCKS       strongly connected blocks   (default 24)
+//   TDB_BENCH_SCC_BLOCK_N      vertices per block          (default 4000)
+//   TDB_BENCH_SCC_DEGREE       extra chords per vertex     (default 20)
+//   TDB_BENCH_SCC_FRINGE       acyclic fringe vertices     (default 40000)
+//   TDB_BENCH_REPEATS          runs per config, best kept  (default 3)
+//   TDB_BENCH_MIN_SCC_SPEEDUP  if set, fail unless FW-BW at 4 threads
+//                              reaches this thread-scaling speedup over
+//                              its own 1-thread run (CI perf floor;
+//                              leave unset on single-core machines)
+//
+// The `speedup` column (and JSON metric) is the condenser's own thread
+// scaling — fwbw@1 / fwbw@N — matching the other scaling benches; the
+// `vs_tarjan` column additionally reports each configuration against the
+// sequential Tarjan reference, whose single pass is the bar a
+// multi-pass decomposition only clears with real cores.
+//
+// `--json <path>` additionally writes machine-readable rows for
+// tools/check_bench_regression.py.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_runner.h"
+#include "graph/csr_graph.h"
+#include "graph/scc.h"
+#include "table_printer.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace tdb;
+using namespace tdb::bench;
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+/// `blocks` strongly connected blocks (cycle backbone + chords), chained
+/// by forward-only cross-block edges (keeps each block its own SCC), plus
+/// `fringe` acyclic vertices wired into the blocks with forward edges —
+/// the trim fodder that a real web/transaction graph's periphery
+/// provides.
+CsrGraph MakeCondensationGraph(VertexId blocks, VertexId block_n,
+                               VertexId chords_per_vertex, VertexId fringe,
+                               uint64_t seed) {
+  Rng rng(seed);
+  const VertexId core = blocks * block_n;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(core) * (2 + chords_per_vertex) +
+                static_cast<size_t>(fringe) * 2);
+  for (VertexId b = 0; b < blocks; ++b) {
+    const VertexId base = b * block_n;
+    for (VertexId i = 0; i < block_n; ++i) {
+      edges.push_back({base + i, base + (i + 1) % block_n});
+    }
+    const EdgeId chords = static_cast<EdgeId>(block_n) * chords_per_vertex;
+    for (EdgeId c = 0; c < chords; ++c) {
+      const VertexId u = static_cast<VertexId>(rng.NextBounded(block_n));
+      const VertexId v = static_cast<VertexId>(rng.NextBounded(block_n));
+      if (u != v) edges.push_back({base + u, base + v});
+    }
+    // Cross-block edges only point at later blocks: the condensation DAG
+    // stays acyclic, so the blocks remain distinct SCCs.
+    if (b + 1 < blocks) {
+      for (int x = 0; x < 8; ++x) {
+        const VertexId u =
+            base + static_cast<VertexId>(rng.NextBounded(block_n));
+        const VertexId later =
+            b + 1 +
+            static_cast<VertexId>(rng.NextBounded(blocks - b - 1));
+        const VertexId v = later * block_n +
+                           static_cast<VertexId>(rng.NextBounded(block_n));
+        edges.push_back({u, v});
+      }
+    }
+  }
+  // Acyclic fringe: vertex core+i points only at strictly earlier
+  // vertices (core or earlier fringe) and receives edges only from later
+  // fringe, so no cycle ever passes through it — every fringe vertex is
+  // a singleton SCC and the peel cascades through the fringe chain.
+  for (VertexId i = 0; i < fringe; ++i) {
+    const VertexId v = core + i;
+    edges.push_back({v, static_cast<VertexId>(rng.NextBounded(core))});
+    if (i > 0) {
+      edges.push_back(
+          {v, core + static_cast<VertexId>(rng.NextBounded(i))});
+    }
+  }
+  return CsrGraph::FromEdges(core + fringe, std::move(edges));
+}
+
+bool SameResult(const SccResult& a, const SccResult& b) {
+  return a.num_components == b.num_components && a.component == b.component &&
+         a.component_size == b.component_size &&
+         a.vertex_offsets == b.vertex_offsets && a.vertices == b.vertices;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const VertexId blocks =
+      static_cast<VertexId>(EnvOr("TDB_BENCH_SCC_BLOCKS", 24));
+  const VertexId block_n =
+      static_cast<VertexId>(EnvOr("TDB_BENCH_SCC_BLOCK_N", 4000));
+  const VertexId degree =
+      static_cast<VertexId>(EnvOr("TDB_BENCH_SCC_DEGREE", 20));
+  const VertexId fringe =
+      static_cast<VertexId>(EnvOr("TDB_BENCH_SCC_FRINGE", 40000));
+  const int repeats = static_cast<int>(EnvOr("TDB_BENCH_REPEATS", 3));
+
+  CsrGraph g = MakeCondensationGraph(blocks, block_n, degree, fringe,
+                                     /*seed=*/131);
+  std::printf(
+      "== SCC condensation scaling: trim + FW-BW vs Tarjan "
+      "(%u vertices, %llu edges, %u SCC blocks + %u fringe, %d hardware "
+      "threads) ==\n",
+      g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+      blocks, fringe, ThreadPool::HardwareThreads());
+
+  JsonSink json("scc_parallel");
+  json.BeginRow();
+  json.Str("row", "params");
+  json.Num("blocks", static_cast<uint64_t>(blocks));
+  json.Num("block_n", static_cast<uint64_t>(block_n));
+  json.Num("degree", static_cast<uint64_t>(degree));
+  json.Num("fringe", static_cast<uint64_t>(fringe));
+
+  struct Config {
+    SccAlgorithm algorithm;
+    int threads;
+  };
+  const Config configs[] = {
+      {SccAlgorithm::kTarjan, 1},      {SccAlgorithm::kParallelFwBw, 1},
+      {SccAlgorithm::kParallelFwBw, 2}, {SccAlgorithm::kParallelFwBw, 4},
+      {SccAlgorithm::kParallelFwBw, 8},
+  };
+
+  TablePrinter table({"algo", "threads", "seconds", "speedup", "vs_tarjan",
+                      "components", "trim_peeled", "fwbw_steps"});
+  bool ok = true;
+  double tarjan_seconds = 0.0;
+  double fwbw_base_seconds = 0.0;
+  SccResult reference;
+  for (const Config& config : configs) {
+    SccOptions options;
+    options.algorithm = config.algorithm;
+    options.num_threads = config.threads;
+    double best_seconds = 0.0;
+    SccResult result;
+    SccStats stats;
+    for (int rep = 0; rep < repeats; ++rep) {
+      SccStats rep_stats;
+      Timer timer;
+      SccResult r = CondenseScc(g, options, nullptr, &rep_stats);
+      const double seconds = timer.ElapsedSeconds();
+      if (rep == 0 || seconds < best_seconds) {
+        best_seconds = seconds;
+        stats = rep_stats;
+      }
+      result = std::move(r);
+    }
+    if (config.algorithm == SccAlgorithm::kTarjan) {
+      tarjan_seconds = best_seconds;
+      reference = std::move(result);
+    } else {
+      if (config.threads == 1) fwbw_base_seconds = best_seconds;
+      if (!SameResult(reference, result)) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: FW-BW at %d threads differs "
+                     "from Tarjan's canonical SccResult\n",
+                     config.threads);
+        ok = false;
+      }
+    }
+    const double speedup = config.algorithm == SccAlgorithm::kTarjan
+                               ? 1.0
+                               : fwbw_base_seconds / best_seconds;
+    char seconds_buf[32], speedup_buf[32], vs_tarjan_buf[32];
+    std::snprintf(seconds_buf, sizeof seconds_buf, "%.4f", best_seconds);
+    std::snprintf(speedup_buf, sizeof speedup_buf, "%.2fx", speedup);
+    std::snprintf(vs_tarjan_buf, sizeof vs_tarjan_buf, "%.2fx",
+                  tarjan_seconds / best_seconds);
+    table.AddRow({SccAlgorithmName(config.algorithm),
+                  std::to_string(config.threads), seconds_buf, speedup_buf,
+                  vs_tarjan_buf, FormatCount(stats.components),
+                  FormatCount(stats.trim_peeled),
+                  FormatCount(stats.fwbw_partitions)});
+    json.BeginRow();
+    json.Str("algo", SccAlgorithmName(config.algorithm));
+    json.Num("threads", static_cast<uint64_t>(config.threads));
+    json.Num("seconds", best_seconds);
+    json.Num("speedup", speedup);
+    json.Num("cover", static_cast<uint64_t>(stats.components));
+    if (config.algorithm == SccAlgorithm::kParallelFwBw &&
+        config.threads == 4) {
+      if (const char* floor_env = std::getenv("TDB_BENCH_MIN_SCC_SPEEDUP")) {
+        const double floor = std::atof(floor_env);
+        if (speedup < floor) {
+          std::fprintf(stderr,
+                       "SPEEDUP REGRESSION: FW-BW at 4 threads reached "
+                       "%.2fx over its 1-thread run, below the %.2fx "
+                       "floor\n",
+                       speedup, floor);
+          ok = false;
+        }
+      }
+    }
+  }
+  table.Print();
+
+  if (!json.Write(JsonSink::PathFromArgs(argc, argv))) ok = false;
+  return ok ? 0 : 1;
+}

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "graph/scc.h"
 #include "search/search_types.h"
 #include "util/status.h"
 
@@ -94,6 +95,16 @@ struct CoverOptions {
   /// sequential solve — see core/probe_executor.h). DARC-DV is exempt:
   /// its line-graph construction needs a materialized subgraph.
   VertexId min_intra_parallel_size = 2048;
+  /// Condensation strategy of the engine's SCC front end (graph/scc.h).
+  /// kTarjan is the sequential classic; kParallelFwBw peels trivial SCCs
+  /// with trim-1/trim-2 and decomposes the rest with parallel
+  /// forward-backward reachability on the pool. The SccResult — and
+  /// therefore every cover — is bit-identical between the two at every
+  /// thread count.
+  SccAlgorithm scc_algorithm = SccAlgorithm::kTarjan;
+  /// Partitions smaller than this fall back to sequential Tarjan inside
+  /// the kParallelFwBw condenser (ignored by kTarjan).
+  VertexId min_parallel_scc_size = 1u << 14;
 
   /// Rejects inconsistent settings (e.g. k < 3 without 2-cycles).
   Status Validate() const;
@@ -132,6 +143,19 @@ struct CoverStats {
   /// their full vertex set (split_budget_by_work mode only; always 0
   /// otherwise — a shared-clock timeout voids the result instead).
   uint64_t components_timed_out = 0;
+  /// Wall-clock seconds spent in SCC condensation. Under the pipeline
+  /// engine (num_threads > 1) condensation overlaps solving, so this can
+  /// exceed the critical-path cost it actually added.
+  double scc_seconds = 0.0;
+  /// Components produced by the condensation front end.
+  uint64_t scc_components = 0;
+  /// Vertices peeled as trivial SCCs by trim-1/trim-2 (kParallelFwBw
+  /// only; 0 under kTarjan).
+  uint64_t scc_trim_peeled = 0;
+  /// FW-BW pivot steps / sequential-Tarjan fallback partitions executed
+  /// by the parallel condenser (kParallelFwBw only).
+  uint64_t scc_fwbw_partitions = 0;
+  uint64_t scc_tarjan_partitions = 0;
 };
 
 /// A solver run's outcome. `cover` is sorted ascending.

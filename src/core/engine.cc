@@ -1,8 +1,13 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/bottom_up.h"
@@ -88,40 +93,159 @@ CoverResult SolveOnSubgraph(const CsrGraph& graph, CoverAlgorithm algo,
   return result;
 }
 
-}  // namespace
-
-CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
-                                       CoverAlgorithm algorithm,
-                                       const CoverOptions& options) {
+/// One solved component, tagged for the deterministic merge: results are
+/// combined in order of their component's minimum member vertex — the
+/// canonical component order — regardless of which thread, path or
+/// schedule produced them.
+struct TaggedResult {
+  VertexId min_member = 0;
   CoverResult result;
-  if (!IsKnownAlgorithm(algorithm)) {
-    result.status = Status::InvalidArgument("unknown algorithm");
-    return result;
-  }
-  result.status = options.Validate();
-  if (!result.status.ok()) return result;
+};
 
-  Timer timer;
-  // With the work-budget split every component carries a private deadline
-  // (computed below); the shared master clock applies otherwise.
-  const Deadline master =
-      options.time_limit_seconds > 0 && !options.split_budget_by_work
-          ? Deadline::AfterSeconds(options.time_limit_seconds)
-          : Deadline();
-  const VertexId n = graph.num_vertices();
-  if (n == 0) {
-    result.stats.elapsed_seconds = timer.ElapsedSeconds();
-    return result;
+/// rank[v] = position of v in the whole-graph candidate order. A
+/// component's processing order is its members sorted by rank, which is
+/// exactly the projection of the sequential whole-graph sweep onto the
+/// component (rank is a permutation, so the sort has no ties) — the
+/// property that keeps per-component covers bit-identical to the classic
+/// sequential solvers.
+std::vector<VertexId> MakeRank(const CsrGraph& graph,
+                               const CoverOptions& options) {
+  std::vector<VertexId> rank(graph.num_vertices());
+  const std::vector<VertexId> order = MakeCandidateOrder(graph, options);
+  for (size_t i = 0; i < order.size(); ++i) {
+    rank[order[i]] = static_cast<VertexId>(i);
   }
+  return rank;
+}
 
-  const SccResult scc = ComputeScc(graph);
-  const VertexId min_scc = options.include_two_cycles ? 2 : 3;
+/// Processing order of an in-place component, in global ids.
+std::vector<VertexId> GlobalOrderOf(std::span<const VertexId> members,
+                                    const std::vector<VertexId>& rank) {
+  std::vector<VertexId> order(members.begin(), members.end());
+  std::sort(order.begin(), order.end(),
+            [&](VertexId a, VertexId b) { return rank[a] < rank[b]; });
+  return order;
+}
+
+/// Processing order of a materialized component, in dense local ids
+/// (member lists are sorted, so local ids ascend with global ids).
+std::vector<VertexId> LocalOrderOf(std::span<const VertexId> members,
+                                   const std::vector<VertexId>& rank) {
+  std::vector<VertexId> order(members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    order[i] = static_cast<VertexId>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return rank[members[a]] < rank[members[b]];
+  });
+  return order;
+}
+
+/// Deterministic merge: sorts the tagged results into canonical component
+/// order, accumulates stats and covers, and picks the combined status
+/// (any TimedOut wins; otherwise the first error in canonical order).
+void MergeTagged(std::vector<TaggedResult>* tagged, CoverResult* result) {
+  std::sort(tagged->begin(), tagged->end(),
+            [](const TaggedResult& a, const TaggedResult& b) {
+              return a.min_member < b.min_member;
+            });
+  for (const TaggedResult& t : *tagged) {
+    const CoverResult& r = t.result;
+    result->stats.searches += r.stats.searches;
+    result->stats.cycles_found += r.stats.cycles_found;
+    result->stats.bfs_filtered += r.stats.bfs_filtered;
+    result->stats.scc_filtered += r.stats.scc_filtered;
+    result->stats.prune_removed += r.stats.prune_removed;
+    result->stats.intra_probes += r.stats.intra_probes;
+    result->stats.intra_restarts += r.stats.intra_restarts;
+    result->stats.components_timed_out += r.stats.components_timed_out;
+    result->cover.insert(result->cover.end(), r.cover.begin(),
+                         r.cover.end());
+  }
+  for (const TaggedResult& t : *tagged) {
+    if (t.result.status.IsTimedOut()) {
+      result->status = t.result.status;
+      break;
+    }
+    if (!t.result.status.ok() && result->status.ok()) {
+      result->status = t.result.status;
+    }
+  }
+  if (!result->status.ok()) {
+    // Mirror the sequential solvers: a failed run carries no cover (a
+    // partial merge would not be feasible anyway).
+    result->cover.clear();
+  } else {
+    std::sort(result->cover.begin(), result->cover.end());
+  }
+}
+
+/// Everything both execution paths share.
+struct EngineRun {
+  EngineRun(const CsrGraph& g, CoverAlgorithm a, const CoverOptions& o)
+      : graph(g), algorithm(a), options(o) {}
+
+  const CsrGraph& graph;
+  CoverAlgorithm algorithm;
+  const CoverOptions& options;
+  CoverOptions component_options;  // scc_prefilter disabled
+  std::vector<VertexId> rank;      // empty unless top-down
+  Deadline master;
+  int requested = 1;
+  VertexId min_scc = 3;
+  SccOptions scc_options;
+};
+
+/// In-place solve of one component through a SubgraphView, with the
+/// borrowed probe executor (sequential when its pool is null).
+CoverResult SolveInPlace(const EngineRun& run,
+                         std::span<const VertexId> members,
+                         ProbeExecutor& executor, Deadline* deadline) {
+  const SubgraphView view(run.graph, members);
+  if (IsTopDown(run.algorithm)) {
+    return SolveTopDownOnView(view, run.component_options,
+                              VariantOf(run.algorithm),
+                              GlobalOrderOf(members, run.rank), executor,
+                              deadline);
+  }
+  return SolveBottomUpOnView(view, run.component_options,
+                             run.algorithm == CoverAlgorithm::kBurPlus,
+                             executor, deadline);
+}
+
+/// Materialized solve of one component; the cover comes back in global
+/// ids.
+CoverResult SolveMaterialized(const EngineRun& run,
+                              std::span<const VertexId> members,
+                              SearchContext* context,
+                              SubgraphExtractor* extractor,
+                              Deadline* deadline) {
+  InducedSubgraph sub = extractor->Extract(members);
+  std::vector<VertexId> order;
+  if (IsTopDown(run.algorithm)) order = LocalOrderOf(members, run.rank);
+  CoverResult r =
+      SolveOnSubgraph(sub.graph, run.algorithm, run.component_options,
+                      &order, context, deadline);
+  for (VertexId& v : r.cover) v = sub.to_global[v];
+  return r;
+}
+
+/// Barrier path: condense fully, then solve. Used when the pipeline
+/// cannot run — a single thread gains nothing from overlap, and the
+/// work-budget split needs every component's edge mass upfront to
+/// compute the shares.
+CoverResult BarrierSolve(const EngineRun& run, SccStats* scc_stats,
+                         uint64_t* scc_components) {
+  CoverResult result;
+  const SccResult scc =
+      CondenseScc(run.graph, run.scc_options, nullptr, scc_stats);
+  *scc_components = scc.num_components;
 
   // Components too small to host a qualifying cycle: every vertex is
   // discharged with zero search work.
-  std::vector<VertexId> solvable;  // component ids, ascending
+  std::vector<VertexId> solvable;  // canonical component ids, ascending
   for (VertexId c = 0; c < scc.num_components; ++c) {
-    if (scc.component_size[c] >= min_scc) {
+    if (scc.component_size[c] >= run.min_scc) {
       solvable.push_back(c);
     } else {
       result.stats.scc_filtered += scc.component_size[c];
@@ -135,8 +259,8 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
   // starts when its solve starts, so a fast early component cannot starve
   // a later one — the "fair partial cover" the serving layer's compaction
   // needs under timeout.
-  const bool split_budget =
-      options.split_budget_by_work && options.time_limit_seconds > 0;
+  const bool split_budget = run.options.split_budget_by_work &&
+                            run.options.time_limit_seconds > 0;
   std::vector<double> budget_share;
   if (split_budget && !solvable.empty()) {
     budget_share.resize(solvable.size(), 0.0);
@@ -144,69 +268,34 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
     for (size_t s = 0; s < solvable.size(); ++s) {
       double work = 0.0;
       for (VertexId v : scc.VerticesOf(solvable[s])) {
-        work += 1.0 + static_cast<double>(graph.out_degree(v));
+        work += 1.0 + static_cast<double>(run.graph.out_degree(v));
       }
       budget_share[s] = work;
       total_work += work;
     }
     for (double& share : budget_share) {
-      share = options.time_limit_seconds * share / total_work;
+      share = run.options.time_limit_seconds * share / total_work;
     }
   }
 
-  // Per-component options: the engine already did the SCC discharge, and
-  // an extracted component is one SCC, so the per-solve prefilter would be
-  // an all-pass recompute.
-  CoverOptions component_options = options;
-  component_options.scc_prefilter = false;
-
   // Routing: components at or above the intra threshold solve *in place*
-  // on the parent graph through a SubgraphView (no edge copy; searches are
-  // restricted by the kept/active masks) and, with more than one thread,
-  // with intra-component parallel candidate probing. The long tail still
-  // materializes compact per-component subgraphs.
+  // on the parent graph through a SubgraphView (no edge copy; searches
+  // are restricted by the kept/active masks) and, with more than one
+  // thread, with intra-component parallel candidate probing. The long
+  // tail still materializes compact per-component subgraphs.
   std::vector<uint8_t> in_place(solvable.size(), 0);
   for (size_t s = 0; s < solvable.size(); ++s) {
-    if (SupportsInPlaceSolve(algorithm) &&
+    if (SupportsInPlaceSolve(run.algorithm) &&
         scc.component_size[solvable[s]] >=
-            options.min_intra_parallel_size) {
+            run.options.min_intra_parallel_size) {
       in_place[s] = 1;
     }
   }
 
-  // The top-down family processes candidates in options.order. Compute the
-  // order once on the whole graph and project it onto the components:
-  // within a component the relative order matches the sequential sweep
-  // exactly, which keeps per-component covers bit-identical to it.
-  // In-place slots take the order in global ids; materialized slots in
-  // dense local ids (member lists are sorted, so local ids ascend with
-  // global ids).
-  std::vector<std::vector<VertexId>> component_order(solvable.size());
-  if (IsTopDown(algorithm) && !solvable.empty()) {
-    std::vector<VertexId> slot_of(scc.num_components, kInvalidVertex);
-    for (size_t s = 0; s < solvable.size(); ++s) {
-      slot_of[solvable[s]] = static_cast<VertexId>(s);
-      component_order[s].reserve(scc.component_size[solvable[s]]);
-    }
-    // local_id[v]: v's dense id inside its component's subgraph, needed
-    // only for materialized slots.
-    std::vector<VertexId> local_id(n, 0);
-    for (size_t s = 0; s < solvable.size(); ++s) {
-      if (in_place[s]) continue;
-      const auto members = scc.VerticesOf(solvable[s]);
-      for (size_t i = 0; i < members.size(); ++i) {
-        local_id[members[i]] = static_cast<VertexId>(i);
-      }
-    }
-    for (VertexId v : MakeCandidateOrder(graph, options)) {
-      const VertexId slot = slot_of[scc.component[v]];
-      if (slot != kInvalidVertex) {
-        component_order[slot].push_back(in_place[slot] ? v : local_id[v]);
-      }
-    }
+  std::vector<TaggedResult> slots(solvable.size());
+  for (size_t s = 0; s < solvable.size(); ++s) {
+    slots[s].min_member = scc.VerticesOf(solvable[s]).front();
   }
-
-  std::vector<CoverResult> slots(solvable.size());
 
   // Split-budget fallback: a component that exhausted its share keeps its
   // full vertex set in the cover (trivially feasible there) and the slot
@@ -220,29 +309,25 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
 
   auto slot_deadline = [&](size_t slot) {
     return split_budget ? Deadline::AfterSeconds(budget_share[slot])
-                        : master;  // private copy; shared absolute expiry
+                        : run.master;  // private copy; shared expiry
   };
 
   auto solve_slot = [&](size_t slot, SearchContext* context,
                         SubgraphExtractor* extractor) {
     Deadline deadline = slot_deadline(slot);
     if (deadline.ExpiredNow()) {
-      slots[slot].status =
+      slots[slot].result.status =
           Status::TimedOut("engine: budget exhausted before component");
-      if (split_budget) fallback_cover(slot, &slots[slot]);
+      if (split_budget) fallback_cover(slot, &slots[slot].result);
       return;
     }
-    InducedSubgraph sub = extractor->Extract(scc.VerticesOf(solvable[slot]));
-    const std::vector<VertexId>* order =
-        IsTopDown(algorithm) ? &component_order[slot] : nullptr;
-    CoverResult r = SolveOnSubgraph(sub.graph, algorithm, component_options,
-                                    order, context, &deadline);
+    CoverResult r =
+        SolveMaterialized(run, scc.VerticesOf(solvable[slot]), context,
+                          extractor, &deadline);
     if (split_budget && r.status.IsTimedOut()) {
       fallback_cover(slot, &r);  // member list is already global ids
-    } else {
-      for (VertexId& v : r.cover) v = sub.to_global[v];
     }
-    slots[slot] = std::move(r);
+    slots[slot].result = std::move(r);
   };
 
   auto merge_context = [&](const SearchContext& context) {
@@ -250,13 +335,9 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
     result.stats.block_prunes += context.stats.block_prunes;
   };
 
-  const int requested = options.num_threads == 0
-                            ? ThreadPool::HardwareThreads()
-                            : options.num_threads;
-
   // Split the slots: in-place components run first, biggest first, each
-  // using the whole pool internally; the materialized tail then runs under
-  // the across-component scheduler.
+  // using the whole pool internally; the materialized tail then runs
+  // under the across-component scheduler.
   std::vector<size_t> big_desc;
   std::vector<size_t> rest;
   for (size_t s = 0; s < solvable.size(); ++s) {
@@ -278,35 +359,26 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
     SearchContext main_context;
     ProbeExecutor executor;
     executor.main_context = &main_context;
-    if (requested > 1) {
+    if (run.requested > 1) {
       // All `requested` workers probe while this thread commits; the two
       // phases alternate, so live compute threads stay <= requested.
-      pool.emplace(requested);
-      worker_contexts.resize(requested);
+      pool.emplace(run.requested);
+      worker_contexts.resize(run.requested);
       executor.pool = &*pool;
       executor.worker_contexts = worker_contexts;
     }
     for (size_t slot : big_desc) {
       Deadline deadline = slot_deadline(slot);
       if (deadline.ExpiredNow()) {
-        slots[slot].status =
+        slots[slot].result.status =
             Status::TimedOut("engine: budget exhausted before component");
-        if (split_budget) fallback_cover(slot, &slots[slot]);
+        if (split_budget) fallback_cover(slot, &slots[slot].result);
         continue;
       }
-      const SubgraphView view(graph, scc.VerticesOf(solvable[slot]));
-      CoverResult r;
-      if (IsTopDown(algorithm)) {
-        r = SolveTopDownOnView(view, component_options,
-                               VariantOf(algorithm), component_order[slot],
-                               executor, &deadline);
-      } else {
-        r = SolveBottomUpOnView(view, component_options,
-                                algorithm == CoverAlgorithm::kBurPlus,
-                                executor, &deadline);
-      }
+      CoverResult r = SolveInPlace(run, scc.VerticesOf(solvable[slot]),
+                                   executor, &deadline);
       if (split_budget && r.status.IsTimedOut()) fallback_cover(slot, &r);
-      slots[slot] = std::move(r);  // cover already in global ids
+      slots[slot].result = std::move(r);  // cover already in global ids
     }
     merge_context(main_context);
     for (const SearchContext& context : worker_contexts) {
@@ -318,10 +390,10 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
   // Schedule big components first so the pool's long poles start early;
   // the tail of small components runs inline on this thread meanwhile.
   size_t num_pooled = 0;
-  if (requested > 1) {
+  if (run.requested > 1) {
     while (num_pooled < rest.size() &&
            scc.component_size[solvable[rest[num_pooled]]] >=
-               options.min_component_parallel_size) {
+               run.options.min_component_parallel_size) {
       ++num_pooled;
     }
   }
@@ -331,16 +403,16 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
   // worker with the tail inline; a single solvable component runs inline).
   if (num_pooled > 0 && rest.size() > 1) {
     // The submitting thread solves the inline tail concurrently, so it
-    // counts against the requested parallelism: total live compute threads
-    // stay == requested.
+    // counts against the requested parallelism: total live compute
+    // threads stay == requested.
     const bool has_inline_tail = num_pooled < rest.size();
     const int workers = std::max<int>(
-        1, static_cast<int>(std::min<size_t>(requested, num_pooled)) -
+        1, static_cast<int>(std::min<size_t>(run.requested, num_pooled)) -
                (has_inline_tail ? 1 : 0));
     std::vector<SearchContext> contexts(workers);
     std::vector<SubgraphExtractor> extractors;
     extractors.reserve(workers);
-    for (int w = 0; w < workers; ++w) extractors.emplace_back(graph);
+    for (int w = 0; w < workers; ++w) extractors.emplace_back(run.graph);
     {
       ThreadPool pool(workers);
       for (size_t i = 0; i < num_pooled; ++i) {
@@ -350,7 +422,7 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
         });
       }
       SearchContext inline_context;
-      SubgraphExtractor inline_extractor(graph);
+      SubgraphExtractor inline_extractor(run.graph);
       for (size_t i = num_pooled; i < rest.size(); ++i) {
         solve_slot(rest[i], &inline_context, &inline_extractor);
       }
@@ -360,39 +432,264 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
     for (const SearchContext& context : contexts) merge_context(context);
   } else if (!rest.empty()) {
     SearchContext context;
-    SubgraphExtractor extractor(graph);
+    SubgraphExtractor extractor(run.graph);
     for (size_t i = 0; i < rest.size(); ++i) {
       solve_slot(rest[i], &context, &extractor);
     }
     merge_context(context);
   }
 
-  // Merge in component order (deterministic regardless of scheduling).
-  for (const CoverResult& r : slots) {
-    result.stats.searches += r.stats.searches;
-    result.stats.cycles_found += r.stats.cycles_found;
-    result.stats.bfs_filtered += r.stats.bfs_filtered;
-    result.stats.scc_filtered += r.stats.scc_filtered;
-    result.stats.prune_removed += r.stats.prune_removed;
-    result.stats.intra_probes += r.stats.intra_probes;
-    result.stats.intra_restarts += r.stats.intra_restarts;
-    result.stats.components_timed_out += r.stats.components_timed_out;
-    result.cover.insert(result.cover.end(), r.cover.begin(), r.cover.end());
-  }
-  for (const CoverResult& r : slots) {
-    if (r.status.IsTimedOut()) {
-      result.status = r.status;
-      break;
+  MergeTagged(&slots, &result);
+  return result;
+}
+
+/// Pipeline path: condensation streams finalized components into the
+/// solve while it is still decomposing the rest. Three actors —
+///
+///   * a condenser thread runs CondenseScc with the engine's sink;
+///     finalized components are dispatched from the sink: too-small ones
+///     are discharged, big ones (>= min_intra_parallel_size, in-place
+///     capable) are queued for the calling thread, the rest are
+///     submitted to the solver pool as materialized solves;
+///   * the calling thread drains the big-component queue, solving each
+///     in place with the intra-component probe executor — so the giant
+///     SCC starts solving as soon as FW ∩ BW finalizes it, typically
+///     long before the remainder partitions are fully decomposed;
+///   * `requested` solver-pool workers chew the materialized tail.
+///
+/// The condenser's BFS pool, the probe pool and the solver pool coexist,
+/// so thread oversubscription is transiently possible; condensation and
+/// probing alternate with solving in practice, and correctness never
+/// depends on the overlap. Covers are bit-identical to the barrier path:
+/// per-component solves are unchanged and the merge orders components
+/// canonically.
+CoverResult PipelineSolve(const EngineRun& run, SccStats* scc_stats,
+                          uint64_t* scc_components) {
+  CoverResult result;
+
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  std::deque<std::vector<VertexId>> big_queue;
+  bool condense_done = false;
+  uint64_t scc_filtered = 0;  // sink calls are serialized
+
+  // Materialized tail: one context per solver worker; extractors (O(n)
+  // scratch each) materialize lazily on the worker that first needs one,
+  // and the pool itself is created on the first tail component — a
+  // one-giant-SCC graph spawns neither. Likewise the probe pool below
+  // only spawns on the first in-place component, so a solve only pays
+  // for the threads and scratch its component mix actually uses. Live
+  // compute threads can still transiently exceed `requested` while
+  // condensation overlaps solving; that overlap is the pipeline's point,
+  // and the phases alternate in practice.
+  std::vector<SearchContext> tail_contexts(run.requested);
+  std::vector<std::unique_ptr<SubgraphExtractor>> tail_extractors(
+      run.requested);
+  std::mutex results_mu;
+  std::vector<TaggedResult> tagged;
+  std::optional<ThreadPool> tail_pool;
+
+  // One pool task per component batch. Worker indices are stable per
+  // pool thread, so the lazy extractor slot is touched by one thread.
+  auto solve_tail_batch = [&](std::vector<std::vector<VertexId>> batch,
+                              int w) {
+    if (tail_extractors[w] == nullptr) {
+      tail_extractors[w] = std::make_unique<SubgraphExtractor>(run.graph);
     }
-    if (!r.status.ok() && result.status.ok()) result.status = r.status;
+    std::vector<TaggedResult> results;
+    results.reserve(batch.size());
+    for (const std::vector<VertexId>& m : batch) {
+      TaggedResult t;
+      t.min_member = m.front();
+      Deadline deadline = run.master;
+      if (deadline.ExpiredNow()) {
+        t.result.status =
+            Status::TimedOut("engine: budget exhausted before component");
+      } else {
+        t.result = SolveMaterialized(run, m, &tail_contexts[w],
+                                     tail_extractors[w].get(), &deadline);
+      }
+      results.push_back(std::move(t));
+    }
+    std::lock_guard<std::mutex> lock(results_mu);
+    for (TaggedResult& t : results) tagged.push_back(std::move(t));
+  };
+
+  // Components below min_component_parallel_size batch up before being
+  // submitted, amortizing per-task overhead over the long tail of tiny
+  // SCCs — the same job the knob does for the barrier path's inline
+  // tail. Bigger components dispatch immediately as their own task.
+  constexpr size_t kSmallBatch = 64;
+  std::vector<std::vector<VertexId>> small_batch;
+
+  auto submit_batch = [&](std::vector<std::vector<VertexId>> batch) {
+    if (!tail_pool.has_value()) tail_pool.emplace(run.requested);
+    tail_pool->Submit([&, b = std::move(batch)](int w) mutable {
+      solve_tail_batch(std::move(b), w);
+    });
+  };
+
+  ComponentSink sink = [&](std::span<const VertexId> members) {
+    if (static_cast<VertexId>(members.size()) < run.min_scc) {
+      scc_filtered += members.size();
+      return;
+    }
+    if (SupportsInPlaceSolve(run.algorithm) &&
+        static_cast<VertexId>(members.size()) >=
+            run.options.min_intra_parallel_size) {
+      {
+        std::lock_guard<std::mutex> lock(queue_mu);
+        big_queue.emplace_back(members.begin(), members.end());
+      }
+      queue_cv.notify_one();
+      return;
+    }
+    // Sink calls are serialized by the condenser, so the batching state
+    // and the lazy pool emplace cannot race; Submit is thread-safe.
+    if (static_cast<VertexId>(members.size()) <
+        run.options.min_component_parallel_size) {
+      small_batch.emplace_back(members.begin(), members.end());
+      if (small_batch.size() >= kSmallBatch) {
+        submit_batch(std::exchange(small_batch, {}));
+      }
+      return;
+    }
+    std::vector<std::vector<VertexId>> single;
+    single.emplace_back(members.begin(), members.end());
+    submit_batch(std::move(single));
+  };
+
+  std::thread condenser([&] {
+    // Count-only condensation: the components all arrive through the
+    // sink, so the canonical SccResult arrays would be built and thrown
+    // away — and their O(n) finalization would delay condense_done.
+    SccOptions scc_options = run.scc_options;
+    scc_options.canonical_result = false;
+    SccResult scc = CondenseScc(run.graph, scc_options, sink, scc_stats);
+    if (!small_batch.empty()) submit_batch(std::exchange(small_batch, {}));
+    {
+      std::lock_guard<std::mutex> lock(queue_mu);
+      *scc_components = scc.num_components;
+      condense_done = true;
+    }
+    queue_cv.notify_all();
+  });
+
+  // Calling thread: in-place solves of the big components, with the
+  // intra-component probe executor (requested > 1 always holds here).
+  // The probe pool spawns on the first big component only.
+  std::optional<ThreadPool> probe_pool;
+  std::vector<SearchContext> probe_contexts(run.requested);
+  SearchContext main_context;
+  ProbeExecutor executor;
+  executor.main_context = &main_context;
+  executor.worker_contexts = probe_contexts;
+
+  std::vector<TaggedResult> in_place_results;
+  for (;;) {
+    std::vector<VertexId> members;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu);
+      queue_cv.wait(lock,
+                    [&] { return !big_queue.empty() || condense_done; });
+      if (big_queue.empty()) break;
+      members = std::move(big_queue.front());
+      big_queue.pop_front();
+    }
+    if (!probe_pool.has_value()) {
+      probe_pool.emplace(run.requested);
+      executor.pool = &*probe_pool;
+    }
+    TaggedResult t;
+    t.min_member = members.front();
+    Deadline deadline = run.master;
+    if (deadline.ExpiredNow()) {
+      t.result.status =
+          Status::TimedOut("engine: budget exhausted before component");
+    } else {
+      t.result = SolveInPlace(run, members, executor, &deadline);
+    }
+    in_place_results.push_back(std::move(t));
   }
-  if (!result.status.ok()) {
-    // Mirror the sequential solvers: a failed run carries no cover (a
-    // partial merge would not be feasible anyway).
-    result.cover.clear();
-  } else {
-    std::sort(result.cover.begin(), result.cover.end());
+
+  condenser.join();
+  if (tail_pool.has_value()) tail_pool->Wait();
+
+  result.stats.scc_filtered += scc_filtered;
+  result.stats.expansions += main_context.stats.expansions;
+  result.stats.block_prunes += main_context.stats.block_prunes;
+  for (const SearchContext& context : probe_contexts) {
+    result.stats.expansions += context.stats.expansions;
+    result.stats.block_prunes += context.stats.block_prunes;
   }
+  for (const SearchContext& context : tail_contexts) {
+    result.stats.expansions += context.stats.expansions;
+    result.stats.block_prunes += context.stats.block_prunes;
+  }
+  for (TaggedResult& t : in_place_results) tagged.push_back(std::move(t));
+  MergeTagged(&tagged, &result);
+  return result;
+}
+
+}  // namespace
+
+CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
+                                       CoverAlgorithm algorithm,
+                                       const CoverOptions& options) {
+  CoverResult result;
+  if (!IsKnownAlgorithm(algorithm)) {
+    result.status = Status::InvalidArgument("unknown algorithm");
+    return result;
+  }
+  result.status = options.Validate();
+  if (!result.status.ok()) return result;
+
+  Timer timer;
+  const VertexId n = graph.num_vertices();
+  if (n == 0) {
+    result.stats.elapsed_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  EngineRun run(graph, algorithm, options);
+  run.requested = options.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                           : options.num_threads;
+  // With the work-budget split every component carries a private deadline
+  // (computed in the barrier path); the shared master clock applies
+  // otherwise.
+  const bool split_budget =
+      options.split_budget_by_work && options.time_limit_seconds > 0;
+  run.master = options.time_limit_seconds > 0 && !split_budget
+                   ? Deadline::AfterSeconds(options.time_limit_seconds)
+                   : Deadline();
+  run.min_scc = options.include_two_cycles ? 2 : 3;
+  // Per-component options: the engine already did the SCC discharge, and
+  // an extracted component is one SCC, so the per-solve prefilter would be
+  // an all-pass recompute.
+  run.component_options = options;
+  run.component_options.scc_prefilter = false;
+  if (IsTopDown(algorithm)) run.rank = MakeRank(graph, options);
+  run.scc_options.algorithm = options.scc_algorithm;
+  run.scc_options.num_threads = run.requested;
+  run.scc_options.min_parallel_size = options.min_parallel_scc_size;
+
+  SccStats scc_stats;
+  uint64_t scc_components = 0;
+  // The pipeline needs spare threads to overlap condensation with
+  // solving, and the budget split needs the full component list before
+  // any solve (shares are proportional to total edge mass).
+  CoverResult solved =
+      run.requested > 1 && !split_budget
+          ? PipelineSolve(run, &scc_stats, &scc_components)
+          : BarrierSolve(run, &scc_stats, &scc_components);
+  result.status = std::move(solved.status);
+  result.cover = std::move(solved.cover);
+  result.stats = solved.stats;
+  result.stats.scc_seconds = scc_stats.seconds;
+  result.stats.scc_components = scc_components;
+  result.stats.scc_trim_peeled = scc_stats.trim_peeled;
+  result.stats.scc_fwbw_partitions = scc_stats.fwbw_partitions;
+  result.stats.scc_tarjan_partitions = scc_stats.tarjan_partitions;
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

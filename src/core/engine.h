@@ -1,4 +1,5 @@
-// SCC-partitioned parallel execution engine.
+// SCC-partitioned parallel execution engine with a streaming
+// condense-to-solve pipeline.
 //
 // Every hop-constrained cycle lives inside one strongly connected
 // component (a cycle's vertices are pairwise reachable), so the cycle
@@ -7,7 +8,14 @@
 // coordination. This engine is the single execution path behind
 // SolveCycleCover for every CoverAlgorithm:
 //
-//   1. compute the SCC decomposition (graph/scc.h, with member lists);
+//   1. condense via the pluggable SCC front end (graph/scc.h,
+//      options.scc_algorithm: sequential Tarjan or trim + parallel
+//      forward-backward decomposition). With num_threads > 1 (and no
+//      work-budget split) condensation runs as a *pipeline*: a condenser
+//      thread streams each finalized component through a ComponentSink
+//      while still decomposing the rest, so the giant SCC starts solving
+//      before condensation finishes — condensation is no longer a
+//      barrier in front of the parallel engine;
 //   2. discharge components too small to host a qualifying cycle
 //      (size < 3, or < 2 when 2-cycles count) — counted as scc_filtered;
 //   3. route each remaining component by size:
@@ -16,25 +24,30 @@
 //        copy, searches restricted by the kept/active masks, and — with
 //        num_threads > 1 — intra-component speculative parallel candidate
 //        probing (core/probe_executor.h). This is the giant-SCC path: one
-//        huge component no longer pins a single worker.
+//        huge component no longer pins a single worker. Under the
+//        pipeline these solves run on the calling thread as components
+//        arrive;
 //      * smaller — materialize a compact induced subgraph over dense
 //        local ids and schedule it onto a work-stealing pool
-//        (util/thread_pool.h), biggest first; components below
+//        (util/thread_pool.h). Under the barrier path, components below
 //        min_component_parallel_size run inline on the submitting thread
-//        while the pool chews the big ones;
+//        while the pool chews the big ones; under the pipeline every
+//        tail component goes to the solver pool as it finalizes;
 //   4. run the chosen solver per component with one SearchContext per
 //      worker (reentrant search layer, no locks on the hot path);
 //   5. merge covers (vertex ids remapped back to the parent graph),
-//      statuses and per-worker stats.
+//      statuses and per-worker stats, in canonical component order
+//      (ascending minimum member) regardless of scheduling.
 //
 // Exactness: per-component solves are bit-identical to a whole-graph
-// sequential solve, for every algorithm and thread count. Cycles never
-// cross components, so a solver's keep/discharge decision for v depends
-// only on the state of v's own component; the engine preserves each
-// component's internal processing order by computing the candidate order
-// once on the whole graph and projecting it onto the components (local
-// ids ascend with global ids, so id- and edge-ordered sweeps project
-// automatically). Intra-component probing preserves exactness too:
+// sequential solve, for every algorithm, SCC strategy and thread count.
+// Cycles never cross components, so a solver's keep/discharge decision
+// for v depends only on the state of v's own component; the engine
+// preserves each component's internal processing order by ranking every
+// vertex in the whole-graph candidate order once and sorting each
+// component's members by rank (local ids ascend with global ids, so id-
+// and edge-ordered sweeps project automatically). Intra-component
+// probing preserves exactness too:
 // speculative validations commit sequentially in the canonical candidate
 // order, and any verdict the interleaved commits could have invalidated
 // is re-validated against the committed state (see probe_executor.h for

@@ -1,7 +1,9 @@
 #include "graph/graph_io.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
@@ -22,18 +24,22 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 /// Shared line pump of the text loaders: presents each logical data line
 /// (comments and blanks skipped, leading whitespace trimmed) to `fn` as
-/// (text, line_no) and stops on the first non-ok Status. Lines longer
-/// than the 255-byte buffer are presented as their first chunk once and
-/// the tail chunks are dropped — fine for comment lines; numeric data
-/// lines never get near the limit.
+/// (text, line_no) and stops on the first non-ok Status. Comment lines
+/// longer than the read buffer have their tail chunks dropped; a DATA
+/// line longer than 254 bytes (255 with its newline) is malformed input
+/// and fails loudly instead of being silently truncated mid-number.
 template <typename Fn>
-Status ForEachDataLine(std::FILE* f, Fn&& fn) {
+Status ForEachDataLine(std::FILE* f, const std::string& path, Fn&& fn) {
   char line[256];
   size_t line_no = 0;
   bool continuation = false;  // mid-line chunk of an over-long line
   while (std::fgets(line, sizeof(line), f) != nullptr) {
     const size_t len = std::strlen(line);
-    const bool complete = len > 0 && line[len - 1] == '\n';
+    // A chunk without a newline is either an over-long line or the final
+    // line of a file with no trailing newline — only EOF tells the two
+    // apart.
+    const bool complete =
+        (len > 0 && line[len - 1] == '\n') || std::feof(f) != 0;
     const bool skip_chunk = continuation;
     // The next chunk continues this line iff no newline was consumed.
     continuation = !complete;
@@ -42,8 +48,48 @@ Status ForEachDataLine(std::FILE* f, Fn&& fn) {
     const char* p = line;
     while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
     if (*p == '\0' || *p == '#' || *p == '%') continue;
+    if (!complete) {
+      return Status::InvalidArgument(path + ": line " +
+                                     std::to_string(line_no) +
+                                     " exceeds the 254-byte line limit");
+    }
     Status st = fn(p, line_no);
     if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+/// Parses one unsigned decimal field at *pp, advancing past it. Rejects
+/// missing digits, signs (sscanf's %llu silently wraps negatives) and
+/// values beyond 64 bits.
+Status ParseU64Field(const char** pp, const std::string& path,
+                     size_t line_no, unsigned long long* out) {
+  const char* p = *pp;
+  while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (!std::isdigit(static_cast<unsigned char>(*p))) {
+    return Status::InvalidArgument(path + ": malformed line " +
+                                   std::to_string(line_no));
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(p, &end, 10);
+  if (errno == ERANGE) {
+    return Status::InvalidArgument(path + ": number out of range on line " +
+                                   std::to_string(line_no));
+  }
+  *out = value;
+  *pp = end;
+  return Status::OK();
+}
+
+/// Fails unless only whitespace remains — a trailing extra token means
+/// the file is not in the format this loader thinks it is.
+Status ExpectLineEnd(const char* p, const std::string& path,
+                     size_t line_no) {
+  while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (*p != '\0') {
+    return Status::InvalidArgument(path + ": trailing garbage on line " +
+                                   std::to_string(line_no));
   }
   return Status::OK();
 }
@@ -58,23 +104,38 @@ Status LoadEdgeListText(const std::string& path, CsrGraph* graph,
   std::unordered_map<uint64_t, VertexId> dense;
   std::vector<uint64_t> inverse;
   std::vector<Edge> edges;
-  auto densify = [&](uint64_t raw) {
+  // Raw ids may be any 64-bit value (they get densified), but the number
+  // of *distinct* vertices must fit the 32-bit dense universe —
+  // kInvalidVertex is reserved as the sentinel.
+  auto densify = [&](uint64_t raw, VertexId* out) {
     auto [it, inserted] =
         dense.emplace(raw, static_cast<VertexId>(inverse.size()));
-    if (inserted) inverse.push_back(raw);
-    return it->second;
+    if (inserted) {
+      if (inverse.size() >= kInvalidVertex) {
+        return Status::InvalidArgument(
+            path + ": more distinct vertex ids than the 32-bit universe");
+      }
+      inverse.push_back(raw);
+    }
+    *out = it->second;
+    return Status::OK();
   };
 
-  Status st = ForEachDataLine(f.get(), [&](const char* p, size_t line_no) {
-    unsigned long long u = 0;
-    unsigned long long v = 0;
-    if (std::sscanf(p, "%llu %llu", &u, &v) != 2) {
-      return Status::InvalidArgument(path + ": malformed line " +
-                                     std::to_string(line_no));
-    }
-    edges.push_back(Edge{densify(u), densify(v)});
-    return Status::OK();
-  });
+  Status st =
+      ForEachDataLine(f.get(), path, [&](const char* p, size_t line_no) {
+        unsigned long long u = 0;
+        unsigned long long v = 0;
+        Status field = ParseU64Field(&p, path, line_no, &u);
+        if (field.ok()) field = ParseU64Field(&p, path, line_no, &v);
+        if (field.ok()) field = ExpectLineEnd(p, path, line_no);
+        if (!field.ok()) return field;
+        Edge edge;
+        field = densify(u, &edge.src);
+        if (field.ok()) field = densify(v, &edge.dst);
+        if (!field.ok()) return field;
+        edges.push_back(edge);
+        return Status::OK();
+      });
   if (!st.ok()) return st;
   *graph = CsrGraph::FromEdges(static_cast<VertexId>(inverse.size()),
                                std::move(edges));
@@ -170,14 +231,17 @@ Status LoadEdgeStreamText(const std::string& path,
   FilePtr f(std::fopen(path.c_str(), "r"));
   if (f == nullptr) return Status::IOError("cannot open " + path);
   stream->clear();
-  return ForEachDataLine(f.get(), [&](const char* p, size_t line_no) {
+  return ForEachDataLine(f.get(), path, [&](const char* p, size_t line_no) {
     unsigned long long u = 0;
     unsigned long long v = 0;
     unsigned long long t = 0;
-    if (std::sscanf(p, "%llu %llu %llu", &u, &v, &t) != 3) {
-      return Status::InvalidArgument(path + ": malformed stream line " +
-                                     std::to_string(line_no));
-    }
+    Status field = ParseU64Field(&p, path, line_no, &u);
+    if (field.ok()) field = ParseU64Field(&p, path, line_no, &v);
+    if (field.ok()) field = ParseU64Field(&p, path, line_no, &t);
+    if (field.ok()) field = ExpectLineEnd(p, path, line_no);
+    if (!field.ok()) return field;
+    // Stream ids are NOT densified (they address a fixed universe shared
+    // with the base snapshot), so each must fit VertexId itself.
     if (u >= kInvalidVertex || v >= kInvalidVertex) {
       return Status::InvalidArgument(path + ": vertex id overflow, line " +
                                      std::to_string(line_no));

@@ -41,6 +41,11 @@ struct TimedEdge {
 /// Original (possibly sparse) vertex ids are densified to 0..n-1 in first-
 /// appearance order; if `original_ids` is non-null it receives the inverse
 /// mapping (original id of each dense vertex).
+///
+/// Strict: malformed lines (missing/extra tokens, signs, non-numeric
+/// ids), numbers beyond 64 bits, data lines over the 254-byte limit, and
+/// inputs with more distinct vertices than the 32-bit dense universe all
+/// return InvalidArgument instead of silently truncating.
 Status LoadEdgeListText(const std::string& path, CsrGraph* graph,
                         std::vector<uint64_t>* original_ids = nullptr);
 
@@ -58,7 +63,9 @@ Status SaveEdgeStreamText(std::span<const TimedEdge> stream,
                           const std::string& path);
 
 /// Parses a timestamped edge stream. Events keep file order (replay
-/// order); timestamps are carried through untouched.
+/// order); timestamps are carried through untouched. Strict like
+/// LoadEdgeListText; additionally every id must fit VertexId (stream ids
+/// are not densified).
 Status LoadEdgeStreamText(const std::string& path,
                           std::vector<TimedEdge>* stream);
 

@@ -1,19 +1,86 @@
 #include "graph/scc.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace tdb {
 
-SccResult ComputeScc(const CsrGraph& graph) {
-  const VertexId n = graph.num_vertices();
-  SccResult result;
-  result.component.assign(n, kInvalidVertex);
+namespace {
 
-  constexpr VertexId kUnvisited = kInvalidVertex;
+constexpr VertexId kUnvisited = kInvalidVertex;
+
+/// Shared emission state of one condensation run: provisional labels (an
+/// arbitrary numbering, canonicalized at the end) plus the optional
+/// streaming sink. Emission may happen concurrently from pool workers
+/// (the FW-BW backlog), so the label counter is atomic and sink calls are
+/// serialized.
+struct EmitCtx {
+  std::vector<VertexId> label;
+  std::atomic<VertexId> next_label{0};
+  const ComponentSink* sink = nullptr;
+  std::mutex sink_mu;
+};
+
+/// Labels one finished component and streams it to the sink. `members`
+/// holds global vertex ids; it is sorted in place when a sink needs it
+/// (the canonical member lists are rebuilt from labels either way).
+void EmitComponent(EmitCtx& ctx, std::vector<VertexId>& members) {
+  const VertexId id = ctx.next_label.fetch_add(1, std::memory_order_relaxed);
+  for (VertexId v : members) ctx.label[v] = id;
+  if (ctx.sink != nullptr && *ctx.sink) {
+    std::sort(members.begin(), members.end());
+    std::lock_guard<std::mutex> lock(ctx.sink_mu);
+    (*ctx.sink)(members);
+  }
+}
+
+/// Canonicalizes provisional labels into an SccResult: components are
+/// renumbered by first appearance when scanning vertices ascending —
+/// i.e. ordered by minimum member — and member lists are produced by a
+/// counting sort, which leaves each list sorted ascending. This is what
+/// makes SccResult bit-identical across algorithms and thread counts.
+SccResult FinalizeCanonical(VertexId n, const std::vector<VertexId>& label,
+                            VertexId provisional_count) {
+  SccResult result;
+  result.component.resize(n);
+  std::vector<VertexId> remap(provisional_count, kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    VertexId& canonical = remap[label[v]];
+    if (canonical == kInvalidVertex) canonical = result.num_components++;
+    result.component[v] = canonical;
+  }
+  result.component_size.assign(result.num_components, 0);
+  for (VertexId v = 0; v < n; ++v) ++result.component_size[result.component[v]];
+  result.vertex_offsets.assign(result.num_components + 1, 0);
+  for (VertexId c = 0; c < result.num_components; ++c) {
+    result.vertex_offsets[c + 1] =
+        result.vertex_offsets[c] + result.component_size[c];
+  }
+  result.vertices.resize(n);
+  std::vector<VertexId> cursor(result.vertex_offsets.begin(),
+                               result.vertex_offsets.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    result.vertices[cursor[result.component[v]]++] = v;
+  }
+  return result;
+}
+
+/// Iterative Tarjan over the whole graph (no recursion, safe for
+/// multi-million-vertex graphs). Emits each component as it closes.
+void TarjanWhole(const CsrGraph& graph, EmitCtx& ctx) {
+  const VertexId n = graph.num_vertices();
   std::vector<VertexId> index(n, kUnvisited);
   std::vector<VertexId> lowlink(n, 0);
   std::vector<uint8_t> on_stack(n, 0);
   std::vector<VertexId> scc_stack;
+  std::vector<VertexId> members;
 
   // Explicit DFS frame: vertex plus position in its out-neighbor list.
   struct Frame {
@@ -47,17 +114,15 @@ SccResult ComputeScc(const CsrGraph& graph) {
       }
       // All children explored: close v.
       if (lowlink[v] == index[v]) {
-        VertexId comp = result.num_components++;
-        VertexId size = 0;
+        members.clear();
         VertexId w;
         do {
           w = scc_stack.back();
           scc_stack.pop_back();
           on_stack[w] = 0;
-          result.component[w] = comp;
-          ++size;
+          members.push_back(w);
         } while (w != v);
-        result.component_size.push_back(size);
+        EmitComponent(ctx, members);
       }
       dfs.pop_back();
       if (!dfs.empty()) {
@@ -66,21 +131,484 @@ SccResult ComputeScc(const CsrGraph& graph) {
       }
     }
   }
+}
 
-  // Member lists by counting sort; iterating v ascending leaves each
-  // component's slice sorted ascending.
-  result.vertex_offsets.assign(result.num_components + 1, 0);
-  for (VertexId c = 0; c < result.num_components; ++c) {
-    result.vertex_offsets[c + 1] =
-        result.vertex_offsets[c] + result.component_size[c];
+/// Iterative Tarjan restricted to one partition: `subset` lists its
+/// vertices and membership is part[v] == tag. Scratch is dense over local
+/// ids; `local_of` is a graph-sized map shared across concurrent calls —
+/// partitions are disjoint, so writes never race.
+void TarjanSubset(const CsrGraph& graph, std::span<const VertexId> subset,
+                  const std::vector<uint32_t>& part, uint32_t tag,
+                  std::vector<VertexId>& local_of, EmitCtx& ctx) {
+  const VertexId m = static_cast<VertexId>(subset.size());
+  for (VertexId i = 0; i < m; ++i) local_of[subset[i]] = i;
+
+  std::vector<VertexId> index(m, kUnvisited);
+  std::vector<VertexId> lowlink(m, 0);
+  std::vector<uint8_t> on_stack(m, 0);
+  std::vector<VertexId> scc_stack;  // local ids
+  std::vector<VertexId> members;    // global ids
+
+  struct Frame {
+    VertexId v;    // local id
+    EdgeId next;   // absolute index into the out-CSR of the global vertex
+  };
+  std::vector<Frame> dfs;
+
+  VertexId next_index = 0;
+  for (VertexId root = 0; root < m; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, graph.OutEdgeBegin(subset[root])});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      VertexId v = frame.v;
+      if (frame.next < graph.OutEdgeEnd(subset[v])) {
+        VertexId wg = graph.EdgeDst(frame.next++);
+        if (part[wg] != tag) continue;  // edge leaves the partition
+        VertexId w = local_of[wg];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = 1;
+          dfs.push_back({w, graph.OutEdgeBegin(wg)});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        members.clear();
+        VertexId w;
+        do {
+          w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = 0;
+          members.push_back(subset[w]);
+        } while (w != v);
+        EmitComponent(ctx, members);
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        VertexId parent = dfs.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
   }
-  result.vertices.resize(n);
-  std::vector<VertexId> cursor(result.vertex_offsets.begin(),
-                               result.vertex_offsets.end() - 1);
-  for (VertexId v = 0; v < n; ++v) {
-    result.vertices[cursor[result.component[v]]++] = v;
+}
+
+/// The trim + forward-backward condenser. Recursion is orchestrated on
+/// the calling thread (an explicit partition stack); the pool is used for
+/// flat data-parallel sweeps (degree scans, BFS frontiers, partition
+/// splits) and for the final backlog of below-cutoff partitions, which
+/// run sequential Tarjan concurrently.
+class FwBwCondenser {
+ public:
+  FwBwCondenser(const CsrGraph& graph, const SccOptions& options,
+                int threads, EmitCtx& ctx, SccStats* stats)
+      : g_(graph),
+        n_(graph.num_vertices()),
+        cutoff_(std::max<VertexId>(options.min_parallel_size, 1)),
+        ctx_(ctx),
+        stats_(stats) {
+    if (threads > 1 && n_ >= cutoff_) {
+      pool_ = std::make_unique<ThreadPool>(threads);
+    }
+  }
+
+  void Run() {
+    part_.assign(n_, 1);
+    fw_mark_.assign(n_, 0);
+    bw_mark_.assign(n_, 0);
+    deg_in_.resize(n_);
+    deg_out_.resize(n_);
+    local_of_.resize(n_);
+
+    std::vector<VertexId> all(n_);
+    for (VertexId v = 0; v < n_; ++v) all[v] = v;
+    TrimOne(&all, /*tag=*/1);
+    TrimTwo(&all, /*tag=*/1);
+
+    std::vector<std::pair<std::vector<VertexId>, uint32_t>> stack;
+    std::vector<std::pair<std::vector<VertexId>, uint32_t>> backlog;
+    if (!all.empty()) stack.emplace_back(std::move(all), 1u);
+
+    while (!stack.empty()) {
+      auto [partition, tag] = std::move(stack.back());
+      stack.pop_back();
+      if (partition.empty()) continue;
+      if (partition.size() < cutoff_) {
+        backlog.emplace_back(std::move(partition), tag);
+        continue;
+      }
+      // With one thread the same FW-BW structure runs sequentially (the
+      // BFS and split sweeps fall back to their inline branches), so the
+      // recursion tree — and every emitted component — is identical.
+      FwBwStep(std::move(partition), tag, &stack);
+    }
+
+    if (stats_ != nullptr) {
+      stats_->tarjan_partitions += static_cast<uint32_t>(backlog.size());
+    }
+    if (pool_ != nullptr && backlog.size() > 1) {
+      pool_->ParallelFor(backlog.size(), [&](size_t i, int) {
+        TarjanSubset(g_, backlog[i].first, part_, backlog[i].second,
+                     local_of_, ctx_);
+      });
+    } else {
+      for (const auto& [partition, tag] : backlog) {
+        TarjanSubset(g_, partition, part_, tag, local_of_, ctx_);
+      }
+    }
+  }
+
+ private:
+  static constexpr size_t kGrain = 2048;
+
+  ThreadPool* pool() { return pool_.get(); }
+
+  void EmitTrivial(VertexId u) {
+    trivial_[0] = u;
+    EmitComponent(ctx_, trivial_);
+    if (stats_ != nullptr) ++stats_->trim_peeled;
+  }
+
+  /// Trim-1: iteratively peels vertices with no in- or no out-neighbor
+  /// inside the partition — each is a singleton SCC (partitions are
+  /// SCC-closed, so a vertex unreachable-from or unable-to-reach within
+  /// its partition lies on no cycle at all). Compacts `partition` to the
+  /// survivors, preserving order. Runs once, on the whole graph, before
+  /// the FW-BW recursion: re-trimming every remainder partition would
+  /// cost a full neighbor-list rescan per level, which measures as
+  /// expensive as the FW/BW sweeps themselves, while the below-cutoff
+  /// Tarjan fallback disposes of the DAG-like shards a recursive trim
+  /// would have peeled.
+  void TrimOne(std::vector<VertexId>* partition, uint32_t tag) {
+    std::vector<VertexId> queue;
+    ParallelGather<VertexId>(
+        pool(), partition->size(), kGrain, &queue,
+        [&](size_t begin, size_t end, std::vector<VertexId>* out, int) {
+          for (size_t i = begin; i < end; ++i) {
+            const VertexId v = (*partition)[i];
+            // Whole-graph trim: CSR degrees are the restricted degrees.
+            const VertexId din = static_cast<VertexId>(g_.in_degree(v));
+            const VertexId dout = static_cast<VertexId>(g_.out_degree(v));
+            deg_in_[v] = din;
+            deg_out_[v] = dout;
+            if (din == 0 || dout == 0) out->push_back(v);
+          }
+        });
+    for (size_t i = 0; i < queue.size(); ++i) {
+      const VertexId v = queue[i];
+      if (part_[v] != tag) continue;  // already peeled via the other side
+      part_[v] = 0;
+      EmitTrivial(v);
+      for (VertexId w : g_.OutNeighbors(v)) {
+        if (part_[w] == tag && --deg_in_[w] == 0) queue.push_back(w);
+      }
+      for (VertexId w : g_.InNeighbors(v)) {
+        if (part_[w] == tag && --deg_out_[w] == 0) queue.push_back(w);
+      }
+    }
+    if (queue.empty()) return;
+    std::erase_if(*partition, [&](VertexId v) { return part_[v] != tag; });
+  }
+
+  VertexId CountActive(std::span<const VertexId> nbrs, uint32_t tag) const {
+    VertexId count = 0;
+    for (VertexId w : nbrs) count += part_[w] == tag ? 1 : 0;
+    return count;
+  }
+
+  /// The unique active neighbor of `u` other than itself, kInvalidVertex
+  /// when there are zero or two-plus.
+  VertexId OnlyActive(std::span<const VertexId> nbrs, VertexId u,
+                      uint32_t tag) const {
+    VertexId only = kInvalidVertex;
+    for (VertexId w : nbrs) {
+      if (w == u || part_[w] != tag) continue;
+      if (only != kInvalidVertex) return kInvalidVertex;
+      only = w;
+    }
+    return only;
+  }
+
+  /// Trim-2: peels two-vertex SCCs. If u's only active in-neighbor
+  /// (besides itself) is v and v's is u, every path into u threads
+  /// ...→u→v→u, so SCC(u) = {u, v}; symmetrically for out-neighbors. A
+  /// vertex whose only active in- or out-neighbor is itself (a self-loop
+  /// survivor of trim-1) is a singleton, encoded as the pair (u, u).
+  /// The restricted-degree arrays trim-1 left behind prefilter the
+  /// candidates, so only near-degree-1 vertices pay a neighbor scan.
+  void TrimTwo(std::vector<VertexId>* partition, uint32_t tag) {
+    std::vector<std::pair<VertexId, VertexId>> pairs;
+    ParallelGather<std::pair<VertexId, VertexId>>(
+        pool(), partition->size(), kGrain, &pairs,
+        [&](size_t begin, size_t end,
+            std::vector<std::pair<VertexId, VertexId>>* out, int) {
+          for (size_t i = begin; i < end; ++i) {
+            const VertexId u = (*partition)[i];
+            // The in/out pattern needs exactly one non-self active
+            // neighbor; a self-loop contributes at most one more to the
+            // restricted degree, so degree > 2 can never match.
+            if (deg_in_[u] <= 2) {
+              const VertexId vin = OnlyActive(g_.InNeighbors(u), u, tag);
+              if (vin == kInvalidVertex) {
+                // Trim-1 guarantees at least one active in-neighbor; zero
+                // non-self means only a self-loop feeds u: singleton.
+                if (CountActive(g_.InNeighbors(u), tag) ==
+                    (g_.HasEdge(u, u) ? 1u : 0u)) {
+                  out->emplace_back(u, u);
+                }
+              } else if (u < vin && deg_in_[vin] <= 2 &&
+                         OnlyActive(g_.InNeighbors(vin), vin, tag) == u) {
+                out->emplace_back(u, vin);
+                continue;
+              }
+            }
+            if (deg_out_[u] <= 2) {
+              const VertexId vout = OnlyActive(g_.OutNeighbors(u), u, tag);
+              if (vout != kInvalidVertex && u < vout && deg_out_[vout] <= 2 &&
+                  OnlyActive(g_.OutNeighbors(vout), vout, tag) == u) {
+                out->emplace_back(u, vout);
+              }
+            }
+          }
+        });
+    if (pairs.empty()) return;
+    std::vector<VertexId> members;
+    for (const auto& [u, v] : pairs) {
+      if (part_[u] != tag || part_[v] != tag) continue;
+      part_[u] = 0;
+      if (u == v) {
+        EmitTrivial(u);
+        continue;
+      }
+      part_[v] = 0;
+      members.assign({u, v});
+      EmitComponent(ctx_, members);
+      if (stats_ != nullptr) stats_->trim_peeled += 2;
+    }
+    std::erase_if(*partition, [&](VertexId v) { return part_[v] != tag; });
+  }
+
+  /// Marks every vertex of the pivot's forward (kForward) or backward
+  /// closure within the partition with the current epoch, one frontier
+  /// level at a time; big frontiers fan out across the pool with CAS
+  /// claiming and chunk-ordered concatenation.
+  template <bool kForward>
+  void BfsMark(VertexId pivot, uint32_t tag, std::vector<uint32_t>& mark) {
+    mark[pivot] = epoch_;
+    std::vector<VertexId> frontier{pivot};
+    std::vector<VertexId> next;
+    while (!frontier.empty()) {
+      next.clear();
+      if (pool_ == nullptr || frontier.size() <= kGrain) {
+        for (VertexId u : frontier) {
+          for (VertexId w :
+               kForward ? g_.OutNeighbors(u) : g_.InNeighbors(u)) {
+            if (part_[w] == tag && mark[w] != epoch_) {
+              mark[w] = epoch_;
+              next.push_back(w);
+            }
+          }
+        }
+      } else {
+        ParallelGather<VertexId>(
+            pool(), frontier.size(), kGrain, &next,
+            [&](size_t begin, size_t end, std::vector<VertexId>* out, int) {
+              for (size_t i = begin; i < end; ++i) {
+                const VertexId u = frontier[i];
+                for (VertexId w :
+                     kForward ? g_.OutNeighbors(u) : g_.InNeighbors(u)) {
+                  if (part_[w] != tag) continue;
+                  std::atomic_ref<uint32_t> claimed(mark[w]);
+                  uint32_t seen = claimed.load(std::memory_order_relaxed);
+                  if (seen == epoch_) continue;
+                  if (claimed.compare_exchange_strong(
+                          seen, epoch_, std::memory_order_relaxed)) {
+                    out->push_back(w);
+                  }
+                }
+              }
+            });
+      }
+      frontier.swap(next);
+    }
+  }
+
+  /// One pivot step: FW/BW closures, emit FW ∩ BW, retag and push the
+  /// three remainder partitions.
+  void FwBwStep(std::vector<VertexId> partition, uint32_t tag,
+                std::vector<std::pair<std::vector<VertexId>, uint32_t>>*
+                    stack) {
+    if (stats_ != nullptr) ++stats_->fwbw_partitions;
+    // Pivot: max degree product, ties to the minimum id — a function of
+    // the partition's *membership*, not its order, so the recursion tree
+    // is deterministic.
+    VertexId pivot = partition[0];
+    uint64_t best = 0;
+    for (VertexId v : partition) {
+      const uint64_t score = (static_cast<uint64_t>(g_.in_degree(v)) + 1) *
+                             (static_cast<uint64_t>(g_.out_degree(v)) + 1);
+      if (score > best || (score == best && v < pivot)) {
+        best = score;
+        pivot = v;
+      }
+    }
+
+    ++epoch_;
+    BfsMark<true>(pivot, tag, fw_mark_);
+    BfsMark<false>(pivot, tag, bw_mark_);
+
+    // Four-way split, chunk buffers concatenated in order.
+    struct Split {
+      std::vector<VertexId> scc, fw, bw, rest;
+    };
+    const size_t count = partition.size();
+    const size_t chunks =
+        pool_ != nullptr ? pool_->NumChunks(count, kGrain) : 1;
+    const size_t step = (count + chunks - 1) / chunks;
+    std::vector<Split> buffers((count + step - 1) / step);
+    auto classify = [&](size_t begin, size_t end, Split* out) {
+      for (size_t i = begin; i < end; ++i) {
+        const VertexId v = partition[i];
+        const bool in_fw = fw_mark_[v] == epoch_;
+        const bool in_bw = bw_mark_[v] == epoch_;
+        if (in_fw && in_bw) {
+          out->scc.push_back(v);
+        } else if (in_fw) {
+          out->fw.push_back(v);
+        } else if (in_bw) {
+          out->bw.push_back(v);
+        } else {
+          out->rest.push_back(v);
+        }
+      }
+    };
+    if (chunks == 1) {
+      classify(0, count, &buffers[0]);
+    } else {
+      pool_->ParallelForChunks(count, kGrain,
+                               [&](size_t begin, size_t end, int) {
+                                 classify(begin, end, &buffers[begin / step]);
+                               });
+    }
+    Split merged;
+    for (Split& b : buffers) {
+      auto append = [](std::vector<VertexId>* dst, std::vector<VertexId>& s) {
+        dst->insert(dst->end(), s.begin(), s.end());
+      };
+      append(&merged.scc, b.scc);
+      append(&merged.fw, b.fw);
+      append(&merged.bw, b.bw);
+      append(&merged.rest, b.rest);
+    }
+
+    for (VertexId v : merged.scc) part_[v] = 0;
+    EmitComponent(ctx_, merged.scc);
+
+    // Push smaller partitions first so the biggest pops next (LIFO):
+    // depth-first on the heavy side streams the next big SCC early.
+    std::vector<VertexId>* remainders[3] = {&merged.fw, &merged.bw,
+                                            &merged.rest};
+    std::sort(
+        std::begin(remainders), std::end(remainders),
+        [](const auto* a, const auto* b) { return a->size() < b->size(); });
+    for (std::vector<VertexId>* r : remainders) {
+      if (r->empty()) continue;
+      const uint32_t fresh = next_tag_++;
+      for (VertexId v : *r) part_[v] = fresh;
+      stack->emplace_back(std::move(*r), fresh);
+    }
+  }
+
+  const CsrGraph& g_;
+  const VertexId n_;
+  const VertexId cutoff_;
+  EmitCtx& ctx_;
+  SccStats* stats_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::vector<uint32_t> part_;  // partition tag per vertex; 0 = retired
+  uint32_t next_tag_ = 2;       // 1 is the initial whole-graph partition
+  std::vector<uint32_t> fw_mark_, bw_mark_;
+  uint32_t epoch_ = 0;
+  std::vector<VertexId> deg_in_, deg_out_;  // trim scratch
+  std::vector<VertexId> local_of_;          // Tarjan-subset scratch
+  std::vector<VertexId> trivial_ = {0};     // singleton emission scratch
+};
+
+}  // namespace
+
+const char* SccAlgorithmName(SccAlgorithm algo) {
+  switch (algo) {
+    case SccAlgorithm::kTarjan:
+      return "tarjan";
+    case SccAlgorithm::kParallelFwBw:
+      return "fwbw";
+  }
+  return "?";
+}
+
+Status ParseSccAlgorithm(const std::string& name, SccAlgorithm* algo) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "tarjan") {
+    *algo = SccAlgorithm::kTarjan;
+  } else if (lower == "fwbw" || lower == "fw-bw" || lower == "parallel") {
+    *algo = SccAlgorithm::kParallelFwBw;
+  } else {
+    return Status::NotFound("unknown SCC algorithm: " + name);
+  }
+  return Status::OK();
+}
+
+SccResult CondenseScc(const CsrGraph& graph, const SccOptions& options,
+                      const ComponentSink& sink, SccStats* stats) {
+  Timer timer;
+  const VertexId n = graph.num_vertices();
+  EmitCtx ctx;
+  ctx.label.assign(n, kInvalidVertex);
+  ctx.sink = &sink;
+
+  const int threads = options.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                               : options.num_threads;
+  // Below the cutoff the FW-BW path would immediately fall back anyway;
+  // skip its trim passes and run plain Tarjan.
+  const bool parallel = options.algorithm == SccAlgorithm::kParallelFwBw &&
+                        n >= std::max<VertexId>(options.min_parallel_size, 1);
+  if (parallel) {
+    FwBwCondenser condenser(graph, options, threads, ctx, stats);
+    condenser.Run();
+  } else {
+    TarjanWhole(graph, ctx);
+    if (stats != nullptr &&
+        options.algorithm == SccAlgorithm::kParallelFwBw && n > 0) {
+      ++stats->tarjan_partitions;
+    }
+  }
+
+  SccResult result;
+  if (options.canonical_result) {
+    result = FinalizeCanonical(
+        n, ctx.label, ctx.next_label.load(std::memory_order_relaxed));
+  } else {
+    result.num_components = ctx.next_label.load(std::memory_order_relaxed);
+  }
+  if (stats != nullptr) {
+    stats->components = result.num_components;
+    stats->seconds = timer.ElapsedSeconds();
   }
   return result;
+}
+
+SccResult ComputeScc(const CsrGraph& graph) {
+  return CondenseScc(graph, SccOptions{});
 }
 
 std::vector<uint8_t> SccAtLeastMask(const CsrGraph& graph,

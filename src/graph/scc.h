@@ -1,20 +1,46 @@
-// Strongly connected components (iterative Tarjan).
+// Strongly connected components: pluggable condensation strategies.
 //
 // Every directed cycle lies inside one SCC, and a simple cycle of length
-// >= 3 needs an SCC of at least 3 vertices (>= 2 when 2-cycles count).
-// The top-down solver uses this as an optional prefilter: vertices in
-// too-small SCCs can be discharged from the cover with zero search work.
+// >= 3 needs an SCC of at least 3 vertices (>= 2 when 2-cycles count), so
+// condensation is the front door of every solve: the engine partitions
+// the graph by component and the top-down solver uses component sizes as
+// an optional prefilter.
+//
+// Two interchangeable algorithms sit behind CondenseScc:
+//
+//   * kTarjan — the classic single-threaded iterative Tarjan traversal
+//     (no recursion, safe for multi-million-vertex graphs).
+//   * kParallelFwBw — trim-1/trim-2 peeling followed by forward-backward
+//     reachability decomposition: pick a pivot, compute its forward and
+//     backward reachable sets with parallel frontier BFS on a ThreadPool,
+//     emit FW ∩ BW as one SCC, and recurse on the three remainder
+//     partitions (FW \ SCC, BW \ SCC, rest). Partitions below
+//     SccOptions::min_parallel_size fall back to sequential Tarjan,
+//     fanned across the pool. This is the scalable front end of the
+//     parallel-cycle literature (trim + FW-BW feeding per-SCC work to a
+//     pool) and the path for billion-edge graphs.
+//
+// Determinism: component ids are canonicalized — components are numbered
+// by their minimum member vertex, ascending, and member lists are sorted
+// — so the SccResult is bit-identical across algorithms and thread
+// counts. Both the engine's covers and the condensation tests rely on
+// this.
 #ifndef TDB_GRAPH_SCC_H_
 #define TDB_GRAPH_SCC_H_
 
+#include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "util/status.h"
 
 namespace tdb {
 
-/// Result of an SCC decomposition.
+/// Result of an SCC decomposition. Canonical: component c's id is the
+/// rank of its minimum member among all components' minimum members, so
+/// the whole struct is identical for every algorithm and thread count.
 struct SccResult {
   /// Component id of each vertex, in [0, num_components).
   std::vector<VertexId> component;
@@ -39,8 +65,72 @@ struct SccResult {
   }
 };
 
-/// Computes SCCs with an iterative Tarjan traversal (no recursion, safe for
-/// multi-million-vertex graphs).
+/// Condensation strategy behind CondenseScc.
+enum class SccAlgorithm {
+  kTarjan,        ///< Sequential iterative Tarjan.
+  kParallelFwBw,  ///< Trim + parallel forward-backward decomposition.
+};
+
+/// Short name ("tarjan", "fwbw").
+const char* SccAlgorithmName(SccAlgorithm algo);
+
+/// Inverse of SccAlgorithmName (case-insensitive; "parallel" is accepted
+/// as an alias of "fwbw"). NotFound on unknown names.
+Status ParseSccAlgorithm(const std::string& name, SccAlgorithm* algo);
+
+/// Configuration of one condensation run.
+struct SccOptions {
+  SccAlgorithm algorithm = SccAlgorithm::kTarjan;
+  /// Worker threads for kParallelFwBw (0 = one per hardware thread;
+  /// ignored by kTarjan). 1 runs the FW-BW structure sequentially — same
+  /// output, no pool.
+  int num_threads = 1;
+  /// Partitions smaller than this fall back to sequential Tarjan instead
+  /// of further FW-BW recursion (kParallelFwBw only).
+  VertexId min_parallel_size = 1u << 14;
+  /// When false, the returned SccResult carries only num_components —
+  /// the canonical per-vertex arrays and member lists are not built.
+  /// For callers that consume the decomposition entirely through the
+  /// streaming sink (the engine's pipeline), this skips several O(n)
+  /// finalization passes and ~20 bytes/vertex of allocation at the tail
+  /// of condensation.
+  bool canonical_result = true;
+};
+
+/// Instrumentation from one condensation run (never part of the
+/// bit-identical SccResult contract — timings and partition counts vary
+/// with thread count).
+struct SccStats {
+  double seconds = 0.0;
+  VertexId components = 0;
+  /// Vertices peeled as trivial SCCs by trim-1/trim-2.
+  VertexId trim_peeled = 0;
+  /// FW-BW pivot steps executed.
+  uint32_t fwbw_partitions = 0;
+  /// Partitions finished by the sequential-Tarjan cutoff.
+  uint32_t tarjan_partitions = 0;
+};
+
+/// Streaming consumer of finalized components: called once per SCC with
+/// its member list, sorted ascending. Calls are serialized (an internal
+/// mutex) but may come from different threads; the span is only valid
+/// during the call. Components arrive in no particular order — canonical
+/// ids exist only in the returned SccResult. The engine's
+/// condense-to-solve pipeline hangs off this hook: a finalized component
+/// starts solving while the condenser is still decomposing the rest.
+using ComponentSink = std::function<void(std::span<const VertexId> members)>;
+
+/// Computes the SCC decomposition of `graph` with the chosen strategy.
+/// The returned SccResult is canonical (see above) and bit-identical
+/// across algorithms and thread counts. `sink`, when non-null, receives
+/// every component as it is finalized; `stats`, when non-null, receives
+/// run instrumentation.
+SccResult CondenseScc(const CsrGraph& graph, const SccOptions& options,
+                      const ComponentSink& sink = nullptr,
+                      SccStats* stats = nullptr);
+
+/// Computes SCCs with the default sequential Tarjan strategy (canonical
+/// ids, like every CondenseScc result).
 SccResult ComputeScc(const CsrGraph& graph);
 
 /// Marks vertices whose SCC has at least `min_size` members. Only marked

@@ -1,0 +1,119 @@
+// Admission-path verdict cache: a per-epoch memo of hot (u, v)
+// CheckAdmission verdicts.
+//
+// Admission queries are read-only probes against one immutable
+// ServiceSnapshot, so a verdict computed at epoch E is valid for the
+// whole lifetime of E's snapshot — and for nothing newer. The cache
+// therefore lives *on* the snapshot: each publish creates a fresh empty
+// cache and the previous one is dropped atomically with its snapshot
+// (readers still pinning the old epoch keep hitting the old cache, which
+// stays correct for them by immutability of the state it memoizes).
+//
+// Layout: fixed-size open-addressing table of single-word entries. An
+// entry packs (occupied:1 | verdict:1 | u:31 | v:31) into one 64-bit
+// word, so lookups and inserts are single relaxed atomic loads/stores —
+// no locks, no tearing (the key and the verdict travel together), and a
+// racing insert simply makes one of the writers win the slot with a
+// fully consistent entry. Linear probing over a short window; when every
+// slot in the window is taken the first slot is clobbered (hot keys
+// re-insert themselves, cold ones age out). Endpoints above 2^31 - 1 are
+// not cacheable (the pack would overflow) and simply bypass the cache.
+#ifndef TDB_SERVICE_ADMISSION_CACHE_H_
+#define TDB_SERVICE_ADMISSION_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace tdb {
+
+/// Lock-free (u, v) -> would_close memo. Thread-safe for any mix of
+/// concurrent Lookup/Insert calls; all results it returns were inserted
+/// by some caller, so correctness follows from the immutability of the
+/// snapshot the verdicts were computed against.
+class AdmissionCache {
+ public:
+  /// `capacity_log2` in [4, 30]: the table holds 2^capacity_log2 entries
+  /// (8 bytes each).
+  explicit AdmissionCache(int capacity_log2)
+      : mask_((uint64_t{1} << capacity_log2) - 1),
+        slots_(mask_ + 1) {}
+
+  /// Maximum endpoint id the packed entry can hold.
+  static constexpr VertexId kMaxVertex = (VertexId{1} << 31) - 1;
+
+  static bool Cacheable(VertexId u, VertexId v) {
+    return u <= kMaxVertex && v <= kMaxVertex;
+  }
+
+  /// True with *would_close filled on a hit; false on a miss (or an
+  /// uncacheable key).
+  bool Lookup(VertexId u, VertexId v, bool* would_close) const {
+    if (!Cacheable(u, v)) return false;
+    const uint64_t key = Key(u, v);
+    uint64_t slot = Hash(key) & mask_;
+    for (int probe = 0; probe < kProbeWindow; ++probe) {
+      const uint64_t word =
+          slots_[slot].load(std::memory_order_relaxed);
+      if (word == 0) return false;  // never-written slot ends the chain
+      if ((word & kKeyMask) == key) {
+        *would_close = (word & kVerdictBit) != 0;
+        return true;
+      }
+      slot = (slot + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// Publishes a verdict. Racing writers to the same slot both store a
+  /// complete entry; one wins, which is fine — any stored entry is valid.
+  void Insert(VertexId u, VertexId v, bool would_close) {
+    if (!Cacheable(u, v)) return;
+    const uint64_t key = Key(u, v);
+    const uint64_t word =
+        key | kOccupiedBit | (would_close ? kVerdictBit : 0);
+    uint64_t slot = Hash(key) & mask_;
+    const uint64_t first = slot;
+    for (int probe = 0; probe < kProbeWindow; ++probe) {
+      const uint64_t seen = slots_[slot].load(std::memory_order_relaxed);
+      if (seen == 0 || (seen & kKeyMask) == key) {
+        slots_[slot].store(word, std::memory_order_relaxed);
+        return;
+      }
+      slot = (slot + 1) & mask_;
+    }
+    // Window full of other keys: evict the home slot.
+    slots_[first].store(word, std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  static constexpr int kProbeWindow = 8;
+  static constexpr uint64_t kOccupiedBit = uint64_t{1} << 63;
+  static constexpr uint64_t kVerdictBit = uint64_t{1} << 62;
+  static constexpr uint64_t kKeyMask = (uint64_t{1} << 62) - 1;
+
+  static uint64_t Key(VertexId u, VertexId v) {
+    return (static_cast<uint64_t>(u) << 31) | static_cast<uint64_t>(v);
+  }
+
+  /// splitmix64 finalizer — cheap and well-mixed for sequential ids.
+  static uint64_t Hash(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t mask_;
+  /// Value-initialized atomics: 0 = never written.
+  std::vector<std::atomic<uint64_t>> slots_;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_SERVICE_ADMISSION_CACHE_H_

@@ -25,6 +25,11 @@ Status ServiceOptions::Validate() const {
   if (ingest_threads < 0 || ingest_threads > 4096) {
     return Status::InvalidArgument("ingest_threads out of range");
   }
+  if (admission_cache_log2 != 0 &&
+      (admission_cache_log2 < 4 || admission_cache_log2 > 30)) {
+    return Status::InvalidArgument(
+        "admission_cache_log2 must be 0 (off) or in [4, 30]");
+  }
   return Status::OK();
 }
 
@@ -81,10 +86,28 @@ SubmitResult CycleBreakService::SubmitEdges(std::span<const Edge> batch) {
 AdmissionVerdict CycleBreakService::CheckAdmission(VertexId u,
                                                    VertexId v) const {
   const auto pinned = published_.Load();
-  PathProber prober(pinned.state->options);
-  const AdmissionVerdict verdict =
-      CheckAdmissionOn(*pinned.state, u, v, &prober);
+  const ServiceSnapshot& snapshot = *pinned.state;
   stats_.admission_queries.fetch_add(1, kRelaxed);
+  // Per-epoch memo: a verdict is a pure function of the immutable
+  // snapshot, so a hit skips the path probe entirely. The cache belongs
+  // to this snapshot — a newer publish starts from an empty one.
+  AdmissionCache* cache = snapshot.admission_cache.get();
+  if (cache != nullptr) {
+    bool would_close = false;
+    if (cache->Lookup(u, v, &would_close)) {
+      stats_.admission_cache_hits.fetch_add(1, kRelaxed);
+      if (would_close) stats_.admission_would_close.fetch_add(1, kRelaxed);
+      AdmissionVerdict verdict;
+      verdict.epoch = snapshot.epoch;
+      verdict.would_close = would_close;
+      verdict.admissible = !would_close;
+      return verdict;
+    }
+    stats_.admission_cache_misses.fetch_add(1, kRelaxed);
+  }
+  PathProber prober(snapshot.options);
+  const AdmissionVerdict verdict = CheckAdmissionOn(snapshot, u, v, &prober);
+  if (cache != nullptr) cache->Insert(u, v, verdict.would_close);
   if (verdict.would_close) {
     stats_.admission_would_close.fetch_add(1, kRelaxed);
   }
@@ -104,6 +127,10 @@ void CycleBreakService::WaitForCompaction() {
 uint64_t CycleBreakService::PublishLocked() {
   auto snapshot = std::make_shared<ServiceSnapshot>(working_, state_,
                                                     options_.cover);
+  if (options_.admission_cache_log2 > 0) {
+    snapshot->admission_cache =
+        std::make_unique<AdmissionCache>(options_.admission_cache_log2);
+  }
   // writer_mu_ serializes every Store, so the pre-stamped epoch and the
   // one EpochPtr assigns must agree; the check pins that invariant.
   const uint64_t next_epoch = published_.epoch() + 1;

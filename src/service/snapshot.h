@@ -11,14 +11,19 @@
 #define TDB_SERVICE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "core/batch_augment.h"
 #include "core/cover_options.h"
 #include "graph/overlay_graph.h"
+#include "service/admission_cache.h"
 
 namespace tdb {
 
-/// One published (graph, cover) pair. Immutable after publication.
+/// One published (graph, cover) pair. Immutable after publication — with
+/// one deliberate exception: `admission_cache` is a mutable memo of
+/// verdicts that are pure functions of the immutable state, so
+/// concurrent readers may fill it without changing anything observable.
 struct ServiceSnapshot {
   /// Publication epoch (1 for the state published by the constructor,
   /// +1 per subsequent publish).
@@ -29,6 +34,10 @@ struct ServiceSnapshot {
   TransversalState cover;
   /// The cycle semantics the cover was maintained under (k, 2-cycles).
   CoverOptions options;
+  /// Per-epoch (u, v) verdict memo, null when caching is disabled. Each
+  /// publish creates a fresh cache, so stale verdicts are dropped
+  /// atomically with the snapshot they belong to.
+  std::unique_ptr<AdmissionCache> admission_cache;
 
   ServiceSnapshot(OverlayGraph g, TransversalState c, CoverOptions o)
       : graph(std::move(g)), cover(std::move(c)), options(std::move(o)) {}

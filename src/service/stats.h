@@ -29,6 +29,8 @@ struct ServiceStatsSnapshot {
   uint64_t prunes = 0;
   uint64_t admission_queries = 0;
   uint64_t admission_would_close = 0;
+  uint64_t admission_cache_hits = 0;
+  uint64_t admission_cache_misses = 0;
   uint64_t epochs_published = 0;
   uint64_t compactions = 0;
   uint64_t compactions_failed = 0;
@@ -48,6 +50,8 @@ struct ServiceStats {
   std::atomic<uint64_t> prunes{0};
   std::atomic<uint64_t> admission_queries{0};
   std::atomic<uint64_t> admission_would_close{0};
+  std::atomic<uint64_t> admission_cache_hits{0};
+  std::atomic<uint64_t> admission_cache_misses{0};
   std::atomic<uint64_t> epochs_published{0};
   std::atomic<uint64_t> compactions{0};
   std::atomic<uint64_t> compactions_failed{0};
@@ -68,6 +72,8 @@ struct ServiceStats {
     out.prunes = get(prunes);
     out.admission_queries = get(admission_queries);
     out.admission_would_close = get(admission_would_close);
+    out.admission_cache_hits = get(admission_cache_hits);
+    out.admission_cache_misses = get(admission_cache_misses);
     out.epochs_published = get(epochs_published);
     out.compactions = get(compactions);
     out.compactions_failed = get(compactions_failed);

@@ -74,13 +74,90 @@ TEST_F(GraphIoTest, OverlongCommentLinesDoNotLeakEdges) {
     std::ofstream out(path);
     out << "# " << std::string(1000, 'x') << " 123 456\n";
     out << "0 1\n";
-    // Over-long data line: the leading pair still parses.
-    out << "1 2 " << std::string(1000, ' ') << "\n";
+    out << "1 2\n";
   }
   CsrGraph g;
   ASSERT_TRUE(LoadEdgeListText(path, &g).ok());
   EXPECT_EQ(g.num_edges(), 2u);
   EXPECT_EQ(g.num_vertices(), 3u);
+}
+
+TEST_F(GraphIoTest, OverlongDataLineIsInvalidArgument) {
+  // A data line beyond the line buffer used to parse its leading chunk
+  // and silently drop the rest; it must fail loudly instead.
+  const std::string path = TempPath("long_data.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n";
+    out << "1 2 " << std::string(1000, ' ') << "\n";
+  }
+  CsrGraph g;
+  const Status st = LoadEdgeListText(path, &g);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST_F(GraphIoTest, CorruptEdgeListFixturesAreRejected) {
+  // Each fixture used to be silently misparsed by the sscanf-based
+  // loader: %llu wraps negatives and out-of-range values, and extra
+  // tokens were ignored.
+  const struct {
+    const char* name;
+    const char* body;
+  } kFixtures[] = {
+      {"negative_id.txt", "0 1\n-3 2\n"},
+      {"overflow_id.txt", "0 1\n99999999999999999999999 2\n"},
+      {"trailing_token.txt", "0 1\n1 2 7\n"},
+      {"missing_field.txt", "0 1\n5\n"},
+      {"hex_noise.txt", "0 1\n0x1f 2\n"},
+      {"plus_sign.txt", "+1 2\n"},
+  };
+  for (const auto& fixture : kFixtures) {
+    const std::string path = TempPath(fixture.name);
+    {
+      std::ofstream out(path);
+      out << "# corrupt fixture\n" << fixture.body;
+    }
+    CsrGraph g;
+    const Status st = LoadEdgeListText(path, &g);
+    EXPECT_TRUE(st.IsInvalidArgument()) << fixture.name << ": "
+                                        << st.ToString();
+  }
+}
+
+TEST_F(GraphIoTest, CorruptStreamFixturesAreRejected) {
+  const struct {
+    const char* name;
+    const char* body;
+  } kFixtures[] = {
+      {"stream_negative.txt", "0 1 5\n-2 3 6\n"},
+      {"stream_overflow_vertex.txt", "0 1 5\n4294967295 3 6\n"},
+      {"stream_overflow_64bit.txt", "0 1 99999999999999999999999\n"},
+      {"stream_trailing.txt", "0 1 5 extra\n"},
+      {"stream_missing_ts.txt", "0 1\n"},
+  };
+  for (const auto& fixture : kFixtures) {
+    const std::string path = TempPath(fixture.name);
+    {
+      std::ofstream out(path);
+      out << "# corrupt stream fixture\n" << fixture.body;
+    }
+    std::vector<TimedEdge> stream;
+    const Status st = LoadEdgeStreamText(path, &stream);
+    EXPECT_TRUE(st.IsInvalidArgument()) << fixture.name << ": "
+                                        << st.ToString();
+  }
+}
+
+TEST_F(GraphIoTest, StreamTimestampsUseTheFull64Bits) {
+  const std::string path = TempPath("stream_big_ts.txt");
+  {
+    std::ofstream out(path);
+    out << "3 4 18446744073709551615\n";  // 2^64 - 1 is a valid timestamp
+  }
+  std::vector<TimedEdge> stream;
+  ASSERT_TRUE(LoadEdgeStreamText(path, &stream).ok());
+  ASSERT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream[0].timestamp, ~uint64_t{0});
 }
 
 TEST_F(GraphIoTest, FinalLineWithoutNewline) {

@@ -112,6 +112,64 @@ TEST(CycleBreakServiceTest, AdmissionSemanticsOnAPath) {
   EXPECT_TRUE(SnapshotInvariantHolds(*service.PinSnapshot()));
 }
 
+TEST(CycleBreakServiceTest, AdmissionCacheVerdictsMatchUncached) {
+  // Two identical services, one with the per-epoch verdict cache: every
+  // verdict must agree, and repeated queries must hit the cache.
+  CsrGraph base = GeneratePowerLaw(
+      {.n = 50, .m = 300, .theta = 0.6, .reciprocity = 0.3, .seed = 29});
+  CsrGraph base_copy = base;
+  ServiceOptions plain = MakeOptions(4);
+  ServiceOptions cached = MakeOptions(4);
+  cached.admission_cache_log2 = 10;
+  CycleBreakService reference(std::move(base), plain);
+  CycleBreakService service(std::move(base_copy), cached);
+
+  for (int round = 0; round < 3; ++round) {
+    // The same pairs every round: rounds 2+ are pure cache hits.
+    Rng pair_rng(77);
+    for (int q = 0; q < 200; ++q) {
+      const VertexId u = static_cast<VertexId>(pair_rng.NextBounded(50));
+      const VertexId v = static_cast<VertexId>(pair_rng.NextBounded(50));
+      const AdmissionVerdict expected = reference.CheckAdmission(u, v);
+      const AdmissionVerdict got = service.CheckAdmission(u, v);
+      EXPECT_EQ(expected.would_close, got.would_close)
+          << u << "->" << v << " round " << round;
+      EXPECT_EQ(expected.admissible, got.admissible);
+    }
+  }
+  const ServiceStatsSnapshot s = service.Stats();
+  EXPECT_GT(s.admission_cache_hits, 0u);
+  EXPECT_GT(s.admission_cache_misses, 0u);
+  // Rounds 2 and 3 re-ask round 1's 200 pairs: at least those hit.
+  EXPECT_GE(s.admission_cache_hits, 2u * 200u - s.admission_cache_misses);
+  EXPECT_EQ(s.admission_cache_hits + s.admission_cache_misses,
+            s.admission_queries);
+}
+
+TEST(CycleBreakServiceTest, AdmissionCacheDropsAtPublish) {
+  // Path 0 -> 1 -> 2 -> 3 with k = 4: "3 -> 0 closes a cycle" is true at
+  // epoch 1, cached, and must NOT survive into epoch 2, where ingesting
+  // 3 -> 0 has covered the cycle and a duplicate insert closes nothing.
+  CsrGraph base = CsrGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  ServiceOptions options = MakeOptions(4);
+  options.admission_cache_log2 = 8;
+  CycleBreakService service(std::move(base), options);
+
+  EXPECT_TRUE(service.CheckAdmission(3, 0).would_close);  // miss, cached
+  EXPECT_TRUE(service.CheckAdmission(3, 0).would_close);  // hit
+  EXPECT_EQ(service.Stats().admission_cache_hits, 1u);
+
+  const std::vector<Edge> batch = {{3, 0}};
+  ASSERT_EQ(service.SubmitEdges(batch).epoch, 2u);
+  // Fresh epoch, fresh cache: the stale "would close" verdict is gone —
+  // the edge exists now, so inserting it again is a no-op.
+  const AdmissionVerdict after = service.CheckAdmission(3, 0);
+  EXPECT_EQ(after.epoch, 2u);
+  EXPECT_TRUE(after.admissible);
+  // And the triangle-closing probe is answered against the new state too.
+  EXPECT_TRUE(service.CheckAdmission(2, 0).admissible);
+}
+
 TEST(CycleBreakServiceTest, ConstructorCoversTheBaseSnapshot) {
   // A base that already contains cycles: the initial solve must cover
   // them, and admission against epoch 1 must see them as broken.

@@ -3,7 +3,8 @@
 //   tdb_cover --graph edges.txt --k 5 --algo TDB++ [--verify]
 //             [--two-cycles] [--unconstrained] [--time-limit 60]
 //             [--order deg-asc|id|deg-desc|random] [--threads N]
-//             [--intra-threshold N] [--output cover.txt] [--stats]
+//             [--intra-threshold N] [--scc-algo tarjan|fwbw]
+//             [--output cover.txt] [--stats]
 //
 // Reads a SNAP-style text edge list (or TDBG binary with --binary),
 // computes a hop-constrained cycle cover, and prints it (original vertex
@@ -28,6 +29,7 @@ struct CliArgs {
   std::string output_path;
   std::string algo = "TDB++";
   std::string order = "deg-asc";
+  std::string scc_algo = "tarjan";
   uint32_t k = 5;
   int threads = 1;
   VertexId intra_threshold = 0;  // 0 = keep the library default
@@ -52,6 +54,9 @@ void PrintUsage() {
       "default 1)\n"
       "  --intra-threshold N  min SCC size for in-place solving with\n"
       "                      intra-SCC parallel probing (default 2048)\n"
+      "  --scc-algo NAME     condensation strategy: tarjan | fwbw\n"
+      "                      (parallel trim + forward-backward; the\n"
+      "                      cover is identical either way)\n"
       "  --two-cycles        also cover 2-cycles\n"
       "  --unconstrained     cover cycles of every length\n"
       "  --time-limit SEC    wall-clock budget (0 = unlimited)\n"
@@ -109,6 +114,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
         return false;
       }
       args->intra_threshold = static_cast<VertexId>(parsed);
+    } else if (arg == "--scc-algo") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->scc_algo = v;
     } else if (arg == "--time-limit") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -170,6 +179,11 @@ int main(int argc, char** argv) {
   if (args.intra_threshold > 0) {
     options.min_intra_parallel_size = args.intra_threshold;
   }
+  st = ParseSccAlgorithm(args.scc_algo, &options.scc_algorithm);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
   if (args.order == "deg-asc") {
     options.order = VertexOrder::kByDegreeAsc;
   } else if (args.order == "id") {
@@ -203,6 +217,19 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(result.stats.bfs_filtered),
                  static_cast<unsigned long long>(
                      result.stats.prune_removed));
+    std::fprintf(stderr,
+                 "scc: %s %.3fs, %llu components, trim_peeled=%llu "
+                 "fwbw_partitions=%llu tarjan_partitions=%llu\n",
+                 SccAlgorithmName(options.scc_algorithm),
+                 result.stats.scc_seconds,
+                 static_cast<unsigned long long>(
+                     result.stats.scc_components),
+                 static_cast<unsigned long long>(
+                     result.stats.scc_trim_peeled),
+                 static_cast<unsigned long long>(
+                     result.stats.scc_fwbw_partitions),
+                 static_cast<unsigned long long>(
+                     result.stats.scc_tarjan_partitions));
   }
 
   if (args.verify) {

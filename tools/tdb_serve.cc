@@ -4,6 +4,7 @@
 //             [--admit-threads 2] [--ingest-threads 1] [--algo TDB++]
 //             [--compact-threshold 4096] [--sync-compaction] [--gate]
 //             [--two-cycles] [--seed 42] [--compact-budget SEC]
+//             [--scc-algo tarjan|fwbw] [--admission-cache [LOG2]]
 //
 // Replays a timestamped edge stream (tdb_graphgen --stream) through a
 // CycleBreakService: the main thread ingests in batches while
@@ -18,6 +19,7 @@
 // gating. Reports ingest/admission throughput and latency percentiles.
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +42,8 @@ struct CliArgs {
   std::string stream_path;
   std::string base_path;
   std::string algo = "TDB++";
+  std::string scc_algo = "tarjan";
+  int admission_cache_log2 = 0;
   uint32_t k = 5;
   size_t batch = 256;
   int admit_threads = 2;
@@ -69,6 +73,11 @@ void PrintUsage() {
       "  --compact-threshold N delta size triggering compaction "
       "(default 4096, 0 = never)\n"
       "  --compact-budget SEC  work-budget-split deadline per compaction\n"
+      "  --scc-algo NAME       condensation strategy for compaction\n"
+      "                        solves: tarjan | fwbw (parallel)\n"
+      "  --admission-cache [L] memoize admission verdicts per epoch in a\n"
+      "                        2^L-entry cache (default L=16 when the\n"
+      "                        flag is given; off otherwise)\n"
       "  --sync-compaction     compact inline instead of in background\n"
       "  --gate                drop stream edges that would close an\n"
       "                        uncovered cycle instead of ingesting them\n"
@@ -105,6 +114,15 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->compact_budget = std::atof(v);
     } else if (arg == "--seed" && (v = next()) != nullptr) {
       args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--scc-algo" && (v = next()) != nullptr) {
+      args->scc_algo = v;
+    } else if (arg == "--admission-cache") {
+      // Optional value: a following numeric token is the log2 capacity.
+      args->admission_cache_log2 = 16;
+      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(
+                              argv[i + 1][0])) != 0) {
+        args->admission_cache_log2 = std::atoi(argv[++i]);
+      }
     } else if (arg == "--sync-compaction") {
       args->sync_compaction = true;
     } else if (arg == "--gate") {
@@ -184,7 +202,13 @@ int main(int argc, char** argv) {
   options.synchronous_compaction = args.sync_compaction;
   options.ingest_threads = args.ingest_threads;
   options.compact_time_limit_seconds = args.compact_budget;
+  options.admission_cache_log2 = args.admission_cache_log2;
   st = ParseAlgorithm(args.algo, &options.compact_algorithm);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  st = ParseSccAlgorithm(args.scc_algo, &options.cover.scc_algorithm);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 2;
@@ -281,6 +305,17 @@ int main(int argc, char** argv) {
               "uncovered cycle\n",
               static_cast<unsigned long long>(s.admission_queries), qps,
               static_cast<unsigned long long>(s.admission_would_close));
+  if (args.admission_cache_log2 > 0) {
+    const uint64_t looked = s.admission_cache_hits + s.admission_cache_misses;
+    const double hit_rate =
+        looked > 0 ? 100.0 * static_cast<double>(s.admission_cache_hits) /
+                         static_cast<double>(looked)
+                   : 0.0;
+    std::printf("cache:      %llu hits / %llu misses (%.1f%% hit rate)\n",
+                static_cast<unsigned long long>(s.admission_cache_hits),
+                static_cast<unsigned long long>(s.admission_cache_misses),
+                hit_rate);
+  }
   std::printf("latency:    ingest batch p50 %.1fus p95 %.1fus p99 %.1fus | "
               "admission p50 %.1fus p95 %.1fus p99 %.1fus\n",
               ingest_lat.PercentileSeconds(0.50) * 1e6,
