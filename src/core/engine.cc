@@ -1,10 +1,12 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -237,9 +239,34 @@ CoverResult SolveMaterialized(const EngineRun& run,
 CoverResult BarrierSolve(const EngineRun& run, SccStats* scc_stats,
                          uint64_t* scc_components) {
   CoverResult result;
+  const bool split_budget = run.options.split_budget_by_work &&
+                            run.options.time_limit_seconds > 0;
+  // Condensation runs under the engine budget too — a timed-out solve
+  // must not pay for a full decomposition before it can report. With the
+  // split, the whole wall-clock budget bounds condensation (the
+  // per-component shares only exist afterwards); the shared master clock
+  // applies otherwise.
+  Deadline condense_deadline =
+      split_budget ? Deadline::AfterSeconds(run.options.time_limit_seconds)
+                   : run.master;
+  SccOptions scc_options = run.scc_options;
+  scc_options.deadline = &condense_deadline;
   const SccResult scc =
-      CondenseScc(run.graph, run.scc_options, nullptr, scc_stats);
+      CondenseScc(run.graph, scc_options, nullptr, scc_stats);
   *scc_components = scc.num_components;
+  if (scc.timed_out) {
+    if (split_budget) {
+      // Same contract as a timed-out component: fall back to the
+      // trivially feasible full vertex set so the caller still gets an
+      // ok, usable cover.
+      result.cover.resize(run.graph.num_vertices());
+      std::iota(result.cover.begin(), result.cover.end(), VertexId{0});
+      result.stats.components_timed_out = 1;
+    } else {
+      result.status = Status::TimedOut("engine: condensation timed out");
+    }
+    return result;
+  }
 
   // Components too small to host a qualifying cycle: every vertex is
   // discharged with zero search work.
@@ -259,8 +286,6 @@ CoverResult BarrierSolve(const EngineRun& run, SccStats* scc_stats,
   // starts when its solve starts, so a fast early component cannot starve
   // a later one — the "fair partial cover" the serving layer's compaction
   // needs under timeout.
-  const bool split_budget = run.options.split_budget_by_work &&
-                            run.options.time_limit_seconds > 0;
   std::vector<double> budget_share;
   if (split_budget && !solvable.empty()) {
     budget_share.resize(solvable.size(), 0.0);
@@ -559,13 +584,19 @@ CoverResult PipelineSolve(const EngineRun& run, SccStats* scc_stats,
     submit_batch(std::move(single));
   };
 
+  std::atomic<bool> scc_timed_out{false};
   std::thread condenser([&] {
     // Count-only condensation: the components all arrive through the
     // sink, so the canonical SccResult arrays would be built and thrown
     // away — and their O(n) finalization would delay condense_done.
     SccOptions scc_options = run.scc_options;
     scc_options.canonical_result = false;
+    // Private Deadline copy: shared expiry instant, thread-local
+    // amortized check state.
+    Deadline condense_deadline = run.master;
+    scc_options.deadline = &condense_deadline;
     SccResult scc = CondenseScc(run.graph, scc_options, sink, scc_stats);
+    if (scc.timed_out) scc_timed_out.store(true, std::memory_order_relaxed);
     if (!small_batch.empty()) submit_batch(std::exchange(small_batch, {}));
     {
       std::lock_guard<std::mutex> lock(queue_mu);
@@ -628,6 +659,13 @@ CoverResult PipelineSolve(const EngineRun& run, SccStats* scc_stats,
   }
   for (TaggedResult& t : in_place_results) tagged.push_back(std::move(t));
   MergeTagged(&tagged, &result);
+  if (scc_timed_out.load(std::memory_order_relaxed)) {
+    // The decomposition is incomplete: whatever components did solve
+    // cannot add up to a feasible cover, so the run reports the timeout
+    // like the sequential solvers do.
+    result.status = Status::TimedOut("engine: condensation timed out");
+    result.cover.clear();
+  }
   return result;
 }
 

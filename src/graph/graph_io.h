@@ -17,12 +17,14 @@
 #ifndef TDB_GRAPH_GRAPH_IO_H_
 #define TDB_GRAPH_GRAPH_IO_H_
 
+#include <cstdio>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "graph/csr_graph.h"
 #include "graph/types.h"
+#include "util/crc32.h"
 #include "util/status.h"
 
 namespace tdb {
@@ -57,6 +59,19 @@ Status SaveBinary(const CsrGraph& graph, const std::string& path);
 
 /// Loads a TDBG binary file.
 Status LoadBinary(const std::string& path, CsrGraph* graph);
+
+/// Writes `graph`'s edge array — num_edges() x (src u32, dst u32), in
+/// canonical CSR edge-id order — to an open stream, feeding every byte
+/// through `crc` when non-null. Section primitive shared by the TDBG
+/// whole-file format and the service's CRC-framed snapshot container.
+Status WriteEdgeArrayBinary(const CsrGraph& graph, std::FILE* f,
+                            Crc32* crc);
+
+/// Reads `m` (src, dst) pairs from an open stream into `edges`,
+/// validating every endpoint against the `n`-vertex universe and feeding
+/// `crc` when non-null.
+Status ReadEdgeArrayBinary(std::FILE* f, uint64_t m, VertexId n, Crc32* crc,
+                           std::vector<Edge>* edges);
 
 /// Writes a timestamped edge stream as text ("src dst timestamp" lines).
 Status SaveEdgeStreamText(std::span<const TimedEdge> stream,

@@ -74,7 +74,10 @@ SccResult FinalizeCanonical(VertexId n, const std::vector<VertexId>& label,
 
 /// Iterative Tarjan over the whole graph (no recursion, safe for
 /// multi-million-vertex graphs). Emits each component as it closes.
-void TarjanWhole(const CsrGraph& graph, EmitCtx& ctx) {
+/// Polls `deadline` (when non-null) once per DFS step — the Deadline
+/// amortizes the clock reads — and returns false on expiry, leaving the
+/// labeling incomplete.
+bool TarjanWhole(const CsrGraph& graph, EmitCtx& ctx, Deadline* deadline) {
   const VertexId n = graph.num_vertices();
   std::vector<VertexId> index(n, kUnvisited);
   std::vector<VertexId> lowlink(n, 0);
@@ -98,6 +101,7 @@ void TarjanWhole(const CsrGraph& graph, EmitCtx& ctx) {
     on_stack[root] = 1;
 
     while (!dfs.empty()) {
+      if (deadline != nullptr && deadline->Expired()) return false;
       Frame& frame = dfs.back();
       VertexId v = frame.v;
       if (frame.next < graph.OutEdgeEnd(v)) {
@@ -131,6 +135,7 @@ void TarjanWhole(const CsrGraph& graph, EmitCtx& ctx) {
       }
     }
   }
+  return true;
 }
 
 /// Iterative Tarjan restricted to one partition: `subset` lists its
@@ -208,18 +213,24 @@ void TarjanSubset(const CsrGraph& graph, std::span<const VertexId> subset,
 class FwBwCondenser {
  public:
   FwBwCondenser(const CsrGraph& graph, const SccOptions& options,
-                int threads, EmitCtx& ctx, SccStats* stats)
+                int threads, EmitCtx& ctx, SccStats* stats,
+                Deadline* deadline)
       : g_(graph),
         n_(graph.num_vertices()),
         cutoff_(std::max<VertexId>(options.min_parallel_size, 1)),
         ctx_(ctx),
-        stats_(stats) {
+        stats_(stats),
+        deadline_(deadline) {
     if (threads > 1 && n_ >= cutoff_) {
       pool_ = std::make_unique<ThreadPool>(threads);
     }
   }
 
-  void Run() {
+  /// False when the deadline expired mid-run (labels incomplete). Polls
+  /// at phase boundaries — after each trim pass, before each FW-BW pivot
+  /// step and before each backlog partition — so the run aborts within
+  /// one phase of the expiry instead of finishing the decomposition.
+  bool Run() {
     part_.assign(n_, 1);
     fw_mark_.assign(n_, 0);
     bw_mark_.assign(n_, 0);
@@ -230,13 +241,16 @@ class FwBwCondenser {
     std::vector<VertexId> all(n_);
     for (VertexId v = 0; v < n_; ++v) all[v] = v;
     TrimOne(&all, /*tag=*/1);
+    if (PhaseExpired()) return false;
     TrimTwo(&all, /*tag=*/1);
+    if (PhaseExpired()) return false;
 
     std::vector<std::pair<std::vector<VertexId>, uint32_t>> stack;
     std::vector<std::pair<std::vector<VertexId>, uint32_t>> backlog;
     if (!all.empty()) stack.emplace_back(std::move(all), 1u);
 
     while (!stack.empty()) {
+      if (PhaseExpired()) return false;
       auto [partition, tag] = std::move(stack.back());
       stack.pop_back();
       if (partition.empty()) continue;
@@ -254,21 +268,30 @@ class FwBwCondenser {
       stats_->tarjan_partitions += static_cast<uint32_t>(backlog.size());
     }
     if (pool_ != nullptr && backlog.size() > 1) {
+      // The fan-out is one phase: polled once before, not per partition
+      // (a Deadline's amortized state is not shareable across workers).
+      if (PhaseExpired()) return false;
       pool_->ParallelFor(backlog.size(), [&](size_t i, int) {
         TarjanSubset(g_, backlog[i].first, part_, backlog[i].second,
                      local_of_, ctx_);
       });
     } else {
       for (const auto& [partition, tag] : backlog) {
+        if (PhaseExpired()) return false;
         TarjanSubset(g_, partition, part_, tag, local_of_, ctx_);
       }
     }
+    return true;
   }
 
  private:
   static constexpr size_t kGrain = 2048;
 
   ThreadPool* pool() { return pool_.get(); }
+
+  bool PhaseExpired() {
+    return deadline_ != nullptr && deadline_->ExpiredNow();
+  }
 
   void EmitTrivial(VertexId u) {
     trivial_[0] = u;
@@ -531,6 +554,7 @@ class FwBwCondenser {
   const VertexId cutoff_;
   EmitCtx& ctx_;
   SccStats* stats_;
+  Deadline* deadline_;
   std::unique_ptr<ThreadPool> pool_;
 
   std::vector<uint32_t> part_;  // partition tag per vertex; 0 = retired
@@ -582,11 +606,17 @@ SccResult CondenseScc(const CsrGraph& graph, const SccOptions& options,
   // skip its trim passes and run plain Tarjan.
   const bool parallel = options.algorithm == SccAlgorithm::kParallelFwBw &&
                         n >= std::max<VertexId>(options.min_parallel_size, 1);
-  if (parallel) {
-    FwBwCondenser condenser(graph, options, threads, ctx, stats);
-    condenser.Run();
+  bool timed_out = false;
+  if (options.deadline != nullptr && options.deadline->ExpiredNow()) {
+    // The budget was gone before condensation started: abort before the
+    // first traversal rather than after it.
+    timed_out = true;
+  } else if (parallel) {
+    FwBwCondenser condenser(graph, options, threads, ctx, stats,
+                            options.deadline);
+    timed_out = !condenser.Run();
   } else {
-    TarjanWhole(graph, ctx);
+    timed_out = !TarjanWhole(graph, ctx, options.deadline);
     if (stats != nullptr &&
         options.algorithm == SccAlgorithm::kParallelFwBw && n > 0) {
       ++stats->tarjan_partitions;
@@ -594,9 +624,13 @@ SccResult CondenseScc(const CsrGraph& graph, const SccOptions& options,
   }
 
   SccResult result;
-  if (options.canonical_result) {
+  result.timed_out = timed_out;
+  if (!timed_out && options.canonical_result) {
+    // An aborted run must never reach here: some labels are still
+    // kInvalidVertex, which the canonical renumbering cannot represent.
     result = FinalizeCanonical(
         n, ctx.label, ctx.next_label.load(std::memory_order_relaxed));
+    result.timed_out = false;
   } else {
     result.num_components = ctx.next_label.load(std::memory_order_relaxed);
   }

@@ -35,6 +35,7 @@
 
 #include "graph/csr_graph.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace tdb {
 
@@ -54,6 +55,13 @@ struct SccResult {
   /// extraction.
   std::vector<VertexId> vertex_offsets;
   std::vector<VertexId> vertices;
+
+  /// True when the run's SccOptions::deadline expired mid-condensation:
+  /// the decomposition is INCOMPLETE (some vertices were never assigned
+  /// a component; the canonical arrays are not built) and must be
+  /// discarded — only num_components (components emitted before the
+  /// abort) is meaningful.
+  bool timed_out = false;
 
   /// Size of the component containing `v`.
   VertexId SizeOf(VertexId v) const { return component_size[component[v]]; }
@@ -95,6 +103,15 @@ struct SccOptions {
   /// finalization passes and ~20 bytes/vertex of allocation at the tail
   /// of condensation.
   bool canonical_result = true;
+  /// Cooperative wall-clock budget, polled at phase boundaries (between
+  /// trim passes, FW-BW pivot steps and backlog partitions; per DFS step
+  /// inside Tarjan). When it expires the run aborts with
+  /// SccResult::timed_out set, so a timed-out solve no longer pays for a
+  /// full condensation before it can report. Borrowed, not owned; the
+  /// Deadline's amortized check state is mutated, so it must not be
+  /// shared with another thread for the duration of the call. Null =
+  /// unlimited.
+  Deadline* deadline = nullptr;
 };
 
 /// Instrumentation from one condensation run (never part of the

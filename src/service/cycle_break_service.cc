@@ -1,5 +1,8 @@
 #include "service/cycle_break_service.h"
 
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
 #include <numeric>
 #include <utility>
 #include <vector>
@@ -12,6 +15,20 @@ namespace tdb {
 namespace {
 
 constexpr auto kRelaxed = std::memory_order_relaxed;
+
+/// File names are keyed by the cut sequence so every generation is
+/// unique within a store directory and self-describing in a listing.
+std::string SnapshotFileName(uint64_t cut_seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "snapshot-%020" PRIu64 ".tdbs", cut_seq);
+  return buf;
+}
+
+std::string JournalFileName(uint64_t cut_seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "journal-%020" PRIu64 ".tdbj", cut_seq);
+  return buf;
+}
 
 }  // namespace
 
@@ -33,16 +50,28 @@ Status ServiceOptions::Validate() const {
   return Status::OK();
 }
 
-CycleBreakService::CycleBreakService(CsrGraph base,
-                                     const ServiceOptions& options)
+CycleBreakService::CycleBreakService(const ServiceOptions& options)
     : options_(options),
-      working_(std::make_shared<const CsrGraph>(std::move(base))) {
+      working_(std::make_shared<const CsrGraph>(CsrGraph())) {
   TDB_CHECK(options_.Validate().ok());
   if (options_.ingest_threads != 1) {
     ingest_pool_ = std::make_unique<ThreadPool>(
         options_.ingest_threads == 0 ? ThreadPool::HardwareThreads()
                                      : options_.ingest_threads);
   }
+}
+
+CycleBreakService::CycleBreakService(CsrGraph base,
+                                     const ServiceOptions& options)
+    : CycleBreakService(options) {
+  // Persistence setup can fail; a constructor cannot report that. The
+  // factories route around this — direct construction is in-memory only.
+  TDB_CHECK(options_.data_dir.empty());
+  BootstrapFresh(std::move(base));
+}
+
+void CycleBreakService::BootstrapFresh(CsrGraph base) {
+  working_ = OverlayGraph(std::make_shared<const CsrGraph>(std::move(base)));
   const CsrGraph& snapshot = working_.base();
   CoverResult solved = SolveBase(snapshot);
   std::vector<VertexId> cover = std::move(solved.cover);
@@ -61,10 +90,172 @@ CycleBreakService::CycleBreakService(CsrGraph base,
   PublishLocked();
 }
 
+Status CycleBreakService::Create(CsrGraph base,
+                                 const ServiceOptions& options,
+                                 std::unique_ptr<CycleBreakService>* out) {
+  Status st = options.Validate();
+  if (!st.ok()) return st;
+  std::unique_ptr<CycleBreakService> service(new CycleBreakService(options));
+  service->BootstrapFresh(std::move(base));
+  if (!options.data_dir.empty()) {
+    st = service->InitStoreFresh();
+    if (!st.ok()) return st;
+  }
+  *out = std::move(service);
+  return Status::OK();
+}
+
+Status CycleBreakService::Open(const ServiceOptions& options,
+                               std::unique_ptr<CycleBreakService>* out) {
+  Status st = options.Validate();
+  if (!st.ok()) return st;
+  if (options.data_dir.empty()) {
+    return Status::InvalidArgument("Open requires options.data_dir");
+  }
+  StoreManifest manifest;
+  st = ReadStoreManifest(options.data_dir, &manifest);
+  if (!st.ok()) return st;
+  SnapshotState snap;
+  st = ReadSnapshotFile(options.data_dir + "/" + manifest.snapshot_file,
+                        &snap);
+  if (!st.ok()) return st;
+  std::unique_ptr<CycleBreakService> service(new CycleBreakService(options));
+  st = service->RecoverFromStore(manifest, std::move(snap));
+  if (!st.ok()) return st;
+  *out = std::move(service);
+  return Status::OK();
+}
+
+Status CycleBreakService::InitStoreFresh() {
+  const std::string& dir = options_.data_dir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError(dir + ": cannot create store directory");
+  }
+  StoreManifest existing;
+  const Status probe = ReadStoreManifest(dir, &existing);
+  if (probe.ok()) {
+    return Status::InvalidArgument(
+        dir + ": store already exists (recover it with Open)");
+  }
+  if (!probe.IsNotFound()) {
+    // A damaged manifest is still evidence of a store — reinitializing
+    // would clobber snapshot/journal files that may well be recoverable
+    // by hand. Only a genuinely absent manifest means "fresh directory".
+    return probe;
+  }
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  SnapshotState snap;
+  snap.epoch = published_.epoch();  // 1: the bootstrap publish
+  snap.last_seq = 0;
+  snap.events_ingested = 0;
+  snap.base = working_.base();
+  snap.cover_mask = state_.base->vertex_mask;
+  snap.solve_ok = state_.base->solve_status.ok();
+  const std::string snapshot_file = SnapshotFileName(0);
+  Status st = WriteSnapshotFile(snap, dir + "/" + snapshot_file);
+  if (!st.ok()) return st;
+  const std::string journal_file = JournalFileName(0);
+  st = Journal::Create(dir + "/" + journal_file, /*base_seq=*/0,
+                       options_.durability, &journal_);
+  if (!st.ok()) return st;
+  st = WriteStoreManifest(dir, {snapshot_file, journal_file});
+  if (!st.ok()) return st;
+  snapshot_file_ = snapshot_file;
+  stats_.snapshots_written.fetch_add(1, kRelaxed);
+  return Status::OK();
+}
+
+Status CycleBreakService::RecoverFromStore(const StoreManifest& manifest,
+                                           SnapshotState snap) {
+  const std::string& dir = options_.data_dir;
+  if (snap.epoch == 0) {
+    return Status::InvalidArgument(dir + ": snapshot carries epoch 0");
+  }
+  const VertexId n = snap.base.num_vertices();
+  std::vector<VertexId> cover;
+  for (VertexId v = 0; v < n; ++v) {
+    if (snap.cover_mask[v] != 0) cover.push_back(v);
+  }
+  std::vector<JournalRecord> records;
+  JournalOpenInfo info;
+  Status st = Journal::Open(dir + "/" + manifest.journal_file,
+                            options_.durability, &records, &info,
+                            &journal_);
+  if (!st.ok()) return st;
+  if (journal_->base_seq() != snap.last_seq) {
+    return Status::InvalidArgument(
+        dir + ": journal base sequence does not match the snapshot");
+  }
+  snapshot_file_ = manifest.snapshot_file;
+  recovery_.snapshot_epoch = snap.epoch;
+  recovery_.journal_truncated_bytes = info.truncated_bytes;
+
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  working_ = OverlayGraph(
+      std::make_shared<const CsrGraph>(std::move(snap.base)));
+  state_ = TransversalState{};
+  state_.base = BaseCover::FromVertexCover(
+      n, std::move(cover),
+      snap.solve_ok ? Status::OK()
+                    : Status::Internal(
+                          "restored snapshot: compaction solve had failed"));
+  state_.covered.insert(snap.covered.begin(), snap.covered.end());
+  state_.reusable.insert(snap.reusable.begin(), snap.reusable.end());
+  last_seq_ = snap.last_seq;
+  events_at_cut_ = snap.events_ingested;
+  total_events_.store(snap.events_ingested, kRelaxed);
+  published_.SeedEpoch(snap.epoch - 1);
+  PublishLocked();  // republishes the snapshot state at snap.epoch
+
+  // Replay the journal tail through the normal ingest path. Compactions
+  // re-trigger at the same batch boundaries (forced synchronous), so the
+  // replayed state sequence is bit-identical to a never-crashed
+  // sequential run of the same batches — but nothing is re-journaled and
+  // no snapshot is cut: until the next live compaction, the durable
+  // truth stays "this snapshot + this journal", which replays to exactly
+  // the state being built here.
+  replaying_ = true;
+  for (const JournalRecord& record : records) {
+    SubmitLocked(record.edges, /*append_to_journal=*/false);
+    ++recovery_.replayed_batches;
+    recovery_.replayed_events += record.edges.size();
+  }
+  replaying_ = false;
+  return Status::OK();
+}
+
 CycleBreakService::~CycleBreakService() { WaitForCompaction(); }
 
 SubmitResult CycleBreakService::SubmitEdges(std::span<const Edge> batch) {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  return SubmitLocked(batch, /*append_to_journal=*/journal_ != nullptr);
+}
+
+SubmitResult CycleBreakService::SubmitLocked(std::span<const Edge> batch,
+                                             bool append_to_journal) {
+  SubmitResult result;
+  const uint64_t seq = last_seq_ + 1;
+  if (append_to_journal) {
+    // WAL discipline: the batch becomes durable before it is applied, so
+    // a crash at any later point replays it instead of losing it. On
+    // append failure nothing is applied — the journal must never lag the
+    // live state.
+    result.status = journal_->Append(seq, batch);
+    if (!result.status.ok()) {
+      stats_.persist_failures.fetch_add(1, kRelaxed);
+      return result;
+    }
+    stats_.journal_records.fetch_add(1, kRelaxed);
+  }
+  last_seq_ = seq;
+  total_events_.fetch_add(batch.size(), kRelaxed);
+  if (journal_ != nullptr || options_.compact_delta_threshold > 0) {
+    pending_.push_back(PendingBatch{
+        seq, total_events_.load(kRelaxed),
+        std::vector<Edge>(batch.begin(), batch.end())});
+  }
   const BatchAugmentStats s = BatchAugment(&working_, &state_,
                                            options_.cover, batch,
                                            ingest_pool_.get());
@@ -77,7 +268,6 @@ SubmitResult CycleBreakService::SubmitEdges(std::span<const Edge> batch) {
   stats_.speculative_probes.fetch_add(s.speculative_probes, kRelaxed);
   stats_.prunes.fetch_add(s.prunes, kRelaxed);
   if (ShouldCompactLocked()) CompactLocked();
-  SubmitResult result;
   result.stats = s;
   result.epoch = PublishLocked();
   return result;
@@ -148,10 +338,10 @@ bool CycleBreakService::ShouldCompactLocked() const {
 }
 
 void CycleBreakService::CompactLocked() {
-  const EdgeId cut_delta = working_.delta_edges();
-  if (options_.synchronous_compaction) {
+  const uint64_t cut_seq = last_seq_;
+  if (options_.synchronous_compaction || replaying_) {
     auto input = std::make_shared<const CsrGraph>(working_.ToCsr());
-    InstallCompactionLocked(input, cut_delta, SolveBase(*input));
+    InstallCompactionLocked(input, cut_seq, SolveBase(*input));
     return;  // the caller's publish covers the swap
   }
   compact_running_.store(true, std::memory_order_release);
@@ -161,12 +351,12 @@ void CycleBreakService::CompactLocked() {
   if (compact_thread_.joinable()) compact_thread_.join();
   // Only an O(delta) overlay copy happens under writer_mu_; the O(n + m)
   // CSR materialization and the solve run on the compaction thread.
-  compact_thread_ = std::thread([this, cut_delta, frozen = working_] {
+  compact_thread_ = std::thread([this, cut_seq, frozen = working_] {
     auto input = std::make_shared<const CsrGraph>(frozen.ToCsr());
     CoverResult solved = SolveBase(*input);  // no locks held
     {
       std::lock_guard<std::mutex> writer_lock(writer_mu_);
-      InstallCompactionLocked(input, cut_delta, std::move(solved));
+      InstallCompactionLocked(input, cut_seq, std::move(solved));
       PublishLocked();
     }
     compact_running_.store(false, std::memory_order_release);
@@ -174,7 +364,7 @@ void CycleBreakService::CompactLocked() {
 }
 
 void CycleBreakService::InstallCompactionLocked(
-    std::shared_ptr<const CsrGraph> base, EdgeId cut_delta,
+    std::shared_ptr<const CsrGraph> base, uint64_t cut_seq,
     CoverResult solved) {
   const VertexId n = base->num_vertices();
   std::vector<VertexId> cover = std::move(solved.cover);
@@ -183,27 +373,106 @@ void CycleBreakService::InstallCompactionLocked(
     std::iota(cover.begin(), cover.end(), VertexId{0});
     stats_.compactions_failed.fetch_add(1, kRelaxed);
   }
-  // Edges that arrived after the compaction cut stay in the delta and are
-  // replayed below against the fresh base, which restores the invariant
-  // for cycles mixing pre- and post-cut edges (the new vertex cover only
-  // accounts for pre-cut ones).
-  const auto delta = working_.delta();
-  const std::vector<Edge> remaining(delta.begin() + cut_delta, delta.end());
   working_ = OverlayGraph(std::move(base));
   state_ = TransversalState{};
   state_.base = BaseCover::FromVertexCover(n, std::move(cover),
                                            solved.status);
-  const BatchAugmentStats replay = BatchAugment(
-      &working_, &state_, options_.cover, remaining, ingest_pool_.get());
-  // Replayed edges were already counted at their original submission;
-  // only the fresh search work is new.
-  stats_.cycles_covered.fetch_add(replay.cycles_covered, kRelaxed);
-  stats_.path_queries.fetch_add(replay.path_queries, kRelaxed);
-  stats_.speculative_probes.fetch_add(replay.speculative_probes, kRelaxed);
-  stats_.prunes.fetch_add(replay.prunes, kRelaxed);
+  // Batches up to the cut are folded into the new base; no install or
+  // rotation will ever need them again. This also advances
+  // events_at_cut_ to the cut, which the snapshot writer records as the
+  // stream-resume offset.
+  while (!pending_.empty() && pending_.front().seq <= cut_seq) {
+    events_at_cut_ = pending_.front().events_after;
+    pending_.pop_front();
+  }
+  // Durable cut: the snapshot captures exactly this state (everything
+  // through cut_seq folded into the base, empty incremental layer), and
+  // the rotated journal re-appends the post-cut tail (= all of
+  // pending_). During recovery replay the old (snapshot, journal) pair
+  // is already the durable truth for everything being rebuilt, so
+  // nothing is written.
+  if (journal_ != nullptr && !replaying_) PersistCutLocked(cut_seq);
+  // Edges that arrived after the compaction cut are replayed against the
+  // fresh base — batch by batch, at the original submission boundaries,
+  // so the installed state is bit-identical to what a restart would
+  // rebuild by replaying the rotated journal onto the new snapshot (and
+  // to a never-crashed sequential run). This also restores the invariant
+  // for cycles mixing pre- and post-cut edges: the new vertex cover only
+  // accounts for pre-cut ones.
+  for (const PendingBatch& b : pending_) {
+    const BatchAugmentStats replay = BatchAugment(
+        &working_, &state_, options_.cover, b.edges, ingest_pool_.get());
+    // Replayed edges were already counted at their original submission;
+    // only the fresh search work is new.
+    stats_.cycles_covered.fetch_add(replay.cycles_covered, kRelaxed);
+    stats_.path_queries.fetch_add(replay.path_queries, kRelaxed);
+    stats_.speculative_probes.fetch_add(replay.speculative_probes,
+                                        kRelaxed);
+    stats_.prunes.fetch_add(replay.prunes, kRelaxed);
+  }
   stats_.compactions.fetch_add(1, kRelaxed);
   stats_.compaction_components_timed_out.fetch_add(
       solved.stats.components_timed_out, kRelaxed);
+}
+
+void CycleBreakService::PersistCutLocked(uint64_t cut_seq) {
+  const std::string& dir = options_.data_dir;
+  const std::string snapshot_file = SnapshotFileName(cut_seq);
+  const std::string snapshot_path = dir + "/" + snapshot_file;
+  const std::string journal_file = JournalFileName(cut_seq);
+  const std::string journal_path = dir + "/" + journal_file;
+  // On any failure the old (snapshot, journal) pair stays live in the
+  // manifest — and the half-built new generation is removed so repeated
+  // transient failures do not accumulate orphaned base-sized files.
+  auto fail = [&](bool remove_snapshot, bool remove_journal) {
+    if (remove_journal) std::remove(journal_path.c_str());
+    if (remove_snapshot) std::remove(snapshot_path.c_str());
+    stats_.persist_failures.fetch_add(1, kRelaxed);
+  };
+  SnapshotState snap;
+  snap.epoch = published_.epoch() + 1;  // the installing publish
+  snap.last_seq = cut_seq;
+  snap.events_ingested = events_at_cut_;  // maintained by the drop loop
+  snap.base = working_.base();
+  snap.cover_mask = state_.base->vertex_mask;
+  snap.solve_ok = state_.base->solve_status.ok();
+  Status st = WriteSnapshotFile(snap, snapshot_path);
+  if (!st.ok()) {
+    fail(/*remove_snapshot=*/false, /*remove_journal=*/false);
+    return;
+  }
+  // Fresh journal for the post-cut era, seeded with the tail batches the
+  // new snapshot does not cover (they were durable in the old journal;
+  // rotation must not orphan them). The drop loop already removed
+  // everything <= cut_seq, so pending_ is exactly that tail.
+  std::unique_ptr<Journal> fresh;
+  st = Journal::Create(journal_path, cut_seq, options_.durability, &fresh);
+  if (st.ok()) {
+    for (const PendingBatch& b : pending_) {
+      st = fresh->Append(b.seq, b.edges);
+      if (!st.ok()) break;
+    }
+  }
+  if (st.ok()) st = fresh->Sync();
+  if (!st.ok()) {
+    fail(/*remove_snapshot=*/true, /*remove_journal=*/true);
+    return;
+  }
+  // Commit point: after this rename a recovery uses the new pair; before
+  // it, the old pair (which still replays to the same state) stays live.
+  st = WriteStoreManifest(dir, {snapshot_file, journal_file});
+  if (!st.ok()) {
+    fail(/*remove_snapshot=*/true, /*remove_journal=*/true);
+    return;
+  }
+  const std::string old_journal = journal_->path();
+  const std::string old_snapshot = dir + "/" + snapshot_file_;
+  journal_ = std::move(fresh);
+  snapshot_file_ = snapshot_file;
+  std::remove(old_journal.c_str());
+  std::remove(old_snapshot.c_str());
+  stats_.snapshots_written.fetch_add(1, kRelaxed);
+  stats_.journal_rotations.fetch_add(1, kRelaxed);
 }
 
 CoverResult CycleBreakService::SolveBase(const CsrGraph& graph) const {

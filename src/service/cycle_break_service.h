@@ -35,15 +35,19 @@
 #define TDB_SERVICE_CYCLE_BREAK_SERVICE_H_
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "core/batch_augment.h"
 #include "core/cover_options.h"
 #include "graph/csr_graph.h"
 #include "graph/overlay_graph.h"
+#include "service/journal.h"
 #include "service/snapshot.h"
 #include "service/stats.h"
 #include "util/epoch_ptr.h"
@@ -87,15 +91,28 @@ struct ServiceOptions {
   /// caching. Verdicts memoized on one snapshot die with it — a publish
   /// installs a fresh empty cache atomically.
   int admission_cache_log2 = 0;
+  /// Store directory for the durability layer (snapshot + write-ahead
+  /// journal + manifest). Empty = in-memory service, no persistence.
+  /// Construct a durable service through Create (fresh store) or Open
+  /// (recover an existing one), never the plain constructor.
+  std::string data_dir;
+  /// When journal appends reach stable storage (effective only with a
+  /// data_dir; see journal.h for the policy semantics).
+  DurabilityPolicy durability = DurabilityPolicy::kBatch;
 
   Status Validate() const;
 };
 
 /// Outcome of one SubmitEdges call.
 struct SubmitResult {
-  /// Epoch of the state this call published.
+  /// Epoch of the state this call published (0 when nothing was — see
+  /// `status`).
   uint64_t epoch = 0;
   BatchAugmentStats stats;
+  /// Non-ok when the write-ahead journal append failed: the batch was
+  /// NOT applied (durability-before-apply is the WAL contract) and the
+  /// published state is unchanged.
+  Status status;
 };
 
 /// Long-lived serving object. Thread-safety contract: SubmitEdges may be
@@ -104,13 +121,46 @@ struct SubmitResult {
 /// number of threads concurrently with everything else.
 class CycleBreakService {
  public:
+  /// What a recovery replayed (all zero for fresh/in-memory services).
+  struct RecoveryInfo {
+    /// Epoch the loaded snapshot republished at.
+    uint64_t snapshot_epoch = 0;
+    /// Journal records replayed on top of the snapshot.
+    uint64_t replayed_batches = 0;
+    /// Submitted edges across the replayed records.
+    uint64_t replayed_events = 0;
+    /// Torn/corrupt tail bytes the journal open truncated.
+    uint64_t journal_truncated_bytes = 0;
+  };
+
   /// Takes ownership of the base snapshot and synchronously computes its
   /// initial cover with compact_algorithm (epoch 1). If that solve fails
   /// (e.g. DARC-DV line-graph budget), the service falls back to the
   /// all-vertices cover — always feasible — and records the failure in
-  /// Stats() and in the published BaseCover::solve_status.
+  /// Stats() and in the published BaseCover::solve_status. In-memory
+  /// only: options.data_dir must be empty (use Create/Open for durable
+  /// services — persistence setup can fail, which a constructor cannot
+  /// report).
   CycleBreakService(CsrGraph base, const ServiceOptions& options);
   ~CycleBreakService();
+
+  /// Builds a service over `base` like the constructor and, when
+  /// options.data_dir is set, initializes a fresh store there: the
+  /// initial snapshot, an empty journal and the manifest naming them.
+  /// Fails if the directory already holds a store (recover it with Open
+  /// instead — silently restarting from scratch would discard state).
+  static Status Create(CsrGraph base, const ServiceOptions& options,
+                       std::unique_ptr<CycleBreakService>* out);
+
+  /// Recovers a service from the store at options.data_dir: loads the
+  /// manifest's snapshot, opens the journal (validating checksums and
+  /// truncating any torn tail), and replays the journaled batches through
+  /// the normal ingest path — compactions re-trigger at the same batch
+  /// boundaries (synchronously), so the recovered transversal, graph and
+  /// epoch are bit-identical to a never-crashed sequential replay of the
+  /// same batches. recovery_info() reports what was replayed.
+  static Status Open(const ServiceOptions& options,
+                     std::unique_ptr<CycleBreakService>* out);
 
   CycleBreakService(const CycleBreakService&) = delete;
   CycleBreakService& operator=(const CycleBreakService&) = delete;
@@ -132,11 +182,42 @@ class CycleBreakService {
 
   ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
 
+  /// What Open replayed (zeros for fresh services).
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+
+  /// Cumulative submitted edges over the service's whole lifetime —
+  /// across restarts when durable (the snapshot carries the count, the
+  /// journal tail adds the rest). Stream-replay drivers resume their
+  /// input at this offset after a recovery.
+  uint64_t events_ingested() const {
+    return total_events_.load(std::memory_order_relaxed);
+  }
+
   /// Blocks until no background compaction is in flight. (Shutdown and
   /// test barrier; the destructor calls it.)
   void WaitForCompaction();
 
  private:
+  /// Core init without state (factories fill state in afterwards).
+  explicit CycleBreakService(const ServiceOptions& options);
+  /// The public constructor's body: initial solve + publish (epoch 1).
+  void BootstrapFresh(CsrGraph base);
+  /// Creates the initial snapshot + journal + manifest in data_dir.
+  Status InitStoreFresh();
+  /// Loads `snap`, opens the journal and replays its tail.
+  Status RecoverFromStore(const StoreManifest& manifest,
+                          SnapshotState snap);
+  /// The whole SubmitEdges path; `append_to_journal` is false only for
+  /// recovery replay (those records are already durable).
+  /// Requires writer_mu_.
+  SubmitResult SubmitLocked(std::span<const Edge> batch,
+                            bool append_to_journal);
+  /// Writes the cut snapshot, rotates the journal (re-appending the
+  /// post-cut pending batches) and commits both through the manifest.
+  /// Any failure leaves the previous (snapshot, journal) pair live and
+  /// counts persist_failures. Requires writer_mu_; call after the new
+  /// base/state are installed but before the pending tail is replayed.
+  void PersistCutLocked(uint64_t cut_seq);
   /// Copies the working state into a fresh snapshot and publishes it.
   /// Requires writer_mu_.
   uint64_t PublishLocked();
@@ -146,21 +227,48 @@ class CycleBreakService {
   /// (synchronous_compaction) or launches the background solve.
   /// Requires writer_mu_.
   void CompactLocked();
-  /// Swaps in the solved base, resets the incremental layer, and replays
-  /// the `remaining` delta edges that arrived during the solve.
-  /// Requires writer_mu_.
+  /// Swaps in the solved base, resets the incremental layer, persists
+  /// the cut (durable services), and replays the pending batches that
+  /// arrived after the cut — batch by batch, at the original submission
+  /// boundaries, so the installed state matches a sequential replay of
+  /// the journal onto the new snapshot. Requires writer_mu_.
   void InstallCompactionLocked(std::shared_ptr<const CsrGraph> base,
-                               EdgeId cut_delta, CoverResult solved);
+                               uint64_t cut_seq, CoverResult solved);
   /// The full-engine solve used at construction and for compactions.
   CoverResult SolveBase(const CsrGraph& graph) const;
 
   const ServiceOptions options_;
   std::unique_ptr<ThreadPool> ingest_pool_;
 
+  /// One not-yet-snapshotted batch, exactly as submitted. The queue
+  /// backs both compaction-install replay (per-batch, at the original
+  /// boundaries) and journal rotation (the new journal re-appends the
+  /// post-cut tail); entries are dropped once a cut folds them into a
+  /// base. Tracked only when a compaction or a journal can consume it.
+  struct PendingBatch {
+    uint64_t seq = 0;
+    /// Cumulative submitted edges through this batch (snapshot
+    /// bookkeeping for stream resumption).
+    uint64_t events_after = 0;
+    std::vector<Edge> edges;
+  };
+
   /// Serializes SubmitEdges, publication, and compaction install.
   std::mutex writer_mu_;
   OverlayGraph working_;    // guarded by writer_mu_
   TransversalState state_;  // guarded by writer_mu_
+  std::deque<PendingBatch> pending_;  // guarded by writer_mu_
+  uint64_t last_seq_ = 0;             // guarded by writer_mu_
+  uint64_t events_at_cut_ = 0;        // guarded by writer_mu_
+  /// True while Open replays the journal: suppresses re-journaling,
+  /// forces synchronous compaction (deterministic replay) and skips
+  /// persistence side effects (the records being replayed are the
+  /// durable source of truth already).
+  bool replaying_ = false;  // guarded by writer_mu_
+  std::unique_ptr<Journal> journal_;  // guarded by writer_mu_
+  std::string snapshot_file_;         // guarded by writer_mu_
+  std::atomic<uint64_t> total_events_{0};
+  RecoveryInfo recovery_;
 
   EpochPtr<ServiceSnapshot> published_;
 

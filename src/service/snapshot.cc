@@ -1,5 +1,16 @@
 #include "service/snapshot.h"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "graph/graph_io.h"
+#include "util/cfile.h"
+#include "util/crc32.h"
+
 namespace tdb {
 
 AdmissionVerdict CheckAdmissionOn(const ServiceSnapshot& snapshot,
@@ -23,6 +34,192 @@ AdmissionVerdict CheckAdmissionOn(const ServiceSnapshot& snapshot,
     verdict.admissible = false;
   }
   return verdict;
+}
+
+namespace {
+
+constexpr char kSnapshotMagic[4] = {'T', 'D', 'B', 'S'};
+constexpr uint32_t kSnapshotVersion = 1;
+
+/// Writes one fixed-size field, feeding the running CRC.
+bool PutField(std::FILE* f, Crc32* crc, const void* data, size_t len) {
+  if (std::fwrite(data, 1, len, f) != len) return false;
+  crc->Update(data, len);
+  return true;
+}
+
+bool GetField(std::FILE* f, Crc32* crc, void* data, size_t len) {
+  if (std::fread(data, 1, len, f) != len) return false;
+  crc->Update(data, len);
+  return true;
+}
+
+bool PutSpan(std::FILE* f, Crc32* crc, const void* data, size_t len) {
+  if (len == 0) return true;
+  return PutField(f, crc, data, len);
+}
+
+Status Corrupt(const std::string& path, const char* what) {
+  return Status::InvalidArgument(path + ": " + what);
+}
+
+}  // namespace
+
+Status WriteSnapshotFile(const SnapshotState& state,
+                         const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  FilePtr f(std::fopen(tmp.c_str(), "wb"));
+  if (f == nullptr) return Status::IOError(tmp + ": cannot create");
+
+  const uint32_t version = kSnapshotVersion;
+  const uint64_t n = state.base.num_vertices();
+  const uint64_t m = state.base.num_edges();
+  const uint64_t s_count = state.covered.size();
+  const uint64_t w_count = state.reusable.size();
+  const uint8_t solve_ok = state.solve_ok ? 1 : 0;
+  Crc32 crc;
+  Status st = Status::OK();
+  bool ok =
+      std::fwrite(kSnapshotMagic, 1, 4, f.get()) == 4 &&
+      std::fwrite(&version, sizeof(version), 1, f.get()) == 1 &&
+      PutField(f.get(), &crc, &state.epoch, sizeof(state.epoch)) &&
+      PutField(f.get(), &crc, &state.last_seq, sizeof(state.last_seq)) &&
+      PutField(f.get(), &crc, &state.events_ingested,
+               sizeof(state.events_ingested)) &&
+      PutField(f.get(), &crc, &n, sizeof(n)) &&
+      PutField(f.get(), &crc, &m, sizeof(m)) &&
+      PutField(f.get(), &crc, &s_count, sizeof(s_count)) &&
+      PutField(f.get(), &crc, &w_count, sizeof(w_count)) &&
+      PutField(f.get(), &crc, &solve_ok, sizeof(solve_ok));
+  if (ok) {
+    st = WriteEdgeArrayBinary(state.base, f.get(), &crc);
+    ok = st.ok();
+  }
+  ok = ok &&
+       PutSpan(f.get(), &crc, state.cover_mask.data(),
+               state.cover_mask.size()) &&
+       PutSpan(f.get(), &crc, state.covered.data(),
+               sizeof(EdgeId) * s_count) &&
+       PutSpan(f.get(), &crc, state.reusable.data(),
+               sizeof(EdgeId) * w_count);
+  if (ok) {
+    const uint32_t checksum = crc.value();
+    ok = std::fwrite(&checksum, sizeof(checksum), 1, f.get()) == 1;
+  }
+  if (ok) {
+    ok = std::fflush(f.get()) == 0 && ::fsync(::fileno(f.get())) == 0;
+  }
+  f.reset();
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return st.ok() ? Status::IOError(tmp + ": short snapshot write") : st;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError(path + ": snapshot rename failed");
+  }
+  return Status::OK();
+}
+
+Status ReadSnapshotFile(const std::string& path, SnapshotState* state) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IOError(path + ": cannot open");
+  // The header's counts drive allocations; bound them by what the file
+  // could possibly hold so a flipped bit in n/m/s/w fails cleanly at
+  // validation instead of attempting a multi-gigabyte resize first.
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return Status::IOError(path + ": cannot seek");
+  }
+  const long file_size = std::ftell(f.get());
+  std::rewind(f.get());
+
+  char magic[4];
+  uint32_t version = 0;
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kSnapshotMagic, 4) != 0) {
+    return Corrupt(path, "not a TDBS snapshot");
+  }
+  if (std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+      version != kSnapshotVersion) {
+    return Corrupt(path, "unsupported snapshot version");
+  }
+
+  Crc32 crc;
+  uint64_t n = 0;
+  uint64_t m = 0;
+  uint64_t s_count = 0;
+  uint64_t w_count = 0;
+  uint8_t solve_ok = 0;
+  if (!GetField(f.get(), &crc, &state->epoch, sizeof(state->epoch)) ||
+      !GetField(f.get(), &crc, &state->last_seq,
+                sizeof(state->last_seq)) ||
+      !GetField(f.get(), &crc, &state->events_ingested,
+                sizeof(state->events_ingested)) ||
+      !GetField(f.get(), &crc, &n, sizeof(n)) ||
+      !GetField(f.get(), &crc, &m, sizeof(m)) ||
+      !GetField(f.get(), &crc, &s_count, sizeof(s_count)) ||
+      !GetField(f.get(), &crc, &w_count, sizeof(w_count)) ||
+      !GetField(f.get(), &crc, &solve_ok, sizeof(solve_ok))) {
+    return Corrupt(path, "truncated snapshot header");
+  }
+  if (n > kInvalidVertex) {
+    return Corrupt(path, "vertex count overflows 32 bits");
+  }
+  const uint64_t budget = static_cast<uint64_t>(file_size);
+  if (n > budget || m > budget / sizeof(Edge) ||
+      s_count > budget / sizeof(EdgeId) ||
+      w_count > budget / sizeof(EdgeId)) {
+    return Corrupt(path, "section counts exceed the file size");
+  }
+
+  std::vector<Edge> edges;
+  Status st = ReadEdgeArrayBinary(f.get(), m, static_cast<VertexId>(n),
+                                  &crc, &edges);
+  if (!st.ok()) return Corrupt(path, st.message().c_str());
+
+  state->cover_mask.resize(n);
+  if (n > 0 &&
+      !GetField(f.get(), &crc, state->cover_mask.data(), n)) {
+    return Corrupt(path, "truncated cover mask");
+  }
+  for (uint8_t bit : state->cover_mask) {
+    if (bit > 1) return Corrupt(path, "cover mask is not 0/1");
+  }
+  auto read_ids = [&](uint64_t count, std::vector<EdgeId>* out) {
+    out->resize(count);
+    if (count > 0 &&
+        !GetField(f.get(), &crc, out->data(), sizeof(EdgeId) * count)) {
+      return false;
+    }
+    for (EdgeId e : *out) {
+      if (e >= m) return false;
+    }
+    return true;
+  };
+  if (s_count > m || !read_ids(s_count, &state->covered)) {
+    return Corrupt(path, "invalid covered edge set");
+  }
+  if (w_count > m || !read_ids(w_count, &state->reusable)) {
+    return Corrupt(path, "invalid reusable edge set");
+  }
+
+  uint32_t stored_crc = 0;
+  if (std::fread(&stored_crc, sizeof(stored_crc), 1, f.get()) != 1) {
+    return Corrupt(path, "missing snapshot checksum");
+  }
+  if (stored_crc != crc.value()) {
+    return Corrupt(path, "snapshot checksum mismatch");
+  }
+  // Trailing garbage means the file is not what the writer produced.
+  char extra;
+  if (std::fread(&extra, 1, 1, f.get()) == 1) {
+    return Corrupt(path, "trailing bytes after snapshot checksum");
+  }
+
+  state->solve_ok = solve_ok != 0;
+  state->base = CsrGraph::FromEdges(static_cast<VertexId>(n),
+                                    std::move(edges));
+  return Status::OK();
 }
 
 }  // namespace tdb

@@ -12,11 +12,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/batch_augment.h"
 #include "core/cover_options.h"
+#include "graph/csr_graph.h"
 #include "graph/overlay_graph.h"
 #include "service/admission_cache.h"
+#include "util/status.h"
 
 namespace tdb {
 
@@ -64,6 +68,61 @@ struct AdmissionVerdict {
 AdmissionVerdict CheckAdmissionOn(const ServiceSnapshot& snapshot,
                                   VertexId u, VertexId v,
                                   PathProber* prober);
+
+// ------------------------------------------------------------------------
+// Durable snapshot format.
+//
+// One on-disk snapshot captures the service state at a compaction cut:
+// the solved base CSR, its BaseCover vertex mask, the incremental S/W
+// edge sets (empty at a cut — the format carries them so a future
+// mid-epoch checkpoint needs no version bump) and the bookkeeping a
+// recovery needs to splice the journal back on (epoch, last folded batch
+// sequence, cumulative ingested events for stream resumption).
+//
+// File layout (little-endian):
+//   "TDBS" | version u32
+//   epoch u64 | last_seq u64 | events u64 | n u64 | m u64
+//   s_count u64 | w_count u64 | solve_ok u8
+//   edges m x (u32, u32) | cover mask n x u8
+//   S s_count x u64 | W w_count x u64
+//   crc32c u32 over everything after the version field
+//
+// The single trailing CRC makes validity binary: a snapshot either reads
+// back whole or is rejected, which is all the manifest protocol needs —
+// snapshots are written to a temp name, fsync'd, renamed, and only then
+// named by the manifest, so a reader never sees a partial file through
+// the manifest anyway; the CRC guards against bit rot and out-of-band
+// tampering/truncation.
+
+/// Plain-value image of one durable snapshot.
+struct SnapshotState {
+  /// Epoch at which this state is (re)published on recovery.
+  uint64_t epoch = 0;
+  /// Journal batches with seq <= last_seq are folded into `base`.
+  uint64_t last_seq = 0;
+  /// Cumulative submitted edges over batches 1..last_seq (stream-resume
+  /// offset for replay drivers).
+  uint64_t events_ingested = 0;
+  CsrGraph base;
+  /// BaseCover::vertex_mask, sized to base.num_vertices().
+  std::vector<uint8_t> cover_mask;
+  /// BaseCover::solve_status.ok() — a false here means the cover is the
+  /// all-vertices fallback of a failed solve.
+  bool solve_ok = true;
+  /// Incremental S/W sets, as sorted canonical base edge ids.
+  std::vector<EdgeId> covered;
+  std::vector<EdgeId> reusable;
+};
+
+/// Atomically writes `state` to `path` (tmp + fsync + rename).
+Status WriteSnapshotFile(const SnapshotState& state,
+                         const std::string& path);
+
+/// Reads and validates a snapshot: magic/version, CRC over the whole
+/// payload, mask sized to the universe, S/W ids within the base edge
+/// range. Any violation fails the read — recovery then refuses to start
+/// rather than serving from a corrupt base.
+Status ReadSnapshotFile(const std::string& path, SnapshotState* state);
 
 }  // namespace tdb
 

@@ -35,6 +35,11 @@ struct ServiceStatsSnapshot {
   uint64_t compactions = 0;
   uint64_t compactions_failed = 0;
   uint64_t compaction_components_timed_out = 0;
+  /// Persistence layer (all zero for in-memory services).
+  uint64_t journal_records = 0;
+  uint64_t journal_rotations = 0;
+  uint64_t snapshots_written = 0;
+  uint64_t persist_failures = 0;
 };
 
 /// Monotonic service counters; all members are thread-safe to bump with
@@ -56,6 +61,10 @@ struct ServiceStats {
   std::atomic<uint64_t> compactions{0};
   std::atomic<uint64_t> compactions_failed{0};
   std::atomic<uint64_t> compaction_components_timed_out{0};
+  std::atomic<uint64_t> journal_records{0};
+  std::atomic<uint64_t> journal_rotations{0};
+  std::atomic<uint64_t> snapshots_written{0};
+  std::atomic<uint64_t> persist_failures{0};
 
   ServiceStatsSnapshot Snapshot() const {
     ServiceStatsSnapshot out;
@@ -79,6 +88,10 @@ struct ServiceStats {
     out.compactions_failed = get(compactions_failed);
     out.compaction_components_timed_out =
         get(compaction_components_timed_out);
+    out.journal_records = get(journal_records);
+    out.journal_rotations = get(journal_rotations);
+    out.snapshots_written = get(snapshots_written);
+    out.persist_failures = get(persist_failures);
     return out;
   }
 };

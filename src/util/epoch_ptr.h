@@ -48,6 +48,14 @@ class EpochPtr {
     return ++epoch_;
   }
 
+  /// Seeds the epoch counter so the next Store publishes at `epoch` + 1.
+  /// Recovery hook: a restored service republishes its snapshot at the
+  /// epoch the state originally held. Call before the first Store.
+  void SeedEpoch(uint64_t epoch) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    epoch_ = epoch;
+  }
+
   /// Epoch of the most recent Store (0 before any).
   uint64_t epoch() const {
     std::shared_lock<std::shared_mutex> lock(mu_);

@@ -32,16 +32,64 @@ TEST(WorkBudgetTest, ExhaustedBudgetStillYieldsFeasibleCover) {
   CsrGraph g = MakeBlocks(4, 60, /*seed=*/7);
   CoverOptions opts;
   opts.k = 4;
-  opts.time_limit_seconds = 1e-9;  // every component blows its share
+  // A budget gone before the engine even starts: condensation itself
+  // aborts (it polls the deadline too) and the whole graph falls back.
+  opts.time_limit_seconds = 1e-9;
   opts.split_budget_by_work = true;
   CoverResult r = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
   ASSERT_TRUE(r.status.ok()) << r.status.ToString();
-  EXPECT_EQ(r.stats.components_timed_out, 4u);
-  // Fallback = all vertices of every solvable component.
+  EXPECT_GE(r.stats.components_timed_out, 1u);
+  // Fallback = the full vertex set (trivially feasible).
   EXPECT_EQ(r.cover.size(), g.num_vertices());
   const VerifyReport report =
       VerifyCover(g, r.cover, opts, /*check_minimality=*/false);
   EXPECT_TRUE(report.feasible) << report.ToString();
+}
+
+TEST(WorkBudgetTest, CondensationAbortsOnExpiredDeadlineUnderSplit) {
+  // Regression (ROADMAP condensation item): a timed-out solve used to
+  // pay for a FULL condensation before any fallback could trigger.
+  // CondenseScc now polls the deadline between its phases, so with an
+  // exhausted budget no components are ever decomposed — and the split
+  // contract (ok + feasible) still holds through the whole-graph
+  // fallback.
+  CsrGraph g = MakeBlocks(4, 60, /*seed=*/7);
+  CoverOptions opts;
+  opts.k = 4;
+  opts.time_limit_seconds = 1e-9;
+  opts.split_budget_by_work = true;
+  for (SccAlgorithm scc :
+       {SccAlgorithm::kTarjan, SccAlgorithm::kParallelFwBw}) {
+    opts.scc_algorithm = scc;
+    CoverResult r = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    // The proof that condensation aborted: zero components decomposed
+    // (a full condensation of this graph finds 4).
+    EXPECT_EQ(r.stats.scc_components, 0u);
+    EXPECT_EQ(r.stats.components_timed_out, 1u);
+    EXPECT_EQ(r.cover.size(), g.num_vertices());
+    const VerifyReport report =
+        VerifyCover(g, r.cover, opts, /*check_minimality=*/false);
+    EXPECT_TRUE(report.feasible) << report.ToString();
+  }
+}
+
+TEST(WorkBudgetTest, CondensationAbortsOnExpiredDeadlineWithoutSplit) {
+  // Without the split the engine reports the timeout like the classic
+  // solvers — but no longer after paying for the decomposition first.
+  CsrGraph g = MakeBlocks(4, 60, /*seed=*/7);
+  CoverOptions opts;
+  opts.k = 4;
+  opts.time_limit_seconds = 1e-9;
+  // num_threads 1 exercises the barrier path, > 1 the streaming
+  // pipeline's condenser thread.
+  for (int threads : {1, 2}) {
+    opts.num_threads = threads;
+    CoverResult r = SolveCycleCover(g, CoverAlgorithm::kTdbPlusPlus, opts);
+    EXPECT_TRUE(r.status.IsTimedOut()) << r.status.ToString();
+    EXPECT_TRUE(r.cover.empty());
+    EXPECT_EQ(r.stats.scc_components, 0u);
+  }
 }
 
 TEST(WorkBudgetTest, GenerousBudgetMatchesUnlimitedSolve) {

@@ -1,0 +1,268 @@
+// Durable CycleBreakService: snapshot + journal recovery must rebuild a
+// state bit-identical to a never-crashed sequential replay — at every
+// journal prefix, across compactions (journal rotations), and for
+// journaled-but-never-applied tail batches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "graph/generators.h"
+#include "service/cycle_break_service.h"
+#include "util/rng.h"
+
+namespace tdb {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  static int counter = 0;
+  std::string dir = testing::TempDir() + "tdb_persist_test_" +
+                    std::to_string(counter++) + "_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+ServiceOptions BaseOptions() {
+  ServiceOptions options;
+  options.cover.k = 4;
+  options.compact_delta_threshold = 0;
+  return options;
+}
+
+/// Everything that defines the served state, in comparable form.
+struct StateImage {
+  uint64_t epoch = 0;
+  uint64_t events = 0;
+  std::vector<Edge> base_edges;
+  std::vector<VertexId> cover;
+  std::vector<EdgeId> covered;
+  std::vector<EdgeId> reusable;
+  std::vector<Edge> delta;
+
+  friend bool operator==(const StateImage&, const StateImage&) = default;
+};
+
+StateImage ImageOf(const CycleBreakService& service) {
+  const auto snap = service.PinSnapshot();
+  StateImage image;
+  image.epoch = snap->epoch;
+  image.events = service.events_ingested();
+  const OverlayGraph& graph = snap->graph;
+  for (EdgeId e = 0; e < graph.base_edges(); ++e) {
+    image.base_edges.push_back(Edge{graph.EdgeSrc(e), graph.EdgeDst(e)});
+  }
+  image.cover = snap->cover.base->vertices;
+  image.covered.assign(snap->cover.covered.begin(),
+                       snap->cover.covered.end());
+  image.reusable.assign(snap->cover.reusable.begin(),
+                        snap->cover.reusable.end());
+  std::sort(image.covered.begin(), image.covered.end());
+  std::sort(image.reusable.begin(), image.reusable.end());
+  const auto delta = graph.delta();
+  image.delta.assign(delta.begin(), delta.end());
+  return image;
+}
+
+std::vector<std::vector<Edge>> MakeBatches(VertexId n, size_t batches,
+                                           size_t batch, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Edge>> result;
+  for (size_t b = 0; b < batches; ++b) {
+    std::vector<Edge> edges;
+    for (size_t i = 0; i < batch; ++i) {
+      VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      edges.push_back(Edge{u, v});  // self-loops/dups exercise rejection
+    }
+    result.push_back(std::move(edges));
+  }
+  return result;
+}
+
+TEST(PersistenceTest, CreateRejectsExistingStoreAndOpenNeedsOne) {
+  const std::string dir = FreshDir("exists");
+  ServiceOptions options = BaseOptions();
+  options.data_dir = dir;
+  std::unique_ptr<CycleBreakService> service;
+  ASSERT_TRUE(CycleBreakService::Create(GenerateErdosRenyi(20, 40, 1),
+                                        options, &service)
+                  .ok());
+  service.reset();
+  std::unique_ptr<CycleBreakService> second;
+  EXPECT_TRUE(CycleBreakService::Create(GenerateErdosRenyi(20, 40, 1),
+                                        options, &second)
+                  .IsInvalidArgument());
+  ServiceOptions missing = BaseOptions();
+  missing.data_dir = FreshDir("missing");
+  EXPECT_TRUE(CycleBreakService::Open(missing, &second).IsNotFound());
+  std::filesystem::remove_all(dir);
+}
+
+/// The acceptance-criterion property: reopen at EVERY batch prefix and
+/// compare against an uninterrupted in-memory replay of that prefix.
+void RunPrefixEquivalence(EdgeId compact_threshold, uint64_t seed) {
+  constexpr VertexId kN = 40;
+  const auto batches = MakeBatches(kN, 14, 9, seed);
+  const CsrGraph base = GenerateErdosRenyi(kN, 120, seed + 1);
+
+  for (size_t prefix = 0; prefix <= batches.size(); ++prefix) {
+    // Durable run of the prefix, killed by destruction (clean close; the
+    // torn variants live in the journal tests and the CI drill).
+    const std::string dir = FreshDir("prefix");
+    ServiceOptions durable = BaseOptions();
+    durable.data_dir = dir;
+    durable.compact_delta_threshold = compact_threshold;
+    durable.synchronous_compaction = true;
+    std::unique_ptr<CycleBreakService> service;
+    ASSERT_TRUE(CycleBreakService::Create(base, durable, &service).ok());
+    for (size_t b = 0; b < prefix; ++b) {
+      const SubmitResult r = service->SubmitEdges(batches[b]);
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    }
+    const StateImage before = ImageOf(*service);
+    service.reset();
+
+    // Recover and compare against both the pre-close state and a fresh
+    // in-memory sequential replay of the same prefix.
+    std::unique_ptr<CycleBreakService> recovered;
+    ASSERT_TRUE(CycleBreakService::Open(durable, &recovered).ok())
+        << "prefix " << prefix;
+    EXPECT_EQ(ImageOf(*recovered), before) << "prefix " << prefix;
+
+    ServiceOptions memory = BaseOptions();
+    memory.compact_delta_threshold = compact_threshold;
+    memory.synchronous_compaction = true;
+    CycleBreakService reference(base, memory);
+    for (size_t b = 0; b < prefix; ++b) {
+      reference.SubmitEdges(batches[b]);
+    }
+    EXPECT_EQ(ImageOf(*recovered), ImageOf(reference))
+        << "prefix " << prefix;
+
+    // Verdicts are a pure function of the state, but compare a sample
+    // anyway — it is the contract the serving layer actually exposes.
+    Rng rng(99);
+    for (int q = 0; q < 50; ++q) {
+      const VertexId u = static_cast<VertexId>(rng.NextBounded(kN));
+      const VertexId v = static_cast<VertexId>(rng.NextBounded(kN));
+      EXPECT_EQ(recovered->CheckAdmission(u, v).would_close,
+                reference.CheckAdmission(u, v).would_close);
+    }
+    recovered.reset();
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(PersistenceTest, EveryPrefixRecoversToSequentialReplay) {
+  RunPrefixEquivalence(/*compact_threshold=*/0, /*seed=*/5);
+}
+
+TEST(PersistenceTest, EveryPrefixRecoversAcrossCompactions) {
+  // Threshold low enough that several compactions (and journal
+  // rotations) land inside the prefix sweep.
+  RunPrefixEquivalence(/*compact_threshold=*/24, /*seed=*/6);
+}
+
+TEST(PersistenceTest, JournaledButUnappliedBatchIsReplayed) {
+  // The WAL discipline appends before applying: simulate a crash in that
+  // window by appending a record directly to the closed store's journal,
+  // then recovering — the batch must be applied exactly as if SubmitEdges
+  // had completed.
+  const std::string dir = FreshDir("unapplied");
+  const CsrGraph base = GenerateErdosRenyi(30, 90, 9);
+  const auto batches = MakeBatches(30, 4, 8, 17);
+  ServiceOptions durable = BaseOptions();
+  durable.data_dir = dir;
+  std::unique_ptr<CycleBreakService> service;
+  ASSERT_TRUE(CycleBreakService::Create(base, durable, &service).ok());
+  for (size_t b = 0; b + 1 < batches.size(); ++b) {
+    service->SubmitEdges(batches[b]);
+  }
+  service.reset();
+
+  StoreManifest manifest;
+  ASSERT_TRUE(ReadStoreManifest(dir, &manifest).ok());
+  {
+    std::vector<JournalRecord> records;
+    std::unique_ptr<Journal> journal;
+    ASSERT_TRUE(Journal::Open(dir + "/" + manifest.journal_file,
+                              DurabilityPolicy::kBatch, &records, nullptr,
+                              &journal)
+                    .ok());
+    ASSERT_TRUE(
+        journal->Append(journal->last_seq() + 1, batches.back()).ok());
+  }
+
+  std::unique_ptr<CycleBreakService> recovered;
+  ASSERT_TRUE(CycleBreakService::Open(durable, &recovered).ok());
+  EXPECT_EQ(recovered->recovery_info().replayed_batches, batches.size());
+
+  CycleBreakService reference(base, BaseOptions());
+  for (const auto& batch : batches) reference.SubmitEdges(batch);
+  EXPECT_EQ(ImageOf(*recovered), ImageOf(reference));
+  recovered.reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceTest, RecoveryIsIdenticalAcrossIngestThreads) {
+  // The recovery replay runs through BatchAugment, whose committed state
+  // is bit-identical at every probe thread count — so recovering with a
+  // pool must equal recovering without one.
+  const std::string dir = FreshDir("threads");
+  const CsrGraph base = GenerateErdosRenyi(40, 120, 13);
+  const auto batches = MakeBatches(40, 10, 12, 29);
+  ServiceOptions durable = BaseOptions();
+  durable.data_dir = dir;
+  durable.compact_delta_threshold = 40;
+  durable.synchronous_compaction = true;
+  std::unique_ptr<CycleBreakService> service;
+  ASSERT_TRUE(CycleBreakService::Create(base, durable, &service).ok());
+  for (const auto& batch : batches) service->SubmitEdges(batch);
+  const StateImage expected = ImageOf(*service);
+  service.reset();
+
+  for (int threads : {1, 4}) {
+    ServiceOptions reopen = durable;
+    reopen.ingest_threads = threads;
+    std::unique_ptr<CycleBreakService> recovered;
+    ASSERT_TRUE(CycleBreakService::Open(reopen, &recovered).ok());
+    EXPECT_EQ(ImageOf(*recovered), expected) << threads << " threads";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceTest, SubmitResultReportsJournalFailure) {
+  // Once the journal cannot be appended to (here: its file is replaced
+  // by a directory to force the write error), SubmitEdges must refuse to
+  // apply the batch — the WAL may never lag the live state.
+  const std::string dir = FreshDir("fail");
+  ServiceOptions durable = BaseOptions();
+  durable.data_dir = dir;
+  std::unique_ptr<CycleBreakService> service;
+  ASSERT_TRUE(CycleBreakService::Create(GenerateErdosRenyi(20, 60, 3),
+                                        durable, &service)
+                  .ok());
+  const std::vector<Edge> batch = {{0, 1}, {1, 2}};
+  ASSERT_TRUE(service->SubmitEdges(batch).status.ok());
+  const StateImage before = ImageOf(*service);
+
+  // Sabotage the journal's backing file descriptor by closing the file
+  // out from under it is not portable; instead exhaust the record-size
+  // limit, which fails validation before any write.
+  std::vector<Edge> huge((1u << 26) + 1, Edge{0, 1});
+  const SubmitResult r = service->SubmitEdges(huge);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.epoch, 0u);
+  EXPECT_EQ(ImageOf(*service), before);  // nothing applied
+  EXPECT_GE(service->Stats().persist_failures, 1u);
+  service.reset();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tdb

@@ -5,6 +5,8 @@
 //             [--compact-threshold 4096] [--sync-compaction] [--gate]
 //             [--two-cycles] [--seed 42] [--compact-budget SEC]
 //             [--scc-algo tarjan|fwbw] [--admission-cache [LOG2]]
+//             [--data-dir DIR] [--durability none|batch|always]
+//             [--kill-after N] [--state-dump FILE]
 //
 // Replays a timestamped edge stream (tdb_graphgen --stream) through a
 // CycleBreakService: the main thread ingests in batches while
@@ -17,20 +19,41 @@
 // check (a cycle completed entirely within one batch passes the gate and
 // is covered at ingest instead); run with --batch 1 for exact per-edge
 // gating. Reports ingest/admission throughput and latency percentiles.
+//
+// Durability & the kill/restart drill: --data-dir makes the service
+// durable (snapshot + write-ahead journal under DIR; --durability picks
+// the fsync policy). A rerun against a DIR that already holds a store
+// RECOVERS it — replays the journal tail — and resumes the stream at the
+// recovered event offset, so killing the process at any point and
+// rerunning the same command line converges to the same final state as
+// one uninterrupted run (with --sync-compaction, bit-identically;
+// tools/crash_recovery_drill.py asserts exactly that in CI).
+// --kill-after N raises SIGKILL after the Nth ingested batch of THIS
+// process — no flush, no destructor, the honest crash. --state-dump
+// writes the final graph + transversal in a canonical text form for
+// state-equality comparison across runs. Resume arithmetic assumes the
+// stream is consumed verbatim, so --gate cannot be combined with
+// --data-dir.
+#include <csignal>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/graph_io.h"
 #include "service/cycle_break_service.h"
 #include "service/ingest_batcher.h"
 #include "service/stats.h"
+#include "util/crc32.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -43,6 +66,9 @@ struct CliArgs {
   std::string base_path;
   std::string algo = "TDB++";
   std::string scc_algo = "tarjan";
+  std::string data_dir;
+  std::string durability = "batch";
+  std::string state_dump;
   int admission_cache_log2 = 0;
   uint32_t k = 5;
   size_t batch = 256;
@@ -51,6 +77,7 @@ struct CliArgs {
   EdgeId compact_threshold = 4096;
   double compact_budget = 0.0;
   uint64_t seed = 42;
+  uint64_t kill_after = 0;  // 0 = never
   bool sync_compaction = false;
   bool gate = false;
   bool two_cycles = false;
@@ -78,6 +105,15 @@ void PrintUsage() {
       "  --admission-cache [L] memoize admission verdicts per epoch in a\n"
       "                        2^L-entry cache (default L=16 when the\n"
       "                        flag is given; off otherwise)\n"
+      "  --data-dir DIR        durable store (snapshot + WAL journal);\n"
+      "                        reruns recover the store and resume the\n"
+      "                        stream at the recovered offset\n"
+      "  --durability POLICY   journal fsync policy: none | batch |\n"
+      "                        always (default batch)\n"
+      "  --kill-after N        drill mode: SIGKILL self after the Nth\n"
+      "                        ingested batch of this process\n"
+      "  --state-dump FILE     write the final graph + transversal in\n"
+      "                        canonical text form (crash-drill oracle)\n"
       "  --sync-compaction     compact inline instead of in background\n"
       "  --gate                drop stream edges that would close an\n"
       "                        uncovered cycle instead of ingesting them\n"
@@ -116,6 +152,14 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->seed = static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--scc-algo" && (v = next()) != nullptr) {
       args->scc_algo = v;
+    } else if (arg == "--data-dir" && (v = next()) != nullptr) {
+      args->data_dir = v;
+    } else if (arg == "--durability" && (v = next()) != nullptr) {
+      args->durability = v;
+    } else if (arg == "--kill-after" && (v = next()) != nullptr) {
+      args->kill_after = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--state-dump" && (v = next()) != nullptr) {
+      args->state_dump = v;
     } else if (arg == "--admission-cache") {
       // Optional value: a following numeric token is the log2 capacity.
       args->admission_cache_log2 = 16;
@@ -137,6 +181,58 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
     }
   }
   return !args->stream_path.empty();
+}
+
+/// Canonical text form of the final service state, for byte-equality
+/// comparison across runs (the crash drill's oracle). Everything that
+/// defines the served state is included: epoch, graph (base checksum +
+/// delta in insertion order), base cover and the S/W edge sets.
+bool WriteStateDump(const CycleBreakService& service,
+                    const std::string& path) {
+  const auto snap = service.PinSnapshot();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write state dump %s\n", path.c_str());
+    return false;
+  }
+  const OverlayGraph& graph = snap->graph;
+  Crc32 base_crc;
+  for (EdgeId e = 0; e < graph.base_edges(); ++e) {
+    const VertexId pair[2] = {graph.EdgeSrc(e), graph.EdgeDst(e)};
+    base_crc.Update(pair, sizeof(pair));
+  }
+  std::fprintf(f,
+               "tdb-state v1\n"
+               "epoch %llu\nuniverse %u\nevents %llu\n"
+               "base_edges %llu\nbase_crc %08x\ndelta_edges %llu\n",
+               static_cast<unsigned long long>(snap->epoch),
+               graph.num_vertices(),
+               static_cast<unsigned long long>(service.events_ingested()),
+               static_cast<unsigned long long>(graph.base_edges()),
+               base_crc.value(),
+               static_cast<unsigned long long>(graph.delta_edges()));
+  for (const Edge& e : graph.delta()) {
+    std::fprintf(f, "D %u %u\n", e.src, e.dst);
+  }
+  std::fprintf(f, "cover %zu\n", snap->cover.base->vertices.size());
+  for (VertexId v : snap->cover.base->vertices) {
+    std::fprintf(f, "C %u\n", v);
+  }
+  auto dump_set = [&](const char* tag,
+                      const std::unordered_set<EdgeId>& set) {
+    std::vector<EdgeId> ids(set.begin(), set.end());
+    std::sort(ids.begin(), ids.end());
+    std::fprintf(f, "%s_count %zu\n", tag, ids.size());
+    for (EdgeId e : ids) {
+      std::fprintf(f, "%s %llu %u %u\n", tag,
+                   static_cast<unsigned long long>(e), graph.EdgeSrc(e),
+                   graph.EdgeDst(e));
+    }
+  };
+  dump_set("S", snap->cover.covered);
+  dump_set("W", snap->cover.reusable);
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace
@@ -203,6 +299,7 @@ int main(int argc, char** argv) {
   options.ingest_threads = args.ingest_threads;
   options.compact_time_limit_seconds = args.compact_budget;
   options.admission_cache_log2 = args.admission_cache_log2;
+  options.data_dir = args.data_dir;
   st = ParseAlgorithm(args.algo, &options.compact_algorithm);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -211,6 +308,18 @@ int main(int argc, char** argv) {
   st = ParseSccAlgorithm(args.scc_algo, &options.cover.scc_algorithm);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  st = ParseDurabilityPolicy(args.durability, &options.durability);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  if (args.gate && !args.data_dir.empty()) {
+    // Resume arithmetic assumes every stream event reached SubmitEdges;
+    // gating drops events before ingest, so a recovered offset would
+    // desynchronize the replay.
+    std::fprintf(stderr, "--gate cannot be combined with --data-dir\n");
     return 2;
   }
   st = options.Validate();
@@ -226,7 +335,59 @@ int main(int argc, char** argv) {
                stream.size());
 
   Timer setup_timer;
-  CycleBreakService service(std::move(base), options);
+  std::unique_ptr<CycleBreakService> service_ptr;
+  size_t resume_offset = 0;
+  if (!args.data_dir.empty()) {
+    // An existing store is recovered; a fresh directory is initialized.
+    st = CycleBreakService::Open(options, &service_ptr);
+    if (st.ok()) {
+      const auto& rec = service_ptr->recovery_info();
+      resume_offset =
+          static_cast<size_t>(service_ptr->events_ingested());
+      std::fprintf(stderr,
+                   "recovered %s: snapshot epoch %llu + %llu journal "
+                   "batches (%llu events, %llu torn bytes dropped), "
+                   "resuming stream at event %zu\n",
+                   args.data_dir.c_str(),
+                   static_cast<unsigned long long>(rec.snapshot_epoch),
+                   static_cast<unsigned long long>(rec.replayed_batches),
+                   static_cast<unsigned long long>(rec.replayed_events),
+                   static_cast<unsigned long long>(
+                       rec.journal_truncated_bytes),
+                   resume_offset);
+      const VertexId recovered_universe =
+          service_ptr->PinSnapshot()->graph.num_vertices();
+      if (recovered_universe != universe) {
+        std::fprintf(stderr,
+                     "store universe (%u) does not match the stream's "
+                     "(%u) — wrong --data-dir for this workload?\n",
+                     recovered_universe, universe);
+        return 1;
+      }
+      if (resume_offset > stream.size()) {
+        std::fprintf(stderr,
+                     "store is ahead of the stream (%zu > %zu events)\n",
+                     resume_offset, stream.size());
+        return 1;
+      }
+    } else if (st.IsNotFound()) {
+      st = CycleBreakService::Create(std::move(base), options,
+                                     &service_ptr);
+      if (!st.ok()) {
+        std::fprintf(stderr, "cannot create store: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "cannot recover store: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  } else {
+    service_ptr = std::make_unique<CycleBreakService>(std::move(base),
+                                                      options);
+  }
+  CycleBreakService& service = *service_ptr;
   std::fprintf(stderr, "initial solve + publish: %.3fs (epoch %llu)\n",
                setup_timer.ElapsedSeconds(),
                static_cast<unsigned long long>(service.epoch()));
@@ -255,11 +416,28 @@ int main(int argc, char** argv) {
     });
   }
 
-  // Foreground replay: batch ingest, optionally admission-gated.
+  // Foreground replay: batch ingest, optionally admission-gated. In
+  // drill mode the process SIGKILLs itself after the Nth batch of this
+  // run — no flush, no destructor, the honest crash the recovery path
+  // must survive.
   Timer run_timer;
   IngestBatcher batcher(&service, args.batch);
   uint64_t gated = 0;
-  for (const TimedEdge& e : stream) {
+  uint64_t batches_this_run = 0;
+  auto after_submit = [&](const SubmitResult& r, const Timer& timer) {
+    if (r.epoch == 0 && !r.status.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   r.status.ToString().c_str());
+      std::exit(1);
+    }
+    if (r.epoch == 0) return;
+    ingest_lat.Record(timer.ElapsedSeconds());
+    if (args.kill_after > 0 && ++batches_this_run >= args.kill_after) {
+      ::raise(SIGKILL);
+    }
+  };
+  for (size_t i = resume_offset; i < stream.size(); ++i) {
+    const TimedEdge& e = stream[i];
     if (args.gate) {
       const AdmissionVerdict verdict = service.CheckAdmission(e.src, e.dst);
       if (verdict.would_close) {
@@ -268,12 +446,11 @@ int main(int argc, char** argv) {
       }
     }
     Timer timer;
-    const SubmitResult r = batcher.Add(e.src, e.dst);
-    if (r.epoch != 0) ingest_lat.Record(timer.ElapsedSeconds());
+    after_submit(batcher.Add(e.src, e.dst), timer);
   }
   {
     Timer timer;
-    if (batcher.Flush().epoch != 0) ingest_lat.Record(timer.ElapsedSeconds());
+    after_submit(batcher.Flush(), timer);
   }
   service.WaitForCompaction();
   const double ingest_seconds = run_timer.ElapsedSeconds();
@@ -333,5 +510,18 @@ int main(int argc, char** argv) {
               snapshot->cover.covered.size(),
               snapshot->cover.base->vertices.size(),
               static_cast<unsigned long long>(snapshot->graph.delta_edges()));
+  if (!args.data_dir.empty()) {
+    std::printf("store:      %llu journal records, %llu rotations, "
+                "%llu snapshots, %llu persist failures (durability %s)\n",
+                static_cast<unsigned long long>(s.journal_records),
+                static_cast<unsigned long long>(s.journal_rotations),
+                static_cast<unsigned long long>(s.snapshots_written),
+                static_cast<unsigned long long>(s.persist_failures),
+                args.durability.c_str());
+  }
+  if (!args.state_dump.empty() &&
+      !WriteStateDump(service, args.state_dump)) {
+    return 1;
+  }
   return 0;
 }
