@@ -9,13 +9,26 @@
 // deterministic); any drift is a correctness bug and the bench exits
 // non-zero, mirroring bench_giant_scc's determinism hard-fail.
 //
+// A second sweep measures steady-state admission QPS at a fixed 4 reader
+// threads over the SAME post-ingest state, in three modes: "plain"
+// (per-query, no index), "indexed" (per-query against landmark distance
+// sketches) and "indexed_batched" (CheckAdmissionBatch with shared
+// multi-source probes). All three evaluate the identical seeded query
+// list and their verdict bitvectors must be byte-identical — any
+// divergence is a correctness bug and the bench exits non-zero.
+// TDB_BENCH_MIN_ADMIT_SPEEDUP (optional) turns the indexed_batched
+// speedup over plain into a hard floor, the perf claim CI enforces.
+//
 // Knobs: TDB_BENCH_SERVICE_N (vertices), TDB_BENCH_SERVICE_BASE_M (base
 // edges), TDB_BENCH_SERVICE_STREAM_M (stream edges),
-// TDB_BENCH_SERVICE_BATCH, TDB_BENCH_SERVICE_QUERIES (per reader).
+// TDB_BENCH_SERVICE_BATCH, TDB_BENCH_SERVICE_QUERIES (per reader),
+// TDB_BENCH_SERVICE_LANDMARKS (index size), TDB_BENCH_SERVICE_ADMIT_Q
+// (steady-state query count), TDB_BENCH_SERVICE_ADMIT_BATCH.
 // --json PATH emits rows for tools/check_bench_regression.py.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <span>
 #include <string>
 #include <thread>
@@ -182,6 +195,177 @@ int main(int argc, char** argv) {
                  "drifted across reader thread counts\n");
     return 1;
   }
+
+  // ---- Steady-state admission mode sweep (fixed 4 reader threads) ----
+  const int landmarks =
+      static_cast<int>(EnvOr("TDB_BENCH_SERVICE_LANDMARKS", 512));
+  const uint64_t admit_q = EnvOr("TDB_BENCH_SERVICE_ADMIT_Q", 80000);
+  const size_t admit_batch = EnvOr("TDB_BENCH_SERVICE_ADMIT_BATCH", 256);
+  const double min_speedup = [] {
+    const char* env = std::getenv("TDB_BENCH_MIN_ADMIT_SPEEDUP");
+    return env != nullptr ? std::atof(env) : 0.0;
+  }();
+  constexpr int kAdmitThreads = 4;
+  json.BeginRow();
+  json.Str("row", "admit_params");
+  json.Num("landmarks", static_cast<uint64_t>(landmarks));
+  json.Num("admit_q", admit_q);
+  json.Num("admit_batch", static_cast<uint64_t>(admit_batch));
+  json.Num("admit_threads", static_cast<uint64_t>(kAdmitThreads));
+
+  // Two services over the identical ingest: the index must not perturb
+  // ingest at all, so their final transversals must digest-match.
+  const auto make_service = [&](int index_landmarks) {
+    ServiceOptions options;
+    options.cover.k = kHop;
+    options.compact_delta_threshold = 2048;
+    options.synchronous_compaction = true;
+    options.admission_index_landmarks = index_landmarks;
+    CsrGraph base_copy = base;
+    auto service =
+        std::make_unique<CycleBreakService>(std::move(base_copy), options);
+    for (size_t at = 0; at < stream.size(); at += batch) {
+      const size_t len = std::min(batch, stream.size() - at);
+      service->SubmitEdges(std::span<const Edge>(stream.data() + at, len));
+    }
+    return service;
+  };
+  const auto plain_service = make_service(0);
+  const auto indexed_service = make_service(landmarks);
+  if (transversal_digest(*plain_service->PinSnapshot()) !=
+      transversal_digest(*indexed_service->PinSnapshot())) {
+    std::fprintf(stderr,
+                 "DETERMINISM VIOLATION: admission index perturbed "
+                 "ingest state\n");
+    return 1;
+  }
+  const uint64_t steady_cover = [&] {
+    const auto snap = plain_service->PinSnapshot();
+    return snap->cover.covered.size() + snap->cover.base->vertices.size();
+  }();
+
+  std::vector<Edge> admit_queries;
+  admit_queries.reserve(admit_q);
+  {
+    Rng rng(900);
+    for (uint64_t i = 0; i < admit_q; ++i) {
+      admit_queries.push_back(
+          Edge{static_cast<VertexId>(rng.NextBounded(n)),
+               static_cast<VertexId>(rng.NextBounded(n))});
+    }
+  }
+
+  // Runs one mode: kAdmitThreads threads over disjoint slices of the
+  // query list, verdict bits recorded for cross-mode comparison.
+  const auto run_mode = [&](CycleBreakService& service, bool batched,
+                            std::vector<uint8_t>* verdicts) {
+    verdicts->assign(admit_queries.size(), 0);
+    Timer timer;
+    std::vector<std::thread> workers;
+    workers.reserve(kAdmitThreads);
+    const size_t per =
+        (admit_queries.size() + kAdmitThreads - 1) / kAdmitThreads;
+    for (int t = 0; t < kAdmitThreads; ++t) {
+      workers.emplace_back([&, t] {
+        const size_t begin = std::min(per * t, admit_queries.size());
+        const size_t end = std::min(begin + per, admit_queries.size());
+        if (batched) {
+          for (size_t at = begin; at < end; at += admit_batch) {
+            const size_t len = std::min(admit_batch, end - at);
+            const std::vector<AdmissionVerdict> out =
+                service.CheckAdmissionBatch(
+                    std::span<const Edge>(admit_queries.data() + at, len));
+            for (size_t j = 0; j < len; ++j) {
+              (*verdicts)[at + j] = out[j].would_close ? 1 : 0;
+            }
+          }
+        } else {
+          for (size_t i = begin; i < end; ++i) {
+            const AdmissionVerdict v = service.CheckAdmission(
+                admit_queries[i].src, admit_queries[i].dst);
+            (*verdicts)[i] = v.would_close ? 1 : 0;
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    return timer.ElapsedSeconds();
+  };
+
+  std::printf("\n== Steady-state admission modes (%llu queries, %d "
+              "threads, %d landmarks, batch %zu) ==\n",
+              static_cast<unsigned long long>(admit_q), kAdmitThreads,
+              landmarks, admit_batch);
+  TablePrinter admit_table(
+      {"mode", "seconds", "admit qps", "speedup", "would close"});
+  struct ModeResult {
+    const char* mode;
+    double seconds = 0;
+    std::vector<uint8_t> verdicts;
+  };
+  ModeResult modes[3] = {
+      {"plain"}, {"indexed"}, {"indexed_batched"}};
+  modes[0].seconds = run_mode(*plain_service, false, &modes[0].verdicts);
+  modes[1].seconds = run_mode(*indexed_service, false, &modes[1].verdicts);
+  modes[2].seconds = run_mode(*indexed_service, true, &modes[2].verdicts);
+
+  for (const ModeResult& m : modes) {
+    if (m.verdicts != modes[0].verdicts) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: %s verdicts differ from the "
+                   "plain per-query path\n",
+                   m.mode);
+      return 1;
+    }
+  }
+  const uint64_t would_close = static_cast<uint64_t>(
+      std::count(modes[0].verdicts.begin(), modes[0].verdicts.end(), 1));
+  double batched_speedup = 0;
+  for (const ModeResult& m : modes) {
+    const double speedup =
+        m.seconds > 0 ? modes[0].seconds / m.seconds : 0;
+    if (std::string(m.mode) == "indexed_batched") batched_speedup = speedup;
+    const double qps =
+        m.seconds > 0
+            ? static_cast<double>(admit_queries.size()) / m.seconds
+            : 0;
+    char sec_s[32], qps_s[32], spd_s[32];
+    std::snprintf(sec_s, sizeof sec_s, "%.3f", m.seconds);
+    std::snprintf(qps_s, sizeof qps_s, "%.0f", qps);
+    std::snprintf(spd_s, sizeof spd_s, "%.2fx", speedup);
+    admit_table.AddRow({m.mode, sec_s, qps_s, spd_s,
+                        std::to_string(would_close)});
+
+    json.BeginRow();
+    json.Str("mode", m.mode);
+    json.Num("admit_threads", static_cast<uint64_t>(kAdmitThreads));
+    json.Num("seconds", m.seconds);
+    json.Num("speedup", speedup);
+    json.Num("would_close", would_close);
+    json.Num("cover", steady_cover);
+  }
+  admit_table.Print();
+  {
+    const ServiceStatsSnapshot s = indexed_service->Stats();
+    const uint64_t decided = s.index_hits + s.index_fallbacks;
+    std::printf("index: %llu hits / %llu fallbacks (%.1f%% hit rate), "
+                "%llu builds in %.3fs\n",
+                static_cast<unsigned long long>(s.index_hits),
+                static_cast<unsigned long long>(s.index_fallbacks),
+                decided > 0 ? 100.0 * static_cast<double>(s.index_hits) /
+                                  static_cast<double>(decided)
+                            : 0.0,
+                static_cast<unsigned long long>(s.index_builds),
+                s.index_build_seconds);
+  }
+  if (min_speedup > 0 && batched_speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "SPEEDUP FLOOR VIOLATION: indexed_batched %.2fx < "
+                 "TDB_BENCH_MIN_ADMIT_SPEEDUP %.2fx\n",
+                 batched_speedup, min_speedup);
+    return 1;
+  }
+
   if (!json.Write(JsonSink::PathFromArgs(argc, argv))) return 1;
   std::printf(
       "\nReading: admission readers scale with threads while the single\n"

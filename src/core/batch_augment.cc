@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "search/bounded_reach.h"
+
 namespace tdb {
 
 std::shared_ptr<const BaseCover> BaseCover::FromVertexCover(
@@ -65,6 +67,46 @@ bool PathProber::Dfs(const OverlayGraph& graph, const TransversalState& state,
     return true;
   });
   return found;
+}
+
+size_t PathProber::FindPathsFrom(const OverlayGraph& graph,
+                                 const TransversalState& state, VertexId src,
+                                 std::span<const VertexId> targets,
+                                 SearchContext* ctx, uint8_t* found) {
+  // Sentinel for "marked as a target, not reached by the sweep".
+  constexpr uint32_t kUnreached = 0xffffffffu;
+  const VertexId n = graph.num_vertices();
+  target_dist_.Resize(n);
+  target_dist_.NewEpoch();
+  for (const VertexId t : targets) {
+    if (t < n) target_dist_.Set(t, kUnreached);
+  }
+  BoundedReach(
+      graph, ReachDirection::kForward, std::span<const VertexId>(&src, 1),
+      max_path_, ctx,
+      [&](EdgeId e) { return !state.EdgeCovered(graph, e); },
+      [&](VertexId w, uint32_t depth) {
+        if (target_dist_.IsSet(w) && target_dist_.Get(w) == kUnreached) {
+          target_dist_.Set(w, depth);
+        }
+      });
+  size_t fallbacks = 0;
+  for (size_t j = 0; j < targets.size(); ++j) {
+    const VertexId t = targets[j];
+    const uint32_t d = t < n ? target_dist_.Get(t) : kUnreached;
+    if (d == kUnreached) {
+      // No uncovered walk of <= k - 1 hops, hence no qualifying path.
+      found[j] = 0;
+    } else if (d >= min_path_) {
+      // The shortest uncovered walk is a simple path inside the band.
+      found[j] = 1;
+    } else {
+      // Below-band distance: a longer qualifying path may still exist.
+      ++fallbacks;
+      found[j] = FindPath(graph, state, src, t, nullptr) ? 1 : 0;
+    }
+  }
+  return fallbacks;
 }
 
 namespace {

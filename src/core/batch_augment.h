@@ -39,6 +39,8 @@
 
 #include "core/cover_options.h"
 #include "graph/overlay_graph.h"
+#include "search/search_context.h"
+#include "util/epoch_array.h"
 #include "util/thread_pool.h"
 
 namespace tdb {
@@ -91,6 +93,22 @@ class PathProber {
   bool FindPath(const OverlayGraph& graph, const TransversalState& state,
                 VertexId src, VertexId dst, std::vector<VertexId>* path);
 
+  /// Shared-source batch form of FindPath: writes into found[j] whether
+  /// an uncovered simple path src -> targets[j] with hop count in
+  /// [min_len - 1, k - 1] exists. One hop-bounded BFS over the uncovered
+  /// subgraph (search/bounded_reach.h) decides every target at once —
+  /// the exact shortest uncovered distance forces the verdict whenever
+  /// it lands inside or beyond the qualifying band — and only the
+  /// below-band residue (a bare src -> target edge while 2-cycles are
+  /// excluded) re-runs the exact DFS. Verdicts are bit-identical to
+  /// per-target FindPath calls. `ctx` carries the BFS scratch; like the
+  /// prober itself, one per concurrent thread. Returns the number of
+  /// DFS fallbacks taken.
+  size_t FindPathsFrom(const OverlayGraph& graph,
+                       const TransversalState& state, VertexId src,
+                       std::span<const VertexId> targets,
+                       SearchContext* ctx, uint8_t* found);
+
   uint64_t queries() const { return queries_; }
 
  private:
@@ -101,6 +119,8 @@ class PathProber {
   uint32_t min_path_;
   uint32_t max_path_;
   std::vector<VertexId> on_path_;
+  /// FindPathsFrom scratch: per-target shortest distances of one sweep.
+  EpochArray<uint32_t> target_dist_;
   uint64_t queries_ = 0;
 };
 

@@ -1,0 +1,156 @@
+#include "service/admission_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "search/bounded_reach.h"
+#include "search/search_context.h"
+#include "util/timer.h"
+
+namespace tdb {
+
+std::shared_ptr<const AdmissionIndex> AdmissionIndex::Build(
+    const OverlayGraph& graph, const TransversalState& cover,
+    const CoverOptions& options, int num_landmarks, ThreadPool* pool) {
+  // k - 1 must sit strictly below the byte-packed distance cap, or the
+  // "> max_path_ means no path" comparison loses its meaning.
+  if (options.k >= 254) return nullptr;
+  Timer timer;
+  std::shared_ptr<AdmissionIndex> index(new AdmissionIndex());
+  const VertexId n = graph.num_vertices();
+  index->n_ = n;
+  index->max_path_ = options.k - 1;
+  index->min_path_ = (options.include_two_cycles ? 2u : 3u) - 1;
+  index->cap_ = std::min<uint32_t>(2 * options.k, 254);
+  index->has_out_.assign(n, 0);
+  index->has_in_.assign(n, 0);
+  index->slot_.assign(n, kNoSlot);
+
+  // One sweep over the overlay classifies every edge as covered or not:
+  // uncovered degree drives both the O(1) endpoint rules and the
+  // landmark ranking (hubs on many uncovered paths separate many pairs).
+  std::vector<uint32_t> udeg(n, 0);
+  for (VertexId x = 0; x < n; ++x) {
+    graph.ForEachOut(x, [&](VertexId w, EdgeId e) {
+      if (!cover.EdgeCovered(graph, e)) {
+        index->has_out_[x] = 1;
+        index->has_in_[w] = 1;
+        ++udeg[x];
+        ++udeg[w];
+      }
+      return true;
+    });
+  }
+
+  const size_t want =
+      std::min<size_t>(std::max(num_landmarks, 0), static_cast<size_t>(n));
+  if (want > 0) {
+    std::vector<VertexId> order(n);
+    std::iota(order.begin(), order.end(), VertexId{0});
+    std::partial_sort(order.begin(), order.begin() + want, order.end(),
+                      [&](VertexId a, VertexId b) {
+                        return udeg[a] != udeg[b] ? udeg[a] > udeg[b]
+                                                  : a < b;
+                      });
+    for (size_t i = 0; i < want && udeg[order[i]] > 0; ++i) {
+      index->landmarks_.push_back(order[i]);
+    }
+  }
+  const size_t num_hubs = index->landmarks_.size();
+  for (size_t i = 0; i < num_hubs; ++i) {
+    index->slot_[index->landmarks_[i]] = static_cast<uint32_t>(i);
+  }
+
+  const uint8_t far = static_cast<uint8_t>(index->cap_);
+  index->to_hub_.assign(static_cast<size_t>(n) * num_hubs, far);
+  index->from_hub_.assign(static_cast<size_t>(n) * num_hubs, far);
+  const uint32_t depth = index->cap_ - 1;
+  const auto filter = [&](EdgeId e) { return !cover.EdgeCovered(graph, e); };
+  // Task 2i is landmark i's forward BFS (from_hub_ column), task 2i + 1
+  // its backward BFS (to_hub_ column). Tasks write disjoint slots, so
+  // the filled arrays are identical at every pool size.
+  const auto build_one = [&](size_t task, SearchContext* ctx) {
+    const size_t i = task / 2;
+    const bool forward = (task % 2) == 0;
+    uint8_t* column =
+        (forward ? index->from_hub_ : index->to_hub_).data() + i;
+    const VertexId hub = index->landmarks_[i];
+    BoundedReach(graph,
+                 forward ? ReachDirection::kForward
+                         : ReachDirection::kReverse,
+                 std::span<const VertexId>(&hub, 1), depth, ctx, filter,
+                 [&](VertexId w, uint32_t d) {
+                   column[static_cast<size_t>(w) * num_hubs] =
+                       static_cast<uint8_t>(d);
+                 });
+  };
+  if (pool != nullptr && num_hubs > 1) {
+    std::vector<SearchContext> contexts(pool->num_threads());
+    pool->ParallelFor(2 * num_hubs, [&](size_t task, int worker) {
+      build_one(task, &contexts[worker]);
+    });
+  } else {
+    SearchContext ctx;
+    for (size_t task = 0; task < 2 * num_hubs; ++task) {
+      build_one(task, &ctx);
+    }
+  }
+  index->build_seconds_ = timer.ElapsedSeconds();
+  return index;
+}
+
+AdmissionIndex::Probe AdmissionIndex::Query(VertexId v, VertexId u) const {
+  // A qualifying path must leave v and enter u on uncovered edges.
+  if (has_out_[v] == 0 || has_in_[u] == 0) return Probe::kNoPath;
+  const auto decide = [&](uint32_t d) {
+    // d is the exact uncovered-subgraph distance when < cap_, and ">=
+    // cap_" (still > max_path_) otherwise: the shortest uncovered walk
+    // of d hops is a simple path, so d inside the band proves the cycle
+    // and d above it disproves every shorter path too.
+    if (d > max_path_) return Probe::kNoPath;
+    if (d >= min_path_) return Probe::kWouldClose;
+    return Probe::kUnknown;
+  };
+  const size_t num_hubs = landmarks_.size();
+  if (num_hubs == 0) return Probe::kUnknown;
+  if (slot_[v] != kNoSlot) {
+    return decide(from_hub_[static_cast<size_t>(u) * num_hubs + slot_[v]]);
+  }
+  if (slot_[u] != kNoSlot) {
+    return decide(to_hub_[static_cast<size_t>(v) * num_hubs + slot_[u]]);
+  }
+  const uint8_t* tv = &to_hub_[static_cast<size_t>(v) * num_hubs];
+  const uint8_t* tu = &to_hub_[static_cast<size_t>(u) * num_hubs];
+  const uint8_t* fv = &from_hub_[static_cast<size_t>(v) * num_hubs];
+  const uint8_t* fu = &from_hub_[static_cast<size_t>(u) * num_hubs];
+  // Branch-free reduction over the four distance rows. With values
+  // saturated at cap_, each bound is one saturating byte op:
+  //   * lower bound dist(v->u) >= dist(v->h) - dist(u->h): when
+  //     dist(u->h) is clamped the subtraction saturates to 0 (no
+  //     claim); when exact, a clamped dist(v->h) only weakens the
+  //     difference — both directions stay sound with no exactness test;
+  //   * upper bound dist(v->u) <= dist(v->h) + dist(h->u): a clamped
+  //     leg pushes the sum past max_path_, disabling the claim.
+  uint8_t lb = 0;
+  uint8_t ub = 0xff;
+  // This exact shape (saturating subtract via min, saturating add via a
+  // 255-clamped unsigned sum) is what GCC pattern-matches to
+  // psubusb/paddusb/pmaxub/pminub — keep it branch-free.
+  for (size_t i = 0; i < num_hubs; ++i) {
+    const uint8_t via_t = tv[i] - std::min(tv[i], tu[i]);
+    const uint8_t via_f = fu[i] - std::min(fu[i], fv[i]);
+    const uint8_t relay = static_cast<uint8_t>(
+        std::min(255u, static_cast<unsigned>(tv[i]) + fu[i]));
+    lb = std::max(lb, std::max(via_t, via_f));
+    ub = std::min(ub, relay);
+  }
+  if (lb > max_path_) return Probe::kNoPath;
+  // The relay walk caps the shortest path from above; the lower bound
+  // (and v != u, so dist >= 1) lifts it into the band from below.
+  if (ub <= max_path_ && std::max<uint32_t>(lb, 1) >= min_path_) {
+    return Probe::kWouldClose;
+  }
+  return Probe::kUnknown;
+}
+
+}  // namespace tdb

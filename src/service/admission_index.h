@@ -1,0 +1,120 @@
+// Per-snapshot landmark distance index for the admission fast path.
+//
+// An admission query "would u -> v close an uncovered constrained
+// cycle?" reduces to "does the uncovered subgraph U contain a simple
+// path v ->* u with hop count in [min_len - 1, k - 1]?" (U is the
+// published graph minus every covered edge: out-edges of base-covered
+// vertices and the incremental S set). The index stores, for a small
+// set of deterministically chosen high-degree landmark hubs, the exact
+// hop distances in U from every vertex to the hub and from the hub to
+// every vertex (capped forward/backward BFS level arrays). A query is
+// then answered by arithmetic alone whenever the stored distances FORCE
+// the verdict:
+//
+//   * v has no uncovered out-edge, or u no uncovered in-edge -> no path;
+//   * some hub h separates the pair: dist(v->h) - dist(u->h) > k - 1 or
+//     dist(h->u) - dist(h->v) > k - 1 (directed triangle inequality
+//     lower bounds on dist(v->u)) -> no path;
+//   * some hub h relays the pair: dist(v->h) + dist(h->u) <= k - 1 with
+//     both legs exact proves a walk inside the hop budget, whose
+//     shortest witness is a simple path; when the lower bound also
+//     clears min_len - 1 the path sits in the qualifying band -> cycle;
+//   * v or u IS a hub -> its row holds the exact dist(v->u); any value
+//     in [min_len - 1, k - 1] proves the cycle, anything larger
+//     disproves it, and only a below-band distance (a bare v -> u edge
+//     while 2-cycles are excluded) stays open.
+//
+// Distances are stored saturated at cap_ ("cap_ means >= cap_"), which
+// makes every bound a saturating byte operation: the query's hot loop is
+// branch-free max/min over four contiguous L-byte rows and compiles to
+// SIMD (psubusb/paddusb/pmaxub/pminub) at any L.
+//
+// Every rule is exact, so indexed verdicts are bit-identical to the
+// unindexed PathProber path by construction; the residue the index
+// cannot force falls back to a real probe. Distances are valid only for
+// the exact (graph, cover) they were built from — each publish builds a
+// fresh index, mirroring the per-epoch AdmissionCache lifecycle.
+#ifndef TDB_SERVICE_ADMISSION_INDEX_H_
+#define TDB_SERVICE_ADMISSION_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/batch_augment.h"
+#include "core/cover_options.h"
+#include "graph/overlay_graph.h"
+#include "util/thread_pool.h"
+
+namespace tdb {
+
+/// Immutable once built; safe to query from any number of threads.
+class AdmissionIndex {
+ public:
+  /// Tri-state answer of one distance-arithmetic probe.
+  enum class Probe : uint8_t {
+    /// No uncovered path v ->* u with <= k - 1 hops exists (forced).
+    kNoPath,
+    /// An uncovered path with hop count in [min_len - 1, k - 1] exists
+    /// (forced by an exact landmark row or a two-leg hub relay).
+    kWouldClose,
+    /// The stored distances do not force a verdict; run a real probe.
+    kUnknown,
+  };
+
+  /// Builds the index for exactly this (graph, cover, options) triple —
+  /// the published snapshot state. Landmarks are the `num_landmarks`
+  /// vertices of highest uncovered degree (ties to the lower id), and
+  /// each landmark's forward/backward BFS runs as one task on `pool`
+  /// (inline when null). Returns null when k's hop budget cannot be
+  /// represented in the byte-packed level arrays (k >= 254).
+  static std::shared_ptr<const AdmissionIndex> Build(
+      const OverlayGraph& graph, const TransversalState& cover,
+      const CoverOptions& options, int num_landmarks, ThreadPool* pool);
+
+  /// Distance-arithmetic probe for "uncovered qualifying path v ->* u?"
+  /// (note the argument order: probe source first, i.e. the queried
+  /// edge's DST). Both endpoints must be < the build universe.
+  Probe Query(VertexId v, VertexId u) const;
+
+  size_t num_landmarks() const { return landmarks_.size(); }
+  std::span<const VertexId> landmarks() const { return landmarks_; }
+  double build_seconds() const { return build_seconds_; }
+  /// Heap footprint of the level arrays (~2 bytes/vertex/landmark).
+  size_t bytes() const { return to_hub_.size() + from_hub_.size(); }
+
+ private:
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+
+  AdmissionIndex() = default;
+
+  VertexId n_ = 0;
+  /// Hop budget k - 1: paths longer than this close nothing.
+  uint32_t max_path_ = 0;
+  /// min_len - 1: paths shorter than this are below the qualifying band.
+  uint32_t min_path_ = 0;
+  /// Distance saturation point: BFS depth is cap_ - 1 and every vertex
+  /// not reached by then stores cap_ itself, i.e. "dist >= cap_" (so a
+  /// stored value is exact iff < cap_). Deeper than max_path_ + 1 on
+  /// purpose — the slack makes the triangle-inequality differences
+  /// strictly sharper.
+  uint32_t cap_ = 0;
+  /// has_out_[x] == 1 iff x has an uncovered out-edge (in-edge for
+  /// has_in_): O(1) "the path cannot even start/end" rules.
+  std::vector<uint8_t> has_out_;
+  std::vector<uint8_t> has_in_;
+  std::vector<VertexId> landmarks_;
+  /// Vertex -> its landmark slot, kNoSlot for non-landmarks.
+  std::vector<uint32_t> slot_;
+  /// Level arrays, vertex-major so one query touches four contiguous
+  /// L-byte runs: to_hub_[x * L + i] = dist_U(x -> landmark i),
+  /// from_hub_[x * L + i] = dist_U(landmark i -> x).
+  std::vector<uint8_t> to_hub_;
+  std::vector<uint8_t> from_hub_;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_SERVICE_ADMISSION_INDEX_H_

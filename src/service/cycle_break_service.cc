@@ -47,6 +47,10 @@ Status ServiceOptions::Validate() const {
     return Status::InvalidArgument(
         "admission_cache_log2 must be 0 (off) or in [4, 30]");
   }
+  if (admission_index_landmarks < 0 || admission_index_landmarks > 4096) {
+    return Status::InvalidArgument(
+        "admission_index_landmarks must be in [0 (off), 4096]");
+  }
   return Status::OK();
 }
 
@@ -297,11 +301,76 @@ AdmissionVerdict CycleBreakService::CheckAdmission(VertexId u,
   }
   PathProber prober(snapshot.options);
   const AdmissionVerdict verdict = CheckAdmissionOn(snapshot, u, v, &prober);
-  if (cache != nullptr) cache->Insert(u, v, verdict.would_close);
+  if (snapshot.admission_index != nullptr) {
+    if (verdict.via_index) {
+      stats_.index_hits.fetch_add(1, kRelaxed);
+    } else if (verdict.probed) {
+      stats_.index_fallbacks.fetch_add(1, kRelaxed);
+    }
+  }
+  // The cache memoizes only the hard residue: verdicts that cost a path
+  // search. Prechecked no-ops and index arithmetic are at least as cheap
+  // to recompute as a probe, so caching them would only displace
+  // entries that save real work.
+  if (cache != nullptr && verdict.probed) {
+    cache->Insert(u, v, verdict.would_close);
+  }
   if (verdict.would_close) {
     stats_.admission_would_close.fetch_add(1, kRelaxed);
   }
   return verdict;
+}
+
+std::vector<AdmissionVerdict> CycleBreakService::CheckAdmissionBatch(
+    std::span<const Edge> queries) const {
+  const auto pinned = published_.Load();
+  const ServiceSnapshot& snapshot = *pinned.state;
+  stats_.admission_queries.fetch_add(queries.size(), kRelaxed);
+  stats_.admission_batches.fetch_add(1, kRelaxed);
+  std::vector<AdmissionVerdict> verdicts(queries.size());
+  AdmissionCache* cache = snapshot.admission_cache.get();
+  // Reusable per-thread scratch: the BFS arrays and grouping buffers are
+  // warm after the first batch on each reader thread.
+  static thread_local AdmissionBatchScratch scratch;
+  static thread_local std::vector<Edge> residue;
+  static thread_local std::vector<uint32_t> residue_query;
+  static thread_local std::vector<AdmissionVerdict> residue_verdicts;
+  residue.clear();
+  residue_query.clear();
+  uint64_t would_close_total = 0;
+  if (cache != nullptr) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      bool would_close = false;
+      if (cache->Lookup(queries[i].src, queries[i].dst, &would_close)) {
+        stats_.admission_cache_hits.fetch_add(1, kRelaxed);
+        verdicts[i].epoch = snapshot.epoch;
+        verdicts[i].would_close = would_close;
+        verdicts[i].admissible = !would_close;
+        if (would_close) ++would_close_total;
+      } else {
+        stats_.admission_cache_misses.fetch_add(1, kRelaxed);
+        residue.push_back(queries[i]);
+        residue_query.push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+  const std::span<const Edge> to_eval =
+      cache != nullptr ? std::span<const Edge>(residue) : queries;
+  AdmissionBatchStats batch_stats;
+  CheckAdmissionBatchOn(snapshot, to_eval, &scratch, &residue_verdicts,
+                        &batch_stats);
+  for (size_t j = 0; j < to_eval.size(); ++j) {
+    const AdmissionVerdict& verdict = residue_verdicts[j];
+    verdicts[cache != nullptr ? residue_query[j] : j] = verdict;
+    if (verdict.would_close) ++would_close_total;
+    if (cache != nullptr && verdict.probed) {
+      cache->Insert(to_eval[j].src, to_eval[j].dst, verdict.would_close);
+    }
+  }
+  stats_.index_hits.fetch_add(batch_stats.index_hits, kRelaxed);
+  stats_.index_fallbacks.fetch_add(batch_stats.index_fallbacks, kRelaxed);
+  stats_.admission_would_close.fetch_add(would_close_total, kRelaxed);
+  return verdicts;
 }
 
 std::shared_ptr<const ServiceSnapshot> CycleBreakService::PinSnapshot()
@@ -320,6 +389,23 @@ uint64_t CycleBreakService::PublishLocked() {
   if (options_.admission_cache_log2 > 0) {
     snapshot->admission_cache =
         std::make_unique<AdmissionCache>(options_.admission_cache_log2);
+  }
+  // The distance index is a pure function of the published (graph,
+  // cover) pair, so it is rebuilt at every publish — delta edges shorten
+  // distances, and a stale index could force wrong verdicts. Compaction
+  // installs flow through here too, so the index always tracks the
+  // freshly solved base.
+  if (options_.admission_index_landmarks > 0) {
+    snapshot->admission_index = AdmissionIndex::Build(
+        snapshot->graph, snapshot->cover, options_.cover,
+        options_.admission_index_landmarks, ingest_pool_.get());
+    if (snapshot->admission_index != nullptr) {
+      stats_.index_builds.fetch_add(1, kRelaxed);
+      stats_.index_build_ns.fetch_add(
+          static_cast<uint64_t>(
+              snapshot->admission_index->build_seconds() * 1e9),
+          kRelaxed);
+    }
   }
   // writer_mu_ serializes every Store, so the pre-stamped epoch and the
   // one EpochPtr assigns must agree; the check pins that invariant.

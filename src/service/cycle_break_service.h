@@ -89,8 +89,16 @@ struct ServiceOptions {
   /// Admission verdict cache: log2 of the per-epoch table capacity
   /// (entries of 8 bytes; e.g. 16 = 512 KiB per live epoch). 0 disables
   /// caching. Verdicts memoized on one snapshot die with it — a publish
-  /// installs a fresh empty cache atomically.
+  /// installs a fresh empty cache atomically. With the distance index
+  /// enabled the cache memoizes only the hard residue the index could
+  /// not force, so its capacity goes further.
   int admission_cache_log2 = 0;
+  /// Landmark hubs for the per-snapshot admission distance index
+  /// (service/admission_index.h); 0 disables indexing. Every publish
+  /// (including compaction installs) rebuilds the index on the ingest
+  /// pool. Memory: ~2 bytes per vertex per landmark per live epoch;
+  /// build cost: one forward + one backward k-bounded BFS per landmark.
+  int admission_index_landmarks = 0;
   /// Store directory for the durability layer (snapshot + write-ahead
   /// journal + manifest). Empty = in-memory service, no persistence.
   /// Construct a durable service through Create (fresh store) or Open
@@ -173,6 +181,17 @@ class CycleBreakService {
   /// Would admitting u -> v close an uncovered constrained cycle?
   /// Lock-free against the latest published snapshot.
   AdmissionVerdict CheckAdmission(VertexId u, VertexId v) const;
+
+  /// Batched CheckAdmission: pins ONE snapshot for the whole span and
+  /// answers queries[i] (= "admit queries[i].src -> queries[i].dst?")
+  /// against it, so all verdicts share a coherent epoch — per-query
+  /// calls may straddle a publish. Probes surviving the index are
+  /// grouped by shared source and answered by one bounded BFS per group
+  /// (see CheckAdmissionBatchOn); verdicts are bit-identical to
+  /// per-query CheckAdmission on that snapshot. Lock-free; callable
+  /// from any number of threads concurrently.
+  std::vector<AdmissionVerdict> CheckAdmissionBatch(
+      std::span<const Edge> queries) const;
 
   /// Pins the latest published snapshot (never null after construction).
   std::shared_ptr<const ServiceSnapshot> PinSnapshot() const;

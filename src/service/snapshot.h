@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,7 +20,9 @@
 #include "core/cover_options.h"
 #include "graph/csr_graph.h"
 #include "graph/overlay_graph.h"
+#include "search/search_context.h"
 #include "service/admission_cache.h"
+#include "service/admission_index.h"
 #include "util/status.h"
 
 namespace tdb {
@@ -42,6 +45,10 @@ struct ServiceSnapshot {
   /// publish creates a fresh cache, so stale verdicts are dropped
   /// atomically with the snapshot they belong to.
   std::unique_ptr<AdmissionCache> admission_cache;
+  /// Landmark distance index over this snapshot's uncovered subgraph,
+  /// null when indexing is disabled. Like the cache, it is valid for
+  /// exactly this (graph, cover) pair: every publish builds a fresh one.
+  std::shared_ptr<const AdmissionIndex> admission_index;
 
   ServiceSnapshot(OverlayGraph g, TransversalState c, CoverOptions o)
       : graph(std::move(g)), cover(std::move(c)), options(std::move(o)) {}
@@ -57,6 +64,13 @@ struct AdmissionVerdict {
   bool would_close = false;
   /// Epoch of the snapshot the verdict was computed against.
   uint64_t epoch = 0;
+  /// True iff the snapshot's distance index forced the verdict by
+  /// arithmetic alone (no path search ran).
+  bool via_index = false;
+  /// True iff a path search ran (shared BFS or exact DFS) — the hard
+  /// residue neither the prechecks nor the index could decide, and the
+  /// only verdicts worth memoizing in the admission cache.
+  bool probed = false;
 };
 
 /// Read-only admission check against a pinned snapshot: would inserting
@@ -68,6 +82,50 @@ struct AdmissionVerdict {
 AdmissionVerdict CheckAdmissionOn(const ServiceSnapshot& snapshot,
                                   VertexId u, VertexId v,
                                   PathProber* prober);
+
+/// Per-thread reusable scratch for CheckAdmissionBatchOn: the BFS
+/// context plus the grouping buffers, warm after the first call.
+struct AdmissionBatchScratch {
+  SearchContext ctx;
+  /// One query the prechecks/index could not decide: probe source (the
+  /// queried edge's dst), probe target (its src), batch position.
+  struct Pending {
+    VertexId src = 0;
+    VertexId dst = 0;
+    uint32_t query = 0;
+  };
+  std::vector<Pending> pending;
+  std::vector<VertexId> group_targets;
+  std::vector<uint8_t> group_found;
+};
+
+/// Counters from one CheckAdmissionBatchOn call (all deterministic
+/// functions of the snapshot and the query list).
+struct AdmissionBatchStats {
+  /// Verdicts the distance index forced by arithmetic alone.
+  uint64_t index_hits = 0;
+  /// Queries that reached a path search although an index was present.
+  uint64_t index_fallbacks = 0;
+  /// Shared bounded BFS sweeps run (one per distinct probe source).
+  uint64_t bfs_groups = 0;
+  /// Below-band residue re-probed by the exact DFS.
+  uint64_t dfs_fallbacks = 0;
+};
+
+/// Batched CheckAdmissionOn: evaluates every query of `queries` (entry
+/// i asks about inserting queries[i].src -> queries[i].dst) against the
+/// one snapshot, writing verdicts[i]. After the same prechecks and
+/// index probes as the per-query path, the surviving probes are grouped
+/// by shared probe source and each group is answered by ONE bounded
+/// multi-source BFS (PathProber::FindPathsFrom) instead of independent
+/// walks. Verdicts are bit-identical to per-query CheckAdmissionOn at
+/// any grouping and query order. Thread-safe across callers with
+/// distinct `scratch`.
+void CheckAdmissionBatchOn(const ServiceSnapshot& snapshot,
+                           std::span<const Edge> queries,
+                           AdmissionBatchScratch* scratch,
+                           std::vector<AdmissionVerdict>* verdicts,
+                           AdmissionBatchStats* stats = nullptr);
 
 // ------------------------------------------------------------------------
 // Durable snapshot format.

@@ -31,6 +31,15 @@ struct ServiceStatsSnapshot {
   uint64_t admission_would_close = 0;
   uint64_t admission_cache_hits = 0;
   uint64_t admission_cache_misses = 0;
+  /// CheckAdmissionBatch calls (each spans many admission_queries).
+  uint64_t admission_batches = 0;
+  /// Verdicts forced by the distance index's arithmetic alone.
+  uint64_t index_hits = 0;
+  /// Queries that needed a path search although an index was present.
+  uint64_t index_fallbacks = 0;
+  /// Per-publish index builds, and their cumulative wall-clock cost.
+  uint64_t index_builds = 0;
+  double index_build_seconds = 0.0;
   uint64_t epochs_published = 0;
   uint64_t compactions = 0;
   uint64_t compactions_failed = 0;
@@ -57,6 +66,12 @@ struct ServiceStats {
   std::atomic<uint64_t> admission_would_close{0};
   std::atomic<uint64_t> admission_cache_hits{0};
   std::atomic<uint64_t> admission_cache_misses{0};
+  std::atomic<uint64_t> admission_batches{0};
+  std::atomic<uint64_t> index_hits{0};
+  std::atomic<uint64_t> index_fallbacks{0};
+  std::atomic<uint64_t> index_builds{0};
+  /// Nanoseconds, so the hot publish path stays on integer fetch_add.
+  std::atomic<uint64_t> index_build_ns{0};
   std::atomic<uint64_t> epochs_published{0};
   std::atomic<uint64_t> compactions{0};
   std::atomic<uint64_t> compactions_failed{0};
@@ -83,6 +98,12 @@ struct ServiceStats {
     out.admission_would_close = get(admission_would_close);
     out.admission_cache_hits = get(admission_cache_hits);
     out.admission_cache_misses = get(admission_cache_misses);
+    out.admission_batches = get(admission_batches);
+    out.index_hits = get(index_hits);
+    out.index_fallbacks = get(index_fallbacks);
+    out.index_builds = get(index_builds);
+    out.index_build_seconds =
+        static_cast<double>(get(index_build_ns)) * 1e-9;
     out.epochs_published = get(epochs_published);
     out.compactions = get(compactions);
     out.compactions_failed = get(compactions_failed);

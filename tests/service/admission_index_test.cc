@@ -1,0 +1,293 @@
+#include "service/admission_index.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.h"
+#include "service/cycle_break_service.h"
+#include "service/snapshot.h"
+#include "util/rng.h"
+
+namespace tdb {
+namespace {
+
+/// Wraps a pinned snapshot's state in a new ServiceSnapshot carrying an
+/// index built over exactly that state (the service-side publish hook,
+/// reproduced at test level so snapshots with and without the index can
+/// be probed side by side).
+std::unique_ptr<ServiceSnapshot> WithIndex(const ServiceSnapshot& snap,
+                                           int num_landmarks) {
+  auto indexed = std::make_unique<ServiceSnapshot>(snap.graph, snap.cover,
+                                                   snap.options);
+  indexed->epoch = snap.epoch;
+  indexed->admission_index = AdmissionIndex::Build(
+      snap.graph, snap.cover, snap.options, num_landmarks, nullptr);
+  return indexed;
+}
+
+TEST(AdmissionIndexTest, ProbeSoundOnAllPairs) {
+  // Every forced verdict of the index must agree with the exact prober;
+  // kUnknown carries no claim. Checked for every (v, u) pair.
+  CsrGraph base = GeneratePowerLaw(
+      {.n = 40, .m = 220, .theta = 0.6, .reciprocity = 0.3, .seed = 7});
+  ServiceOptions options;
+  options.cover.k = 4;
+  options.compact_delta_threshold = 0;
+  CycleBreakService service(std::move(base), options);
+  const auto snap = service.PinSnapshot();
+  const auto index = AdmissionIndex::Build(snap->graph, snap->cover,
+                                           snap->options, 8, nullptr);
+  ASSERT_NE(index, nullptr);
+  EXPECT_GT(index->num_landmarks(), 0u);
+  uint64_t forced = 0;
+  PathProber prober(snap->options);
+  for (VertexId v = 0; v < 40; ++v) {
+    for (VertexId u = 0; u < 40; ++u) {
+      if (u == v) continue;
+      const bool exists =
+          prober.FindPath(snap->graph, snap->cover, v, u, nullptr);
+      switch (index->Query(v, u)) {
+        case AdmissionIndex::Probe::kNoPath:
+          EXPECT_FALSE(exists) << v << " ->* " << u;
+          ++forced;
+          break;
+        case AdmissionIndex::Probe::kWouldClose:
+          EXPECT_TRUE(exists) << v << " ->* " << u;
+          ++forced;
+          break;
+        case AdmissionIndex::Probe::kUnknown:
+          break;
+      }
+    }
+  }
+  // The index must actually force a useful share of the pair space —
+  // otherwise the fast path is dead weight.
+  EXPECT_GT(forced, 0u);
+}
+
+TEST(AdmissionIndexTest, LandmarkChoiceIsDeterministic) {
+  CsrGraph base = GenerateErdosRenyi(60, 300, /*seed=*/13);
+  ServiceOptions options;
+  options.cover.k = 4;
+  options.compact_delta_threshold = 0;
+  CycleBreakService service(std::move(base), options);
+  const auto snap = service.PinSnapshot();
+  const auto a = AdmissionIndex::Build(snap->graph, snap->cover,
+                                       snap->options, 6, nullptr);
+  ThreadPool pool(4);
+  const auto b = AdmissionIndex::Build(snap->graph, snap->cover,
+                                       snap->options, 6, &pool);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // Same landmarks regardless of the build pool...
+  ASSERT_EQ(a->num_landmarks(), b->num_landmarks());
+  for (size_t i = 0; i < a->num_landmarks(); ++i) {
+    EXPECT_EQ(a->landmarks()[i], b->landmarks()[i]);
+  }
+  // ...and the same probe answer for every pair (the level arrays are
+  // filled by disjoint-slot tasks, so pool size cannot matter).
+  for (VertexId v = 0; v < 60; ++v) {
+    for (VertexId u = 0; u < 60; ++u) {
+      if (u != v) EXPECT_EQ(a->Query(v, u), b->Query(v, u));
+    }
+  }
+}
+
+TEST(AdmissionIndexTest, UnrepresentableHopBudgetRefusesToBuild) {
+  CsrGraph base = GenerateErdosRenyi(10, 30, /*seed=*/3);
+  ServiceOptions options;
+  options.cover.k = 254;  // k - 1 would collide with the kFar sentinel
+  options.compact_delta_threshold = 0;
+  CycleBreakService service(std::move(base), options);
+  const auto snap = service.PinSnapshot();
+  EXPECT_EQ(AdmissionIndex::Build(snap->graph, snap->cover, snap->options,
+                                  4, nullptr),
+            nullptr);
+}
+
+/// The tentpole property: for random graphs x k x landmark counts, the
+/// indexed per-query path, the batched path, and the plain probe return
+/// identical verdicts at EVERY published epoch.
+void RunEquivalenceSweep(uint32_t k, bool include_two_cycles,
+                         int num_landmarks, uint64_t seed) {
+  constexpr VertexId kN = 36;
+  ServiceOptions plain_options;
+  plain_options.cover.k = k;
+  plain_options.cover.include_two_cycles = include_two_cycles;
+  plain_options.synchronous_compaction = true;
+  plain_options.compact_delta_threshold = 40;
+  ServiceOptions indexed_options = plain_options;
+  indexed_options.admission_index_landmarks = num_landmarks;
+
+  CsrGraph base = GeneratePowerLaw({.n = kN,
+                                    .m = 150,
+                                    .theta = 0.6,
+                                    .reciprocity = 0.2,
+                                    .seed = seed});
+  CsrGraph base_copy = base;
+  CycleBreakService plain(std::move(base), plain_options);
+  CycleBreakService indexed(std::move(base_copy), indexed_options);
+
+  Rng rng(seed * 31 + 1);
+  std::vector<std::vector<Edge>> batches;
+  for (int b = 0; b < 10; ++b) {
+    std::vector<Edge> batch;
+    for (int i = 0; i < 12; ++i) {
+      VertexId u = static_cast<VertexId>(rng.NextBounded(kN));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(kN));
+      if (u == v) v = (v + 1) % kN;
+      batch.push_back(Edge{u, v});
+    }
+    batches.push_back(std::move(batch));
+  }
+
+  // Epoch 1 and every post-submit epoch: all-pairs agreement between
+  // the three paths, batched in one big span (prechecked no-ops, index
+  // hits and grouped probes all mixed together).
+  const auto check_epoch = [&]() {
+    ASSERT_EQ(plain.epoch(), indexed.epoch());
+    std::vector<Edge> all_pairs;
+    for (VertexId u = 0; u < kN; ++u) {
+      for (VertexId v = 0; v < kN; ++v) {
+        all_pairs.push_back(Edge{u, v});
+      }
+    }
+    const std::vector<AdmissionVerdict> batched =
+        indexed.CheckAdmissionBatch(all_pairs);
+    ASSERT_EQ(batched.size(), all_pairs.size());
+    for (size_t i = 0; i < all_pairs.size(); ++i) {
+      const VertexId u = all_pairs[i].src;
+      const VertexId v = all_pairs[i].dst;
+      const AdmissionVerdict expected = plain.CheckAdmission(u, v);
+      const AdmissionVerdict single = indexed.CheckAdmission(u, v);
+      EXPECT_EQ(expected.would_close, single.would_close)
+          << "per-query " << u << "->" << v << " k=" << k
+          << " landmarks=" << num_landmarks;
+      EXPECT_EQ(expected.would_close, batched[i].would_close)
+          << "batched " << u << "->" << v << " k=" << k
+          << " landmarks=" << num_landmarks;
+      EXPECT_EQ(expected.epoch, batched[i].epoch);
+    }
+  };
+
+  check_epoch();
+  for (const auto& batch : batches) {
+    const SubmitResult a = plain.SubmitEdges(batch);
+    const SubmitResult b = indexed.SubmitEdges(batch);
+    ASSERT_EQ(a.epoch, b.epoch);
+    check_epoch();
+  }
+  const ServiceStatsSnapshot stats = indexed.Stats();
+  EXPECT_EQ(stats.index_builds, stats.epochs_published);
+  // The sweep covers the full pair space repeatedly; the index must
+  // have short-circuited at least part of it.
+  EXPECT_GT(stats.index_hits, 0u);
+}
+
+TEST(AdmissionIndexTest, EquivalenceK3OneLandmark) {
+  RunEquivalenceSweep(3, false, 1, 101);
+}
+
+TEST(AdmissionIndexTest, EquivalenceK4FourLandmarks) {
+  RunEquivalenceSweep(4, false, 4, 102);
+}
+
+TEST(AdmissionIndexTest, EquivalenceK4TwoCyclesSixteenLandmarks) {
+  RunEquivalenceSweep(4, true, 16, 103);
+}
+
+TEST(AdmissionIndexTest, EquivalenceK6SixteenLandmarks) {
+  RunEquivalenceSweep(6, false, 16, 104);
+}
+
+TEST(AdmissionIndexTest, BatchGroupingMatchesPerQueryOnSharedSources) {
+  // Batches engineered to exercise the grouping machinery: many queries
+  // sharing a probe source (same dst), duplicates, self-loops and
+  // out-of-universe endpoints interleaved.
+  constexpr VertexId kN = 30;
+  ServiceOptions options;
+  options.cover.k = 5;
+  options.compact_delta_threshold = 0;
+  options.admission_index_landmarks = 4;
+  CycleBreakService service(
+      GeneratePowerLaw(
+          {.n = kN, .m = 160, .theta = 0.6, .reciprocity = 0.3, .seed = 55}),
+      options);
+
+  Rng rng(56);
+  std::vector<Edge> queries;
+  for (int i = 0; i < 300; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(kN));
+    // Skew dst heavily so groups share probe sources.
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(4));
+    queries.push_back(Edge{u, v});
+  }
+  queries.push_back(Edge{3, 3});                    // self-loop
+  queries.push_back(Edge{kN + 5, 1});               // out of universe
+  queries.push_back(queries.front());               // duplicate
+  queries.push_back(queries.front());               // duplicate again
+
+  const auto snap = service.PinSnapshot();
+  AdmissionBatchScratch scratch;
+  std::vector<AdmissionVerdict> batched;
+  AdmissionBatchStats stats;
+  CheckAdmissionBatchOn(*snap, queries, &scratch, &batched, &stats);
+  ASSERT_EQ(batched.size(), queries.size());
+  PathProber prober(snap->options);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const AdmissionVerdict expected = CheckAdmissionOn(
+        *snap, queries[i].src, queries[i].dst, &prober);
+    EXPECT_EQ(expected.would_close, batched[i].would_close)
+        << queries[i].src << "->" << queries[i].dst;
+    EXPECT_EQ(expected.admissible, batched[i].admissible);
+    EXPECT_EQ(expected.via_index, batched[i].via_index);
+    EXPECT_EQ(expected.probed, batched[i].probed);
+  }
+  // Grouping by shared probe source (the queried dst, drawn from only 4
+  // values) collapses the surviving probes into at most 4 BFS sweeps.
+  EXPECT_LE(stats.bfs_groups, stats.index_fallbacks);
+  EXPECT_LE(stats.bfs_groups, 4u);
+}
+
+TEST(AdmissionIndexTest, IndexedSnapshotAgreesWithPlainOnAllPairs) {
+  // Snapshot-level exactness, independent of service wiring: attach an
+  // index to a copy of a pinned snapshot and compare CheckAdmissionOn
+  // across every pair and several landmark counts.
+  constexpr VertexId kN = 32;
+  ServiceOptions options;
+  options.cover.k = 4;
+  options.compact_delta_threshold = 0;
+  CycleBreakService service(GenerateErdosRenyi(kN, 170, /*seed=*/77),
+                            options);
+  Rng rng(78);
+  std::vector<Edge> extra;
+  for (int i = 0; i < 25; ++i) {
+    extra.push_back(Edge{static_cast<VertexId>(rng.NextBounded(kN)),
+                         static_cast<VertexId>(rng.NextBounded(kN))});
+  }
+  service.SubmitEdges(extra);
+  const auto snap = service.PinSnapshot();
+  for (const int landmarks : {0, 1, 3, 16, 64}) {
+    const auto indexed = WithIndex(*snap, landmarks);
+    uint64_t via_index = 0;
+    for (VertexId u = 0; u < kN; ++u) {
+      for (VertexId v = 0; v < kN; ++v) {
+        PathProber p1(snap->options);
+        PathProber p2(snap->options);
+        const AdmissionVerdict expected =
+            CheckAdmissionOn(*snap, u, v, &p1);
+        const AdmissionVerdict got = CheckAdmissionOn(*indexed, u, v, &p2);
+        ASSERT_EQ(expected.would_close, got.would_close)
+            << u << "->" << v << " landmarks=" << landmarks;
+        if (got.via_index) ++via_index;
+      }
+    }
+    if (landmarks > 0) EXPECT_GT(via_index, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace tdb

@@ -29,7 +29,7 @@ import argparse
 import json
 import sys
 
-METRIC_KEYS = {"seconds", "speedup", "cover"}
+METRIC_KEYS = {"seconds", "speedup", "cover", "would_close"}
 ABSOLUTE_GRACE_SECONDS = 0.05
 
 
@@ -41,14 +41,17 @@ def identity(row):
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    params = None
+    params = {}
     rows = {}
     for row in doc.get("rows", []):
-        if row.get("row") == "params":
-            params = {k: v for k, v in row.items() if k != "row"}
+        tag = row.get("row")
+        if tag is not None:
+            # A tagged row ("params", "admit_params", ...) pins benchmark
+            # shape rather than carrying metrics.
+            params[tag] = {k: v for k, v in row.items() if k != "row"}
         else:
             rows[identity(row)] = row
-    return doc.get("bench", "?"), params, rows
+    return doc.get("bench", "?"), params or None, rows
 
 
 def main():
@@ -92,6 +95,14 @@ def main():
             failures.append(
                 f"{label}: cover {cur.get('cover')} != baseline "
                 f"{base.get('cover')} (deterministic output drifted)")
+        # would_close is a deterministic verdict count (admission mode
+        # rows): like cover, any drift is a correctness regression.
+        if cur.get("would_close") != base.get("would_close"):
+            verdict = "VERDICTS"
+            failures.append(
+                f"{label}: would_close {cur.get('would_close')} != "
+                f"baseline {base.get('would_close')} (admission verdicts "
+                f"drifted)")
         print(f"  {label:<30} {cur['seconds']:>8.3f}s "
               f"({ratio:>5.2f}x of baseline, "
               f"speedup {cur.get('speedup', 0):.2f}x) {verdict}")

@@ -70,6 +70,8 @@ struct CliArgs {
   std::string durability = "batch";
   std::string state_dump;
   int admission_cache_log2 = 0;
+  int admission_index = 0;
+  size_t admission_batch = 0;
   uint32_t k = 5;
   size_t batch = 256;
   int admit_threads = 2;
@@ -105,6 +107,12 @@ void PrintUsage() {
       "  --admission-cache [L] memoize admission verdicts per epoch in a\n"
       "                        2^L-entry cache (default L=16 when the\n"
       "                        flag is given; off otherwise)\n"
+      "  --admission-index N   build N-landmark distance sketches at each\n"
+      "                        publish; admission checks short-circuit by\n"
+      "                        distance arithmetic (0 = off)\n"
+      "  --admission-batch N   readers submit admission queries in\n"
+      "                        batches of N via CheckAdmissionBatch\n"
+      "                        (shared multi-source probes; 0 = per-query)\n"
       "  --data-dir DIR        durable store (snapshot + WAL journal);\n"
       "                        reruns recover the store and resume the\n"
       "                        stream at the recovered offset\n"
@@ -160,6 +168,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->kill_after = static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--state-dump" && (v = next()) != nullptr) {
       args->state_dump = v;
+    } else if (arg == "--admission-index" && (v = next()) != nullptr) {
+      args->admission_index = std::atoi(v);
+    } else if (arg == "--admission-batch" && (v = next()) != nullptr) {
+      args->admission_batch = static_cast<size_t>(std::atoll(v));
     } else if (arg == "--admission-cache") {
       // Optional value: a following numeric token is the log2 capacity.
       args->admission_cache_log2 = 16;
@@ -299,6 +311,7 @@ int main(int argc, char** argv) {
   options.ingest_threads = args.ingest_threads;
   options.compact_time_limit_seconds = args.compact_budget;
   options.admission_cache_log2 = args.admission_cache_log2;
+  options.admission_index_landmarks = args.admission_index;
   options.data_dir = args.data_dir;
   st = ParseAlgorithm(args.algo, &options.compact_algorithm);
   if (!st.ok()) {
@@ -404,13 +417,35 @@ int main(int argc, char** argv) {
     readers.emplace_back([&, t] {
       Rng rng(args.seed + 1000 + static_cast<uint64_t>(t));
       uint64_t count = 0;
+      std::vector<Edge> queries;
       while (!done.load(std::memory_order_relaxed)) {
-        const VertexId u = static_cast<VertexId>(rng.NextBounded(universe));
-        const VertexId v = static_cast<VertexId>(rng.NextBounded(universe));
-        Timer timer;
-        (void)service.CheckAdmission(u, v);
-        admit_lat.Record(timer.ElapsedSeconds());
-        ++count;
+        if (args.admission_batch > 0) {
+          queries.clear();
+          for (size_t q = 0; q < args.admission_batch; ++q) {
+            queries.push_back(
+                Edge{static_cast<VertexId>(rng.NextBounded(universe)),
+                     static_cast<VertexId>(rng.NextBounded(universe))});
+          }
+          Timer timer;
+          (void)service.CheckAdmissionBatch(queries);
+          // One sample per query so percentiles stay comparable with
+          // the per-query mode (batch latency / batch size).
+          const double per_query =
+              timer.ElapsedSeconds() / static_cast<double>(queries.size());
+          for (size_t q = 0; q < queries.size(); ++q) {
+            admit_lat.Record(per_query);
+          }
+          count += queries.size();
+        } else {
+          const VertexId u =
+              static_cast<VertexId>(rng.NextBounded(universe));
+          const VertexId v =
+              static_cast<VertexId>(rng.NextBounded(universe));
+          Timer timer;
+          (void)service.CheckAdmission(u, v);
+          admit_lat.Record(timer.ElapsedSeconds());
+          ++count;
+        }
       }
       background_queries.fetch_add(count, std::memory_order_relaxed);
     });
@@ -492,6 +527,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.admission_cache_hits),
                 static_cast<unsigned long long>(s.admission_cache_misses),
                 hit_rate);
+  }
+  if (args.admission_index > 0) {
+    const uint64_t decided = s.index_hits + s.index_fallbacks;
+    const double hit_rate =
+        decided > 0 ? 100.0 * static_cast<double>(s.index_hits) /
+                          static_cast<double>(decided)
+                    : 0.0;
+    std::printf("index:      %llu hits / %llu fallbacks (%.1f%% hit "
+                "rate), %llu builds in %.3fs\n",
+                static_cast<unsigned long long>(s.index_hits),
+                static_cast<unsigned long long>(s.index_fallbacks),
+                hit_rate, static_cast<unsigned long long>(s.index_builds),
+                s.index_build_seconds);
   }
   std::printf("latency:    ingest batch p50 %.1fus p95 %.1fus p99 %.1fus | "
               "admission p50 %.1fus p95 %.1fus p99 %.1fus\n",
