@@ -1,31 +1,49 @@
-// Thread-scaling sweep of the parallel SCC condenser: one multi-SCC
-// graph (strongly connected blocks, cross-block DAG edges, and a trim
-// fringe of acyclic vertices), condensed by sequential Tarjan and by the
-// trim + forward-backward strategy at 1/2/4/8 threads. The SccResult is
-// asserted byte-identical to Tarjan's for every configuration — a
-// determinism violation exits non-zero and fails CI.
+// Thread-scaling sweep of the parallel SCC condensers over two graph
+// shapes:
 //
-//   TDB_BENCH_SCC_BLOCKS       strongly connected blocks   (default 24)
-//   TDB_BENCH_SCC_BLOCK_N      vertices per block          (default 4000)
-//   TDB_BENCH_SCC_DEGREE       extra chords per vertex     (default 20)
-//   TDB_BENCH_SCC_FRINGE       acyclic fringe vertices     (default 40000)
-//   TDB_BENCH_REPEATS          runs per config, best kept  (default 3)
-//   TDB_BENCH_MIN_SCC_SPEEDUP  if set, fail unless FW-BW at 4 threads
-//                              reaches this thread-scaling speedup over
-//                              its own 1-thread run (CI perf floor;
-//                              leave unset on single-core machines)
+//   * fringe — strongly connected blocks, cross-block DAG edges, and a
+//     trim fringe of acyclic vertices: the shape FW-BW's trim + pivot
+//     decomposition was built for.
+//   * chain  — a long chain of SCC blocks linked only block-to-block:
+//     every FW-BW pivot peels a single block and re-scans the remainder,
+//     so the partition recursion degenerates to a sequential sweep —
+//     while UFSCC workers spread over the blocks and never rescan. This
+//     is the headline shape for SccAlgorithm::kUnionFind.
 //
-// The `speedup` column (and JSON metric) is the condenser's own thread
-// scaling — fwbw@1 / fwbw@N — matching the other scaling benches; the
-// `vs_tarjan` column additionally reports each configuration against the
-// sequential Tarjan reference, whose single pass is the bar a
-// multi-pass decomposition only clears with real cores.
+// Each shape is condensed by sequential Tarjan and by every parallel
+// strategy at 1/2/4/8 threads. The SccResult is asserted byte-identical
+// to Tarjan's for EVERY algorithm and thread count — the loop iterates
+// the algorithm list, so future strategies are covered automatically —
+// and a determinism violation exits non-zero and fails CI.
 //
-// `--json <path>` additionally writes machine-readable rows for
-// tools/check_bench_regression.py.
+//   TDB_BENCH_SCC_BLOCKS        fringe shape: SCC blocks      (default 24)
+//   TDB_BENCH_SCC_BLOCK_N       fringe shape: block vertices  (default 4000)
+//   TDB_BENCH_SCC_DEGREE        extra chords per vertex       (default 20)
+//   TDB_BENCH_SCC_FRINGE        acyclic fringe vertices       (default 40000)
+//   TDB_BENCH_SCC_CHAIN_BLOCKS  chain shape: SCC blocks       (default 256)
+//   TDB_BENCH_SCC_CHAIN_BLOCK_N chain shape: block vertices   (default 500)
+//   TDB_BENCH_REPEATS           runs per config, best kept    (default 3)
+//   TDB_BENCH_MIN_SCC_SPEEDUP   if set, fail unless FW-BW at 4 threads
+//                               reaches this thread-scaling speedup over
+//                               its own 1-thread run on the fringe shape
+//   TDB_BENCH_MIN_UF_VS_FWBW    if set, fail unless UFSCC at 4 threads
+//                               beats FW-BW at 4 threads by this factor
+//                               on the chain shape (CI perf floors; leave
+//                               both unset on single-core machines)
+//
+// The `speedup` column (and JSON metric) is each condenser's own thread
+// scaling — algo@1 / algo@N on the same shape; the `vs_tarjan` column
+// additionally reports each configuration against the sequential Tarjan
+// reference, whose single pass is the bar a multi-pass decomposition
+// only clears with real cores.
+//
+// `--json <path>` additionally writes machine-readable rows (keyed by
+// shape, algo and threads) for tools/check_bench_regression.py.
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_runner.h"
@@ -100,6 +118,40 @@ CsrGraph MakeCondensationGraph(VertexId blocks, VertexId block_n,
   return CsrGraph::FromEdges(core + fringe, std::move(edges));
 }
 
+/// Chain of SCCs: `blocks` strongly connected blocks (cycle backbone +
+/// a few chords) where block b feeds ONLY block b+1. The condensation
+/// DAG is a path, so a pivot's FW ∩ BW is always a single block and
+/// FW-BW recurses once per block, re-scanning the remainder each round;
+/// with no trim fodder, the peel finds nothing to help with. UFSCC has
+/// no such structure dependence: workers start interleaved across the
+/// vertex space and digest the blocks concurrently.
+CsrGraph MakeChainOfSccs(VertexId blocks, VertexId block_n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(blocks) * block_n * 4);
+  for (VertexId b = 0; b < blocks; ++b) {
+    const VertexId base = b * block_n;
+    for (VertexId i = 0; i < block_n; ++i) {
+      edges.push_back({base + i, base + (i + 1) % block_n});
+      // Two chords per vertex keep the blocks non-trivial for the
+      // in-block traversal without changing the SCC structure.
+      for (int c = 0; c < 2; ++c) {
+        const VertexId v = static_cast<VertexId>(rng.NextBounded(block_n));
+        if (v != i) edges.push_back({base + i, base + v});
+      }
+    }
+    if (b + 1 < blocks) {
+      for (int x = 0; x < 4; ++x) {
+        edges.push_back(
+            {base + static_cast<VertexId>(rng.NextBounded(block_n)),
+             base + block_n +
+                 static_cast<VertexId>(rng.NextBounded(block_n))});
+      }
+    }
+  }
+  return CsrGraph::FromEdges(blocks * block_n, std::move(edges));
+}
+
 bool SameResult(const SccResult& a, const SccResult& b) {
   return a.num_components == b.num_components && a.component == b.component &&
          a.component_size == b.component_size &&
@@ -117,16 +169,30 @@ int main(int argc, char** argv) {
       static_cast<VertexId>(EnvOr("TDB_BENCH_SCC_DEGREE", 20));
   const VertexId fringe =
       static_cast<VertexId>(EnvOr("TDB_BENCH_SCC_FRINGE", 40000));
+  const VertexId chain_blocks =
+      static_cast<VertexId>(EnvOr("TDB_BENCH_SCC_CHAIN_BLOCKS", 256));
+  const VertexId chain_block_n =
+      static_cast<VertexId>(EnvOr("TDB_BENCH_SCC_CHAIN_BLOCK_N", 500));
   const int repeats = static_cast<int>(EnvOr("TDB_BENCH_REPEATS", 3));
 
-  CsrGraph g = MakeCondensationGraph(blocks, block_n, degree, fringe,
-                                     /*seed=*/131);
+  struct Shape {
+    const char* name;
+    CsrGraph graph;
+  };
+  const Shape shapes[] = {
+      {"fringe", MakeCondensationGraph(blocks, block_n, degree, fringe,
+                                       /*seed=*/131)},
+      {"chain", MakeChainOfSccs(chain_blocks, chain_block_n, /*seed=*/137)},
+  };
   std::printf(
-      "== SCC condensation scaling: trim + FW-BW vs Tarjan "
-      "(%u vertices, %llu edges, %u SCC blocks + %u fringe, %d hardware "
-      "threads) ==\n",
-      g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
-      blocks, fringe, ThreadPool::HardwareThreads());
+      "== SCC condensation scaling: Tarjan vs FW-BW vs UFSCC "
+      "(fringe: %u vertices / %llu edges; chain: %u vertices / %llu edges; "
+      "%d hardware threads) ==\n",
+      shapes[0].graph.num_vertices(),
+      static_cast<unsigned long long>(shapes[0].graph.num_edges()),
+      shapes[1].graph.num_vertices(),
+      static_cast<unsigned long long>(shapes[1].graph.num_edges()),
+      ThreadPool::HardwareThreads());
 
   JsonSink json("scc_parallel");
   json.BeginRow();
@@ -135,83 +201,111 @@ int main(int argc, char** argv) {
   json.Num("block_n", static_cast<uint64_t>(block_n));
   json.Num("degree", static_cast<uint64_t>(degree));
   json.Num("fringe", static_cast<uint64_t>(fringe));
+  json.Num("chain_blocks", static_cast<uint64_t>(chain_blocks));
+  json.Num("chain_block_n", static_cast<uint64_t>(chain_block_n));
 
-  struct Config {
-    SccAlgorithm algorithm;
-    int threads;
-  };
-  const Config configs[] = {
-      {SccAlgorithm::kTarjan, 1},      {SccAlgorithm::kParallelFwBw, 1},
-      {SccAlgorithm::kParallelFwBw, 2}, {SccAlgorithm::kParallelFwBw, 4},
-      {SccAlgorithm::kParallelFwBw, 8},
-  };
+  // Every parallel strategy sweeps the same thread counts; add an
+  // algorithm here and the determinism cross-check + rows follow.
+  const SccAlgorithm parallel_algos[] = {SccAlgorithm::kParallelFwBw,
+                                         SccAlgorithm::kUnionFind};
+  const int thread_counts[] = {1, 2, 4, 8};
 
-  TablePrinter table({"algo", "threads", "seconds", "speedup", "vs_tarjan",
-                      "components", "trim_peeled", "fwbw_steps"});
+  TablePrinter table({"shape", "algo", "threads", "seconds", "speedup",
+                      "vs_tarjan", "components", "trim_peeled",
+                      "fwbw_steps"});
   bool ok = true;
-  double tarjan_seconds = 0.0;
-  double fwbw_base_seconds = 0.0;
-  SccResult reference;
-  for (const Config& config : configs) {
-    SccOptions options;
-    options.algorithm = config.algorithm;
-    options.num_threads = config.threads;
-    double best_seconds = 0.0;
-    SccResult result;
-    SccStats stats;
-    for (int rep = 0; rep < repeats; ++rep) {
-      SccStats rep_stats;
-      Timer timer;
-      SccResult r = CondenseScc(g, options, nullptr, &rep_stats);
-      const double seconds = timer.ElapsedSeconds();
-      if (rep == 0 || seconds < best_seconds) {
-        best_seconds = seconds;
-        stats = rep_stats;
+  // seconds at (algo, threads) on the current shape; filled in sweep
+  // order so the @1 baseline and the cross-algorithm floors can look
+  // their operands up by key.
+  for (const Shape& shape : shapes) {
+    std::map<std::pair<SccAlgorithm, int>, double> seconds_of;
+    SccResult reference;
+    auto run_config = [&](SccAlgorithm algo, int threads) {
+      SccOptions options;
+      options.algorithm = algo;
+      options.num_threads = threads;
+      double best_seconds = 0.0;
+      SccResult result;
+      SccStats stats;
+      for (int rep = 0; rep < repeats; ++rep) {
+        SccStats rep_stats;
+        Timer timer;
+        SccResult r = CondenseScc(shape.graph, options, nullptr, &rep_stats);
+        const double seconds = timer.ElapsedSeconds();
+        if (rep == 0 || seconds < best_seconds) {
+          best_seconds = seconds;
+          stats = rep_stats;
+        }
+        result = std::move(r);
       }
-      result = std::move(r);
-    }
-    if (config.algorithm == SccAlgorithm::kTarjan) {
-      tarjan_seconds = best_seconds;
-      reference = std::move(result);
-    } else {
-      if (config.threads == 1) fwbw_base_seconds = best_seconds;
-      if (!SameResult(reference, result)) {
+      seconds_of[{algo, threads}] = best_seconds;
+      if (algo == SccAlgorithm::kTarjan) {
+        reference = std::move(result);
+      } else if (!SameResult(reference, result)) {
         std::fprintf(stderr,
-                     "DETERMINISM VIOLATION: FW-BW at %d threads differs "
-                     "from Tarjan's canonical SccResult\n",
-                     config.threads);
+                     "DETERMINISM VIOLATION: %s at %d threads differs from "
+                     "Tarjan's canonical SccResult on the %s shape\n",
+                     SccAlgorithmName(algo), threads, shape.name);
         ok = false;
       }
+      const double base = algo == SccAlgorithm::kTarjan
+                              ? best_seconds
+                              : seconds_of[{algo, 1}];
+      const double speedup = base / best_seconds;
+      const double tarjan_seconds =
+          seconds_of[{SccAlgorithm::kTarjan, 1}];
+      char seconds_buf[32], speedup_buf[32], vs_tarjan_buf[32];
+      std::snprintf(seconds_buf, sizeof seconds_buf, "%.4f", best_seconds);
+      std::snprintf(speedup_buf, sizeof speedup_buf, "%.2fx", speedup);
+      std::snprintf(vs_tarjan_buf, sizeof vs_tarjan_buf, "%.2fx",
+                    tarjan_seconds / best_seconds);
+      table.AddRow({shape.name, SccAlgorithmName(algo),
+                    std::to_string(threads), seconds_buf, speedup_buf,
+                    vs_tarjan_buf, FormatCount(stats.components),
+                    FormatCount(stats.trim_peeled),
+                    FormatCount(stats.fwbw_partitions)});
+      json.BeginRow();
+      json.Str("shape", shape.name);
+      json.Str("algo", SccAlgorithmName(algo));
+      json.Num("threads", static_cast<uint64_t>(threads));
+      json.Num("seconds", best_seconds);
+      json.Num("speedup", speedup);
+      json.Num("cover", static_cast<uint64_t>(stats.components));
+    };
+
+    run_config(SccAlgorithm::kTarjan, 1);
+    for (SccAlgorithm algo : parallel_algos) {
+      for (int threads : thread_counts) run_config(algo, threads);
     }
-    const double speedup = config.algorithm == SccAlgorithm::kTarjan
-                               ? 1.0
-                               : fwbw_base_seconds / best_seconds;
-    char seconds_buf[32], speedup_buf[32], vs_tarjan_buf[32];
-    std::snprintf(seconds_buf, sizeof seconds_buf, "%.4f", best_seconds);
-    std::snprintf(speedup_buf, sizeof speedup_buf, "%.2fx", speedup);
-    std::snprintf(vs_tarjan_buf, sizeof vs_tarjan_buf, "%.2fx",
-                  tarjan_seconds / best_seconds);
-    table.AddRow({SccAlgorithmName(config.algorithm),
-                  std::to_string(config.threads), seconds_buf, speedup_buf,
-                  vs_tarjan_buf, FormatCount(stats.components),
-                  FormatCount(stats.trim_peeled),
-                  FormatCount(stats.fwbw_partitions)});
-    json.BeginRow();
-    json.Str("algo", SccAlgorithmName(config.algorithm));
-    json.Num("threads", static_cast<uint64_t>(config.threads));
-    json.Num("seconds", best_seconds);
-    json.Num("speedup", speedup);
-    json.Num("cover", static_cast<uint64_t>(stats.components));
-    if (config.algorithm == SccAlgorithm::kParallelFwBw &&
-        config.threads == 4) {
+
+    // CI perf floors (skipped when the env vars are unset).
+    if (std::string(shape.name) == "fringe") {
       if (const char* floor_env = std::getenv("TDB_BENCH_MIN_SCC_SPEEDUP")) {
         const double floor = std::atof(floor_env);
+        const double speedup =
+            seconds_of[{SccAlgorithm::kParallelFwBw, 1}] /
+            seconds_of[{SccAlgorithm::kParallelFwBw, 4}];
         if (speedup < floor) {
           std::fprintf(stderr,
                        "SPEEDUP REGRESSION: FW-BW at 4 threads reached "
                        "%.2fx over its 1-thread run, below the %.2fx "
                        "floor\n",
                        speedup, floor);
+          ok = false;
+        }
+      }
+    } else if (std::string(shape.name) == "chain") {
+      if (const char* floor_env = std::getenv("TDB_BENCH_MIN_UF_VS_FWBW")) {
+        const double floor = std::atof(floor_env);
+        const double advantage =
+            seconds_of[{SccAlgorithm::kParallelFwBw, 4}] /
+            seconds_of[{SccAlgorithm::kUnionFind, 4}];
+        if (advantage < floor) {
+          std::fprintf(stderr,
+                       "SPEEDUP REGRESSION: UFSCC at 4 threads is only "
+                       "%.2fx of FW-BW at 4 threads on the chain shape, "
+                       "below the %.2fx floor\n",
+                       advantage, floor);
           ok = false;
         }
       }

@@ -95,15 +95,16 @@ struct CoverOptions {
   /// sequential solve — see core/probe_executor.h). DARC-DV is exempt:
   /// its line-graph construction needs a materialized subgraph.
   VertexId min_intra_parallel_size = 2048;
-  /// Condensation strategy of the engine's SCC front end (graph/scc.h).
-  /// kTarjan is the sequential classic; kParallelFwBw peels trivial SCCs
-  /// with trim-1/trim-2 and decomposes the rest with parallel
-  /// forward-backward reachability on the pool. The SccResult — and
-  /// therefore every cover — is bit-identical between the two at every
-  /// thread count.
+  /// Condensation strategy of the engine's SCC front end (graph/scc.h;
+  /// docs/CONDENSATION.md). kTarjan is the sequential classic;
+  /// kParallelFwBw peels trivial SCCs with trim-1/trim-2 and decomposes
+  /// the rest with parallel forward-backward reachability on the pool;
+  /// kUnionFind runs Bloemen-style on-the-fly UFSCC workers over a
+  /// concurrent union-find. The SccResult — and therefore every cover —
+  /// is bit-identical between all three at every thread count.
   SccAlgorithm scc_algorithm = SccAlgorithm::kTarjan;
-  /// Partitions smaller than this fall back to sequential Tarjan inside
-  /// the kParallelFwBw condenser (ignored by kTarjan).
+  /// Graphs/partitions smaller than this run sequential Tarjan inside
+  /// the parallel condensers (ignored by kTarjan).
   VertexId min_parallel_scc_size = 1u << 14;
 
   /// Rejects inconsistent settings (e.g. k < 3 without 2-cycles).

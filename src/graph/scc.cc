@@ -7,6 +7,7 @@
 #include <mutex>
 #include <utility>
 
+#include "util/concurrent_union_find.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -566,6 +567,159 @@ class FwBwCondenser {
   std::vector<VertexId> trivial_ = {0};     // singleton emission scratch
 };
 
+/// Bloemen-style on-the-fly SCC search over a concurrent union-find
+/// (UFSCC, per "Multi-core on-the-fly SCC decomposition" / ltsmin's
+/// ufscc.c). Each worker runs the same whole-graph search from
+/// interleaved start vertices; partial SCCs merge through the shared
+/// union-find, workers cooperate on a set via its work ring, and each
+/// dead set is emitted exactly once — by whichever worker performed its
+/// LIVE -> DEAD transition. No global barriers, no per-pivot rescans:
+/// a component streams into the sink the moment its set retires, and
+/// trivial SCCs fall out of the same pass (no separate trim peel).
+class UfSccWorker {
+ public:
+  UfSccWorker(const CsrGraph& graph, ConcurrentUnionFind& uf, EmitCtx& ctx,
+              std::atomic<bool>& abort)
+      : g_(graph), uf_(uf), ctx_(ctx), abort_(&abort) {}
+
+  /// Explores start vertices worker, worker + stride, ... — the union
+  /// over workers covers every vertex. `deadline` is this worker's
+  /// private copy (amortized check state is per-thread); on expiry the
+  /// shared abort flag stops every worker and the labeling is left
+  /// incomplete.
+  void Run(int worker, int stride, Deadline deadline) {
+    const VertexId n = g_.num_vertices();
+    for (VertexId start = static_cast<VertexId>(worker); start < n;
+         start += static_cast<VertexId>(stride)) {
+      if (abort_->load(std::memory_order_relaxed)) return;
+      if (!Explore(start, worker, deadline)) return;
+    }
+  }
+
+ private:
+  /// One search frame: the set being explored (represented by the
+  /// element whose claim created the frame), the element currently
+  /// picked from the set's work ring, and the cursor through that
+  /// element's out-edges.
+  struct Frame {
+    VertexId v;
+    VertexId picked = kInvalidVertex;
+    EdgeId edge = 0;
+    EdgeId edge_end = 0;
+  };
+
+  bool Explore(VertexId start, int worker, Deadline& deadline) {
+    using Claim = ConcurrentUnionFind::Claim;
+    using Pick = ConcurrentUnionFind::Pick;
+    if (uf_.ClaimSet(start, worker) != Claim::kSuccess) return true;
+    stack_.push_back(Frame{start});
+    rp_.push_back(start);
+    while (!stack_.empty()) {
+      if (abort_->load(std::memory_order_relaxed) || deadline.Expired()) {
+        abort_->store(true, std::memory_order_relaxed);
+        stack_.clear();
+        rp_.clear();
+        return false;
+      }
+      Frame& f = stack_.back();
+      if (f.picked == kInvalidVertex) {
+        VertexId picked = kInvalidVertex;
+        const Pick pick = uf_.PickActive(f.v, &picked, &members_);
+        if (pick != Pick::kPicked) {
+          // The set is dead (fully explored): emitted by whoever saw it
+          // die. Frames only ever pop here, so every live set claimed by
+          // this worker has a frame on the stack — the invariant behind
+          // the kFound merge below.
+          if (pick == Pick::kDied) EmitComponent(ctx_, members_);
+          const VertexId v = f.v;
+          stack_.pop_back();
+          // The set's rp entry pops with its deepest frame; shallower
+          // frames of a merged set find a non-matching back() and leave
+          // the entry alone (it was popped already).
+          if (!rp_.empty() && uf_.SameSet(rp_.back(), v)) rp_.pop_back();
+          continue;
+        }
+        f.picked = picked;
+        f.edge = g_.OutEdgeBegin(picked);
+        f.edge_end = g_.OutEdgeEnd(picked);
+      }
+      bool descended = false;
+      while (f.edge < f.edge_end) {
+        const VertexId w = g_.EdgeDst(f.edge++);
+        const Claim claim = uf_.ClaimSet(w, worker);
+        if (claim == Claim::kDead) continue;
+        if (claim == Claim::kSuccess) {
+          stack_.push_back(Frame{w});  // invalidates f
+          rp_.push_back(w);
+          descended = true;
+          break;
+        }
+        // kFound: this worker already claimed w's set, and a live
+        // claimed set is on the current path (see the pop invariant
+        // above) — the edge closes a cycle. Merge every set between the
+        // path top and w's set; rp keeps one entry per distinct set.
+        while (!uf_.SameSet(w, f.v)) {
+          const VertexId r = rp_.back();
+          rp_.pop_back();
+          // The Unite guard covers the set dying mid-merge (another
+          // worker finished it): the unwind then proceeds via kDead
+          // picks, so breaking out is safe.
+          if (rp_.empty() || !uf_.Unite(r, rp_.back())) break;
+        }
+      }
+      if (descended) continue;
+      // Every out-edge of the picked element has been processed (claims
+      // and merges included): only now may it leave the work ring, which
+      // is what keeps a set from dying with unexplored edges.
+      uf_.Retire(f.picked);
+      f.picked = kInvalidVertex;
+    }
+    rp_.clear();
+    return true;
+  }
+
+  const CsrGraph& g_;
+  ConcurrentUnionFind& uf_;
+  EmitCtx& ctx_;
+  std::atomic<bool>* abort_;
+  std::vector<Frame> stack_;
+  std::vector<VertexId> rp_;       // one entry per distinct set on the path
+  std::vector<VertexId> members_;  // death-extraction scratch
+};
+
+/// Runs the UFSCC workers: inline when single-threaded, one per pool
+/// worker otherwise. Returns false when the deadline expired (labels
+/// incomplete); `deadline`'s state is synced so the caller observes the
+/// expiry too.
+bool UnionFindCondense(const CsrGraph& graph, EmitCtx& ctx, int threads,
+                       Deadline* deadline) {
+  ConcurrentUnionFind uf(graph.num_vertices());
+  std::atomic<bool> abort{false};
+  const Deadline budget = deadline != nullptr ? *deadline : Deadline();
+  if (threads <= 1) {
+    UfSccWorker(graph, uf, ctx, abort).Run(0, 1, budget);
+  } else {
+    std::vector<std::unique_ptr<UfSccWorker>> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers.push_back(
+          std::make_unique<UfSccWorker>(graph, uf, ctx, abort));
+    }
+    ThreadPool pool(threads);
+    for (int t = 0; t < threads; ++t) {
+      pool.Submit([&workers, budget, t, threads](int) {
+        workers[t]->Run(t, threads, budget);
+      });
+    }
+    pool.Wait();
+  }
+  if (abort.load(std::memory_order_relaxed)) {
+    if (deadline != nullptr) deadline->ExpiredNow();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 const char* SccAlgorithmName(SccAlgorithm algo) {
@@ -574,6 +728,8 @@ const char* SccAlgorithmName(SccAlgorithm algo) {
       return "tarjan";
     case SccAlgorithm::kParallelFwBw:
       return "fwbw";
+    case SccAlgorithm::kUnionFind:
+      return "uf";
   }
   return "?";
 }
@@ -586,6 +742,9 @@ Status ParseSccAlgorithm(const std::string& name, SccAlgorithm* algo) {
     *algo = SccAlgorithm::kTarjan;
   } else if (lower == "fwbw" || lower == "fw-bw" || lower == "parallel") {
     *algo = SccAlgorithm::kParallelFwBw;
+  } else if (lower == "uf" || lower == "ufscc" || lower == "unionfind" ||
+             lower == "union-find") {
+    *algo = SccAlgorithm::kUnionFind;
   } else {
     return Status::NotFound("unknown SCC algorithm: " + name);
   }
@@ -602,23 +761,27 @@ SccResult CondenseScc(const CsrGraph& graph, const SccOptions& options,
 
   const int threads = options.num_threads == 0 ? ThreadPool::HardwareThreads()
                                                : options.num_threads;
-  // Below the cutoff the FW-BW path would immediately fall back anyway;
-  // skip its trim passes and run plain Tarjan.
-  const bool parallel = options.algorithm == SccAlgorithm::kParallelFwBw &&
-                        n >= std::max<VertexId>(options.min_parallel_size, 1);
+  // Below the cutoff the parallel strategies would only add overhead
+  // (FW-BW would immediately fall back; UFSCC pays atomics per edge);
+  // run plain Tarjan instead.
+  const bool big = n >= std::max<VertexId>(options.min_parallel_size, 1);
   bool timed_out = false;
   if (options.deadline != nullptr && options.deadline->ExpiredNow()) {
     // The budget was gone before condensation started: abort before the
     // first traversal rather than after it.
     timed_out = true;
-  } else if (parallel) {
+  } else if (options.algorithm == SccAlgorithm::kParallelFwBw && big) {
     FwBwCondenser condenser(graph, options, threads, ctx, stats,
                             options.deadline);
     timed_out = !condenser.Run();
+  } else if (options.algorithm == SccAlgorithm::kUnionFind && big) {
+    timed_out = !UnionFindCondense(
+        graph, ctx, std::min(threads, ConcurrentUnionFind::kMaxWorkers),
+        options.deadline);
   } else {
     timed_out = !TarjanWhole(graph, ctx, options.deadline);
-    if (stats != nullptr &&
-        options.algorithm == SccAlgorithm::kParallelFwBw && n > 0) {
+    if (stats != nullptr && options.algorithm != SccAlgorithm::kTarjan &&
+        n > 0) {
       ++stats->tarjan_partitions;
     }
   }

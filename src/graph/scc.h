@@ -6,7 +6,8 @@
 // the graph by component and the top-down solver uses component sizes as
 // an optional prefilter.
 //
-// Two interchangeable algorithms sit behind CondenseScc:
+// Three interchangeable algorithms sit behind CondenseScc (see
+// docs/CONDENSATION.md for when each wins):
 //
 //   * kTarjan — the classic single-threaded iterative Tarjan traversal
 //     (no recursion, safe for multi-million-vertex graphs).
@@ -19,12 +20,22 @@
 //     fanned across the pool. This is the scalable front end of the
 //     parallel-cycle literature (trim + FW-BW feeding per-SCC work to a
 //     pool) and the path for billion-edge graphs.
+//   * kUnionFind — Bloemen-style on-the-fly UFSCC ("Multi-core on-the-fly
+//     SCC decomposition", the algorithm behind ltsmin's ufscc): workers
+//     run simultaneous searches over the whole graph, merge partial SCCs
+//     through a concurrent union-find (util/concurrent_union_find.h) and
+//     emit each SCC the moment its set retires. No global barriers, no
+//     per-pivot rescans — components stream into the sink strictly
+//     earlier than FW-BW's partition rounds allow, and chain-of-SCCs
+//     shapes that defeat FW-BW parallelize cleanly.
 //
 // Determinism: component ids are canonicalized — components are numbered
 // by their minimum member vertex, ascending, and member lists are sorted
 // — so the SccResult is bit-identical across algorithms and thread
 // counts. Both the engine's covers and the condensation tests rely on
-// this.
+// this. Thread-safety: CondenseScc is a pure function of its inputs;
+// concurrent calls on the same (immutable) graph are safe, but one call's
+// SccOptions::deadline must not be shared with another thread.
 #ifndef TDB_GRAPH_SCC_H_
 #define TDB_GRAPH_SCC_H_
 
@@ -77,24 +88,29 @@ struct SccResult {
 enum class SccAlgorithm {
   kTarjan,        ///< Sequential iterative Tarjan.
   kParallelFwBw,  ///< Trim + parallel forward-backward decomposition.
+  kUnionFind,     ///< On-the-fly UFSCC over a concurrent union-find.
 };
 
-/// Short name ("tarjan", "fwbw").
+/// Short name ("tarjan", "fwbw", "uf").
 const char* SccAlgorithmName(SccAlgorithm algo);
 
 /// Inverse of SccAlgorithmName (case-insensitive; "parallel" is accepted
-/// as an alias of "fwbw"). NotFound on unknown names.
+/// as an alias of "fwbw", "ufscc" and "unionfind" as aliases of "uf").
+/// NotFound on unknown names.
 Status ParseSccAlgorithm(const std::string& name, SccAlgorithm* algo);
 
 /// Configuration of one condensation run.
 struct SccOptions {
   SccAlgorithm algorithm = SccAlgorithm::kTarjan;
-  /// Worker threads for kParallelFwBw (0 = one per hardware thread;
-  /// ignored by kTarjan). 1 runs the FW-BW structure sequentially — same
-  /// output, no pool.
+  /// Worker threads for kParallelFwBw / kUnionFind (0 = one per hardware
+  /// thread; ignored by kTarjan; kUnionFind caps at
+  /// ConcurrentUnionFind::kMaxWorkers = 64). 1 runs the parallel
+  /// structure sequentially — same output, no pool.
   int num_threads = 1;
   /// Partitions smaller than this fall back to sequential Tarjan instead
-  /// of further FW-BW recursion (kParallelFwBw only).
+  /// of further FW-BW recursion (kParallelFwBw); graphs smaller than
+  /// this run plain Tarjan instead of the parallel strategies
+  /// (kParallelFwBw and kUnionFind).
   VertexId min_parallel_size = 1u << 14;
   /// When false, the returned SccResult carries only num_components —
   /// the canonical per-vertex arrays and member lists are not built.

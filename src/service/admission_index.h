@@ -49,7 +49,13 @@
 
 namespace tdb {
 
-/// Immutable once built; safe to query from any number of threads.
+/// Immutable once built; safe to query from any number of threads with
+/// no synchronization (Build is the only mutation and happens-before
+/// publication via the snapshot's EpochPtr Store). Deterministic:
+/// landmark selection, BFS level arrays and every query rule are pure
+/// functions of the (graph, cover, k, landmark-count) tuple — the same
+/// build inputs yield byte-identical rows and therefore identical
+/// Probe verdicts at any build thread count.
 class AdmissionIndex {
  public:
   /// Tri-state answer of one distance-arithmetic probe.

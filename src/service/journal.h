@@ -81,6 +81,10 @@ struct JournalOpenInfo {
 
 /// Append-only WAL over one file. Not thread-safe — the service's writer
 /// mutex serializes all appends, matching the single-writer design.
+/// Replay determinism: records capture batches exactly as submitted
+/// (order preserved, rejected edges included), so replaying any valid
+/// prefix through the normal ingest path reproduces the original
+/// graph, transversal and epoch bit-for-bit at that prefix.
 class Journal {
  public:
   ~Journal();

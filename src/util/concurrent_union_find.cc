@@ -1,0 +1,275 @@
+#include "util/concurrent_union_find.h"
+
+#include "util/check.h"
+
+namespace tdb {
+
+ConcurrentUnionFind::ConcurrentUnionFind(VertexId n) : n_(n) {
+  word_ = std::make_unique<std::atomic<uint64_t>[]>(n);
+  workers_ = std::make_unique<std::atomic<uint64_t>[]>(n);
+  ring_ = std::make_unique<std::atomic<uint64_t>[]>(n);
+  member_ = std::make_unique<std::atomic<VertexId>[]>(n);
+  cursor_ = std::make_unique<std::atomic<VertexId>[]>(n);
+  for (VertexId v = 0; v < n; ++v) {
+    word_[v].store(MakeWord(v, kStateLive, 0), std::memory_order_relaxed);
+    workers_[v].store(0, std::memory_order_relaxed);
+    // Singleton rings: v is its own work ring and member ring.
+    ring_[v].store(MakeRing(v, false), std::memory_order_relaxed);
+    member_[v].store(v, std::memory_order_relaxed);
+    cursor_[v].store(v, std::memory_order_relaxed);
+  }
+}
+
+VertexId ConcurrentUnionFind::Find(VertexId v) {
+  while (true) {
+    uint64_t wv = word_[v].load(std::memory_order_acquire);
+    const VertexId p = Parent(wv);
+    if (p == v) return v;
+    uint64_t wp = word_[p].load(std::memory_order_acquire);
+    const VertexId gp = Parent(wp);
+    if (gp == p) return p;
+    // Path halving: point v at its grandparent. v is a non-root and can
+    // never become a root again, so the CAS only races other halvings —
+    // losing it just means someone else shortened the path first.
+    word_[v].compare_exchange_weak(wv, (wv & ~kParentMask) | gp,
+                                   std::memory_order_relaxed);
+    v = p;
+  }
+}
+
+bool ConcurrentUnionFind::SameSet(VertexId a, VertexId b) {
+  while (true) {
+    const VertexId ra = Find(a);
+    const VertexId rb = Find(b);
+    if (ra == rb) return true;
+    // Distinct roots prove "different sets" only if ra was still a root
+    // AFTER rb was computed; otherwise a merge raced us — retry from the
+    // roots (paths only get shorter).
+    if (Parent(word_[ra].load(std::memory_order_seq_cst)) == ra) {
+      return false;
+    }
+    a = ra;
+    b = rb;
+  }
+}
+
+ConcurrentUnionFind::Lock ConcurrentUnionFind::TryLockExact(VertexId r) {
+  while (true) {
+    uint64_t w = word_[r].load(std::memory_order_acquire);
+    if (Parent(w) != r) return Lock::kMoved;
+    switch (State(w)) {
+      case kStateDead:
+        return Lock::kDead;
+      case kStateLocked:
+        break;  // spin: the holder unlocks, dies, or merges r away
+      default: {
+        if (word_[r].compare_exchange_weak(w, MakeWord(r, kStateLocked,
+                                                       Rank(w)),
+                                           std::memory_order_acquire)) {
+          return Lock::kLocked;
+        }
+        break;
+      }
+    }
+  }
+}
+
+void ConcurrentUnionFind::UnlockRoot(VertexId r) {
+  const uint64_t w = word_[r].load(std::memory_order_relaxed);
+  TDB_CHECK(Parent(w) == r && State(w) == kStateLocked);
+  word_[r].store(MakeWord(r, kStateLive, Rank(w)), std::memory_order_release);
+}
+
+bool ConcurrentUnionFind::Unite(VertexId a, VertexId b) {
+  while (true) {
+    const VertexId ra = Find(a);
+    const VertexId rb = Find(b);
+    if (ra == rb) return true;
+    // Lock both roots in id order so concurrent Unites never deadlock.
+    const VertexId lo = ra < rb ? ra : rb;
+    const VertexId hi = ra < rb ? rb : ra;
+    const Lock l1 = TryLockExact(lo);
+    if (l1 == Lock::kDead) return false;
+    if (l1 == Lock::kMoved) continue;
+    const Lock l2 = TryLockExact(hi);
+    if (l2 != Lock::kLocked) {
+      UnlockRoot(lo);
+      if (l2 == Lock::kDead) return false;
+      continue;  // hi merged away; re-find both roots
+    }
+
+    const uint64_t rank_lo =
+        Rank(word_[lo].load(std::memory_order_relaxed));
+    const uint64_t rank_hi =
+        Rank(word_[hi].load(std::memory_order_relaxed));
+    VertexId winner, loser;
+    uint64_t winner_rank;
+    if (rank_lo < rank_hi) {
+      winner = hi;
+      loser = lo;
+      winner_rank = rank_hi;
+    } else {
+      winner = lo;
+      loser = hi;
+      winner_rank = rank_lo + (rank_lo == rank_hi ? 1 : 0);
+    }
+    const uint64_t loser_rank = winner == lo ? rank_hi : rank_lo;
+
+    // Splice the work rings at the two cursors: exchanging the two
+    // successor pointers turns two disjoint cycles into one. Both
+    // cursors keep pointing at linked elements of the merged ring.
+    const VertexId cw = cursor_[winner].load(std::memory_order_relaxed);
+    const VertexId cl = cursor_[loser].load(std::memory_order_relaxed);
+    const uint64_t rw = ring_[cw].load(std::memory_order_relaxed);
+    const uint64_t rl = ring_[cl].load(std::memory_order_relaxed);
+    ring_[cw].store(MakeRing(RingNext(rl), RingRetired(rw)),
+                    std::memory_order_relaxed);
+    ring_[cl].store(MakeRing(RingNext(rw), RingRetired(rl)),
+                    std::memory_order_relaxed);
+    // Splice the member rings at the roots the same way.
+    const VertexId mw = member_[winner].load(std::memory_order_relaxed);
+    const VertexId ml = member_[loser].load(std::memory_order_relaxed);
+    member_[winner].store(ml, std::memory_order_relaxed);
+    member_[loser].store(mw, std::memory_order_relaxed);
+
+    // Demote the loser (this is also its unlock): from here on every
+    // Find lands on `winner`. seq_cst pairs with ClaimSet's re-anchor
+    // check — a claim bit OR'd onto `loser` after the mask pickup below
+    // is guaranteed to observe this store and chase the new root.
+    word_[loser].store(MakeWord(winner, kStateLive, loser_rank),
+                       std::memory_order_seq_cst);
+    // Carry the loser's claim mask to the winner. The RMW (rather than a
+    // plain load) reads the latest value in the modification order, so
+    // it cannot miss a bit OR'd onto `loser` before the demotion above
+    // became visible to that claimer.
+    const uint64_t mask = workers_[loser].fetch_or(0, std::memory_order_seq_cst);
+    workers_[winner].fetch_or(mask, std::memory_order_seq_cst);
+
+    // Unlock the winner with its merged rank.
+    word_[winner].store(MakeWord(winner, kStateLive, winner_rank),
+                        std::memory_order_release);
+    return true;
+  }
+}
+
+ConcurrentUnionFind::Claim ConcurrentUnionFind::ClaimSet(VertexId v,
+                                                         int worker) {
+  TDB_CHECK(worker >= 0 && worker < kMaxWorkers);
+  const uint64_t bit = 1ull << worker;
+  VertexId r = Find(v);
+  // Pre-check: if the bit already rests on the CURRENT root, an earlier
+  // ClaimSet by this worker claimed (an ancestor of) this set — report
+  // kFound without OR-ing again. The root recheck after the mask load
+  // rejects stale masks read off a just-demoted root.
+  while (true) {
+    const uint64_t w = word_[r].load(std::memory_order_seq_cst);
+    if (Parent(w) != r) {
+      r = Find(r);
+      continue;
+    }
+    if (State(w) == kStateDead) return Claim::kDead;
+    const uint64_t mask = workers_[r].load(std::memory_order_seq_cst);
+    if ((mask & bit) != 0) {
+      if (Parent(word_[r].load(std::memory_order_seq_cst)) == r) {
+        return Claim::kFound;
+      }
+      r = Find(r);
+      continue;
+    }
+    break;
+  }
+  // The FIRST fetch_or classifies the claim; later re-anchor ORs never
+  // reclassify (a re-anchored own bit must not read as a new kFound).
+  const uint64_t prev = workers_[r].fetch_or(bit, std::memory_order_seq_cst);
+  const Claim result = (prev & bit) != 0 ? Claim::kFound : Claim::kSuccess;
+  // Re-anchor: if r was demoted concurrently, Unite may have carried the
+  // mask before our OR landed — chase the current root and re-OR until
+  // the bit provably rests on a root (the seq_cst pairing with Unite's
+  // demotion store makes this loop terminate with the bit carried).
+  while (Parent(word_[r].load(std::memory_order_seq_cst)) != r) {
+    r = Find(r);
+    workers_[r].fetch_or(bit, std::memory_order_seq_cst);
+  }
+  return result;
+}
+
+bool ConcurrentUnionFind::IsDead(VertexId v) {
+  while (true) {
+    const VertexId r = Find(v);
+    const uint64_t w = word_[r].load(std::memory_order_acquire);
+    if (Parent(w) != r) continue;  // demoted between Find and load
+    return State(w) == kStateDead;
+  }
+}
+
+ConcurrentUnionFind::Pick ConcurrentUnionFind::PickActive(
+    VertexId v, VertexId* picked, std::vector<VertexId>* members) {
+  while (true) {
+    const VertexId r = Find(v);
+    const Lock lock = TryLockExact(r);
+    if (lock == Lock::kMoved) continue;
+    if (lock == Lock::kDead) return Pick::kDead;
+
+    // Walk the work ring from the cursor for the first non-retired
+    // element. The walk is safe: all ring mutations happen under this
+    // root's lock.
+    const VertexId start = cursor_[r].load(std::memory_order_relaxed);
+    VertexId cur = start;
+    VertexId found = kInvalidVertex;
+    do {
+      const uint64_t ring = ring_[cur].load(std::memory_order_relaxed);
+      if (!RingRetired(ring)) {
+        found = cur;
+        break;
+      }
+      cur = RingNext(ring);
+    } while (cur != start);
+
+    if (found == kInvalidVertex) {
+      // Every element retired: the set dies, HERE, exactly once (the
+      // LIVE -> DEAD transition happens under the lock we hold).
+      members->clear();
+      VertexId m = r;
+      do {
+        members->push_back(m);
+        m = member_[m].load(std::memory_order_relaxed);
+      } while (m != r);
+      const uint64_t w = word_[r].load(std::memory_order_relaxed);
+      // The DEAD store doubles as the unlock.
+      word_[r].store(MakeWord(r, kStateDead, Rank(w)),
+                     std::memory_order_release);
+      return Pick::kDied;
+    }
+
+    if (found != start) {
+      // Shortcut the retired run [start, found): start stays linked (its
+      // predecessor still points at it), the skipped tombstones drop out
+      // of the ring for good. Never touches `found` or anything after
+      // it, so the cursor invariant (always linked) holds.
+      const uint64_t rs = ring_[start].load(std::memory_order_relaxed);
+      ring_[start].store(MakeRing(found, RingRetired(rs)),
+                         std::memory_order_relaxed);
+    }
+    // Rotate the cursor past `found` so concurrent pickers spread out.
+    cursor_[r].store(RingNext(ring_[found].load(std::memory_order_relaxed)),
+                     std::memory_order_relaxed);
+    UnlockRoot(r);
+    *picked = found;
+    return Pick::kPicked;
+  }
+}
+
+void ConcurrentUnionFind::Retire(VertexId v) {
+  while (true) {
+    const VertexId r = Find(v);
+    const Lock lock = TryLockExact(r);
+    if (lock == Lock::kMoved) continue;
+    if (lock == Lock::kDead) return;
+    const uint64_t ring = ring_[v].load(std::memory_order_relaxed);
+    ring_[v].store(MakeRing(RingNext(ring), true), std::memory_order_relaxed);
+    UnlockRoot(r);
+    return;
+  }
+}
+
+}  // namespace tdb

@@ -1,0 +1,171 @@
+// Concurrent union-find for on-the-fly SCC decomposition (Bloemen et
+// al., "Multi-core on-the-fly SCC decomposition" — the structure behind
+// ltsmin's ufscc/renault-unionfind).
+//
+// Each element starts as a singleton set. Worker threads merge sets as
+// they discover cycles, cooperate on exploring a set through a shared
+// cyclic work ring, and retire a whole set exactly once when no
+// unexplored element remains. The state machine per set is
+// LIVE -> DEAD (with a transient LOCKED state guarding mutations); per
+// element the work ring holds an active/retired bit.
+//
+// Concurrency contract:
+//   * Find / SameSet / IsDead / ClaimSet are lock-free: CAS path-halving
+//     finds plus fetch_or claim masks; they never block behind another
+//     thread's critical section.
+//   * Unite / PickActive / Retire serialize per SET through a spin bit
+//     packed into the root's node word (two bits for Unite, ordered by
+//     root id, so they never deadlock). Operations on different sets
+//     never contend.
+//   * Every mutation of a set's rings happens while its root is LOCKED,
+//     and the unique LIVE -> DEAD transition happens under the same
+//     bit, so exactly one caller of PickActive observes the death and
+//     receives the member list.
+//
+// Determinism: none of the operations are deterministic under
+// concurrency (set representatives, claim orders and member orderings
+// all depend on scheduling) — callers that need deterministic output
+// must canonicalize, which is exactly what graph/scc.cc's
+// FinalizeCanonical does with the SCC labels derived from this
+// structure.
+#ifndef TDB_UTIL_CONCURRENT_UNION_FIND_H_
+#define TDB_UTIL_CONCURRENT_UNION_FIND_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace tdb {
+
+/// Union-find over the fixed universe [0, n) with per-set worker claim
+/// masks and cooperative work rings. See the file comment for the
+/// concurrency contract.
+class ConcurrentUnionFind {
+ public:
+  /// Claim masks are one bit per worker in a 64-bit word.
+  static constexpr int kMaxWorkers = 64;
+
+  /// Outcome of ClaimSet(v, worker).
+  enum class Claim : uint8_t {
+    /// The worker's bit was newly set on v's set: first contact.
+    kSuccess,
+    /// The worker had already claimed this set through an earlier call
+    /// (possibly via a different element, possibly merged since): for
+    /// the SCC search this signals a cycle back into its own stack.
+    kFound,
+    /// v's set is dead (fully explored and retired).
+    kDead,
+  };
+
+  /// Outcome of PickActive(v, ...).
+  enum class Pick : uint8_t {
+    /// *picked holds an active element of v's set to work on.
+    kPicked,
+    /// No active element remained: THIS call performed the unique
+    /// LIVE -> DEAD transition and filled `members` with every element
+    /// of the set (unsorted). The caller owns reporting the set.
+    kDied,
+    /// The set was already dead (another caller reported it).
+    kDead,
+  };
+
+  explicit ConcurrentUnionFind(VertexId n);
+
+  VertexId size() const { return n_; }
+
+  /// Representative of v's set. Lock-free; performs CAS path halving.
+  VertexId Find(VertexId v);
+
+  /// True iff a and b are currently in the same set. Exact at some
+  /// linearization point during the call: sets only ever merge, so a
+  /// `true` is stable forever while a `false` can be outdated by a
+  /// concurrent Unite.
+  bool SameSet(VertexId a, VertexId b);
+
+  /// Merges the sets of a and b: claim masks OR together and the work /
+  /// member rings splice in O(1). Returns true when the sets are merged
+  /// (or already were); false iff either set is dead — dead sets are
+  /// immutable and never merge.
+  bool Unite(VertexId a, VertexId b);
+
+  /// Sets `worker`'s claim bit on v's set (worker in [0, kMaxWorkers)).
+  /// The bit survives merges: Unite carries claim masks onto the
+  /// surviving root, so kFound means "some earlier ClaimSet by this
+  /// worker hit a set that is now this set".
+  Claim ClaimSet(VertexId v, int worker);
+
+  /// True iff v's set is dead. Stable once true.
+  bool IsDead(VertexId v);
+
+  /// Returns an active (not yet retired) element of v's set, rotating a
+  /// shared cursor so concurrent callers spread over distinct elements.
+  /// When none remains, performs the set's unique LIVE -> DEAD
+  /// transition (see Pick::kDied). `members` is only written on kDied.
+  Pick PickActive(VertexId v, VertexId* picked,
+                  std::vector<VertexId>* members);
+
+  /// Marks v retired (fully processed). Callers must have finished all
+  /// work attached to v beforehand: once every element of a set is
+  /// retired, any PickActive on the set declares it dead. No-op when
+  /// the set is already dead.
+  void Retire(VertexId v);
+
+ private:
+  // Node word: parent in bits [0, 32), set state in [32, 34), union
+  // rank in [34, 40). State is meaningful on roots only.
+  static constexpr uint64_t kStateLive = 0;
+  static constexpr uint64_t kStateLocked = 1;
+  static constexpr uint64_t kStateDead = 2;
+  static constexpr uint64_t kParentMask = 0xffffffffull;
+  static constexpr int kStateShift = 32;
+  static constexpr int kRankShift = 34;
+  // Work-ring word: successor element in bits [0, 32), retired flag in
+  // bit 32. Mutated only while the owning root is LOCKED.
+  static constexpr uint64_t kRetiredBit = 1ull << 32;
+
+  static VertexId Parent(uint64_t word) {
+    return static_cast<VertexId>(word & kParentMask);
+  }
+  static uint64_t State(uint64_t word) { return (word >> kStateShift) & 3; }
+  static uint64_t Rank(uint64_t word) { return (word >> kRankShift) & 0x3f; }
+  static uint64_t MakeWord(VertexId parent, uint64_t state, uint64_t rank) {
+    return static_cast<uint64_t>(parent) | (state << kStateShift) |
+           (rank << kRankShift);
+  }
+  static VertexId RingNext(uint64_t ring) {
+    return static_cast<VertexId>(ring & kParentMask);
+  }
+  static bool RingRetired(uint64_t ring) {
+    return (ring & kRetiredBit) != 0;
+  }
+  static uint64_t MakeRing(VertexId next, bool retired) {
+    return static_cast<uint64_t>(next) | (retired ? kRetiredBit : 0);
+  }
+
+  enum class Lock : uint8_t { kLocked, kMoved, kDead };
+
+  /// Spins until r is locked by this thread, or reports that r stopped
+  /// being a root (kMoved) or its set is dead (kDead).
+  Lock TryLockExact(VertexId r);
+  void UnlockRoot(VertexId r);
+
+  VertexId n_ = 0;
+  /// parent | state | rank, one per element (see MakeWord).
+  std::unique_ptr<std::atomic<uint64_t>[]> word_;
+  /// Worker claim masks; authoritative on roots, carried on Unite.
+  std::unique_ptr<std::atomic<uint64_t>[]> workers_;
+  /// Cyclic work ring: next element | retired bit (see MakeRing).
+  std::unique_ptr<std::atomic<uint64_t>[]> ring_;
+  /// Cyclic member ring of every element ever merged into the set;
+  /// never unlinked, walked once at death to extract the member list.
+  std::unique_ptr<std::atomic<VertexId>[]> member_;
+  /// Per-root pick cursor into the work ring (meaningful on live
+  /// roots; always an element still linked into the ring).
+  std::unique_ptr<std::atomic<VertexId>[]> cursor_;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_UTIL_CONCURRENT_UNION_FIND_H_

@@ -23,6 +23,12 @@ namespace tdb {
 
 /// Versioned shared pointer. Thread-safe: any number of Load()ers
 /// concurrent with Store()s; epochs increase by exactly 1 per Store.
+/// A Load() is atomic with respect to publication — it returns a
+/// (pointer, epoch) pair from ONE Store, never a mix. Determinism
+/// follows from the single-writer discipline of the caller: published
+/// states are immutable, so everything computed from a Pinned state is
+/// a pure function of its epoch (SeedEpoch lets recovery republish at
+/// the original epoch so that function is crash-stable too).
 template <typename T>
 class EpochPtr {
  public:

@@ -27,6 +27,15 @@ namespace tdb {
 
 /// Fixed-size pool. Create, Submit any number of tasks, Wait, repeat;
 /// the destructor drains outstanding work before joining.
+///
+/// Thread-safety: Submit and Wait may be called from any thread,
+/// including from inside a running task; Wait is pool-global (it waits
+/// for ALL in-flight work, not just the caller's). Determinism: the
+/// pool itself guarantees nothing about execution order — callers that
+/// need reproducible results must make task outputs order-independent
+/// (disjoint slots, or ParallelGather's chunk-ordered concatenation)
+/// and serialize commits elsewhere; every deterministic sweep in the
+/// engine and the condenser is built that way on top of this pool.
 class ThreadPool {
  public:
   /// A task plus the index of the worker that runs it,

@@ -25,24 +25,29 @@ void ExpectSccEqual(const SccResult& expected, const SccResult& actual,
   EXPECT_EQ(expected.vertices, actual.vertices) << label;
 }
 
-/// Runs kParallelFwBw at 1/2/8 threads and a forcing cutoff, checking
-/// each run against the Tarjan reference.
+/// Runs kParallelFwBw and kUnionFind at 1/2/8 threads and a forcing
+/// cutoff, checking each run against the Tarjan reference.
 void CheckAllStrategies(const CsrGraph& g, const std::string& label,
                         VertexId cutoff = 8) {
   SccOptions tarjan;
   tarjan.algorithm = SccAlgorithm::kTarjan;
   const SccResult reference = CondenseScc(g, tarjan);
 
-  for (int threads : {1, 2, 8}) {
-    SccOptions fwbw;
-    fwbw.algorithm = SccAlgorithm::kParallelFwBw;
-    fwbw.num_threads = threads;
-    fwbw.min_parallel_size = cutoff;  // small: forces real FW-BW recursion
-    SccStats stats;
-    const SccResult parallel = CondenseScc(g, fwbw, nullptr, &stats);
-    ExpectSccEqual(reference, parallel,
-                   label + " fwbw@" + std::to_string(threads));
-    EXPECT_EQ(stats.components, reference.num_components) << label;
+  for (SccAlgorithm algo :
+       {SccAlgorithm::kParallelFwBw, SccAlgorithm::kUnionFind}) {
+    for (int threads : {1, 2, 8}) {
+      SccOptions options;
+      options.algorithm = algo;
+      options.num_threads = threads;
+      options.min_parallel_size = cutoff;  // small: forces the real
+                                           // parallel structure
+      SccStats stats;
+      const SccResult parallel = CondenseScc(g, options, nullptr, &stats);
+      ExpectSccEqual(reference, parallel,
+                     label + " " + SccAlgorithmName(algo) + "@" +
+                         std::to_string(threads));
+      EXPECT_EQ(stats.components, reference.num_components) << label;
+    }
   }
 }
 
@@ -132,7 +137,8 @@ TEST(SccParallelTest, CanonicalIdsAreMinMemberOrdered) {
   CsrGraph g = CsrGraph::FromEdges(
       10, {{2, 5}, {5, 7}, {7, 2}, {0, 9}, {9, 0}, {1, 2}});
   for (SccAlgorithm algo :
-       {SccAlgorithm::kTarjan, SccAlgorithm::kParallelFwBw}) {
+       {SccAlgorithm::kTarjan, SccAlgorithm::kParallelFwBw,
+        SccAlgorithm::kUnionFind}) {
     SccOptions options;
     options.algorithm = algo;
     options.num_threads = 2;
@@ -153,7 +159,8 @@ TEST(SccParallelTest, CanonicalIdsAreMinMemberOrdered) {
 TEST(SccParallelTest, SinkStreamsEveryComponentExactlyOnce) {
   CsrGraph g = GenerateErdosRenyi(300, 900, /*seed=*/7);
   for (SccAlgorithm algo :
-       {SccAlgorithm::kTarjan, SccAlgorithm::kParallelFwBw}) {
+       {SccAlgorithm::kTarjan, SccAlgorithm::kParallelFwBw,
+        SccAlgorithm::kUnionFind}) {
     SccOptions options;
     options.algorithm = algo;
     options.num_threads = 4;
@@ -188,9 +195,16 @@ TEST(SccParallelTest, ParseAndNameRoundTrip) {
   EXPECT_EQ(algo, SccAlgorithm::kParallelFwBw);
   EXPECT_TRUE(ParseSccAlgorithm("parallel", &algo).ok());
   EXPECT_EQ(algo, SccAlgorithm::kParallelFwBw);
+  EXPECT_TRUE(ParseSccAlgorithm("uf", &algo).ok());
+  EXPECT_EQ(algo, SccAlgorithm::kUnionFind);
+  EXPECT_TRUE(ParseSccAlgorithm("UFSCC", &algo).ok());
+  EXPECT_EQ(algo, SccAlgorithm::kUnionFind);
+  EXPECT_TRUE(ParseSccAlgorithm("union-find", &algo).ok());
+  EXPECT_EQ(algo, SccAlgorithm::kUnionFind);
   EXPECT_TRUE(ParseSccAlgorithm("nope", &algo).IsNotFound());
   EXPECT_STREQ(SccAlgorithmName(SccAlgorithm::kTarjan), "tarjan");
   EXPECT_STREQ(SccAlgorithmName(SccAlgorithm::kParallelFwBw), "fwbw");
+  EXPECT_STREQ(SccAlgorithmName(SccAlgorithm::kUnionFind), "uf");
 }
 
 }  // namespace

@@ -1,0 +1,237 @@
+// ConcurrentUnionFind: randomized equivalence against a sequential
+// union-find oracle at 1/2/8 threads, plus the state-machine edges the
+// UFSCC search leans on — claim classification (kSuccess / kFound /
+// kDead), claim-mask carry across merges, the exactly-once LIVE -> DEAD
+// transition, and work-ring pick/retire cooperation.
+#include "util/concurrent_union_find.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tdb {
+namespace {
+
+using Claim = ConcurrentUnionFind::Claim;
+using Pick = ConcurrentUnionFind::Pick;
+
+/// Plain sequential union-find, the oracle.
+class OracleUf {
+ public:
+  explicit OracleUf(VertexId n) : parent_(n) {
+    for (VertexId v = 0; v < n; ++v) parent_[v] = v;
+  }
+  VertexId Find(VertexId v) {
+    while (parent_[v] != v) v = parent_[v] = parent_[parent_[v]];
+    return v;
+  }
+  void Unite(VertexId a, VertexId b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+/// Random union pairs: skewed toward a few hubs so chains of merges and
+/// repeat-unions both happen.
+std::vector<std::pair<VertexId, VertexId>> RandomPairs(VertexId n,
+                                                       size_t count,
+                                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const VertexId a = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId b = rng.NextBounded(4) == 0
+                           ? static_cast<VertexId>(rng.NextBounded(8))
+                           : static_cast<VertexId>(rng.NextBounded(n));
+    pairs.emplace_back(a, b);
+  }
+  return pairs;
+}
+
+/// Applies the same union workload to ConcurrentUnionFind (spread over
+/// `threads` threads) and the oracle (sequentially), then checks that
+/// the two partitions agree on every pair of a vertex sample.
+void CheckAgainstOracle(VertexId n, size_t unions, int threads,
+                        uint64_t seed) {
+  const auto pairs = RandomPairs(n, unions, seed);
+  ConcurrentUnionFind uf(n);
+  if (threads <= 1) {
+    for (const auto& [a, b] : pairs) EXPECT_TRUE(uf.Unite(a, b));
+  } else {
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (size_t i = t; i < pairs.size(); i += threads) {
+          EXPECT_TRUE(uf.Unite(pairs[i].first, pairs[i].second));
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  OracleUf oracle(n);
+  for (const auto& [a, b] : pairs) oracle.Unite(a, b);
+
+  // Union is order-independent, so the final partitions must be equal:
+  // compare the induced equivalence on consecutive pairs plus a random
+  // sample (quadratic-all-pairs would dominate the test's runtime).
+  Rng rng(seed ^ 0xABCD);
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    EXPECT_EQ(uf.SameSet(v, v + 1), oracle.Find(v) == oracle.Find(v + 1))
+        << "adjacent " << v;
+  }
+  for (int i = 0; i < 4000; ++i) {
+    const VertexId a = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId b = static_cast<VertexId>(rng.NextBounded(n));
+    EXPECT_EQ(uf.SameSet(a, b), oracle.Find(a) == oracle.Find(b))
+        << a << " vs " << b;
+  }
+  // Find must be stable and consistent with SameSet.
+  for (VertexId v = 0; v < std::min<VertexId>(n, 512); ++v) {
+    const VertexId r = uf.Find(v);
+    EXPECT_EQ(uf.Find(r), r);
+    EXPECT_TRUE(uf.SameSet(v, r));
+  }
+}
+
+TEST(ConcurrentUnionFindTest, RandomUnionsMatchOracle) {
+  for (int threads : {1, 2, 8}) {
+    CheckAgainstOracle(/*n=*/2000, /*unions=*/3000, threads,
+                       /*seed=*/41 + threads);
+    CheckAgainstOracle(/*n=*/64, /*unions=*/400, threads,
+                       /*seed=*/97 + threads);
+  }
+}
+
+TEST(ConcurrentUnionFindTest, ClaimClassification) {
+  ConcurrentUnionFind uf(8);
+  // First contact per worker: success; repeat: found.
+  EXPECT_EQ(uf.ClaimSet(0, /*worker=*/0), Claim::kSuccess);
+  EXPECT_EQ(uf.ClaimSet(0, /*worker=*/0), Claim::kFound);
+  // Other workers have independent bits.
+  EXPECT_EQ(uf.ClaimSet(0, /*worker=*/1), Claim::kSuccess);
+  EXPECT_EQ(uf.ClaimSet(0, /*worker=*/63), Claim::kSuccess);
+  // A claim rides along a merge: worker 0 claimed {0}, so after
+  // 0 ∪ 1 a claim via element 1 is a re-find, not first contact.
+  EXPECT_TRUE(uf.Unite(0, 1));
+  EXPECT_EQ(uf.ClaimSet(1, /*worker=*/0), Claim::kFound);
+  // ... but a worker that never touched either element still succeeds.
+  EXPECT_EQ(uf.ClaimSet(1, /*worker=*/2), Claim::kSuccess);
+}
+
+TEST(ConcurrentUnionFindTest, DeathIsExactlyOnceAndTerminal) {
+  ConcurrentUnionFind uf(4);
+  EXPECT_TRUE(uf.Unite(0, 1));
+  EXPECT_TRUE(uf.Unite(1, 2));
+
+  // Work the merged set dry: each pick hands out an active element.
+  std::vector<VertexId> members;
+  std::vector<VertexId> picked_order;
+  for (int i = 0; i < 3; ++i) {
+    VertexId picked = kInvalidVertex;
+    ASSERT_EQ(uf.PickActive(0, &picked, &members), Pick::kPicked);
+    uf.Retire(picked);
+    picked_order.push_back(picked);
+  }
+  // Every element was handed out exactly once (the cursor rotates).
+  std::sort(picked_order.begin(), picked_order.end());
+  EXPECT_EQ(picked_order, (std::vector<VertexId>{0, 1, 2}));
+
+  // The next pick performs the unique death and returns all members.
+  VertexId picked = kInvalidVertex;
+  ASSERT_EQ(uf.PickActive(1, &picked, &members), Pick::kDied);
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(members, (std::vector<VertexId>{0, 1, 2}));
+
+  // Dead is terminal: picks, claims and unions all observe it.
+  EXPECT_EQ(uf.PickActive(2, &picked, &members), Pick::kDead);
+  EXPECT_TRUE(uf.IsDead(0));
+  EXPECT_TRUE(uf.IsDead(2));
+  EXPECT_FALSE(uf.IsDead(3));
+  EXPECT_EQ(uf.ClaimSet(0, /*worker=*/5), Claim::kDead);
+  EXPECT_FALSE(uf.Unite(0, 3));
+  EXPECT_FALSE(uf.Unite(3, 2));
+  // The untouched singleton is still alive and mergeable with itself.
+  EXPECT_TRUE(uf.Unite(3, 3));
+}
+
+TEST(ConcurrentUnionFindTest, SingletonLifecycle) {
+  ConcurrentUnionFind uf(2);
+  VertexId picked = kInvalidVertex;
+  std::vector<VertexId> members;
+  ASSERT_EQ(uf.PickActive(0, &picked, &members), Pick::kPicked);
+  EXPECT_EQ(picked, 0u);
+  uf.Retire(0);
+  ASSERT_EQ(uf.PickActive(0, &picked, &members), Pick::kDied);
+  EXPECT_EQ(members, (std::vector<VertexId>{0}));
+  // Retire on a dead set is a harmless no-op.
+  uf.Retire(0);
+  EXPECT_EQ(uf.PickActive(0, &picked, &members), Pick::kDead);
+}
+
+/// Concurrent claim/pick/retire/unite stress: workers cooperatively
+/// exhaust interleaved sets while uniting them, and every element must
+/// land in exactly one death report.
+TEST(ConcurrentUnionFindTest, ConcurrentLifecycleStress) {
+  constexpr VertexId kN = 512;
+  constexpr int kThreads = 8;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    ConcurrentUnionFind uf(kN);
+    std::vector<std::vector<std::vector<VertexId>>> died(kThreads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        Rng rng(seed * 1000 + t);
+        std::vector<VertexId> members;
+        for (VertexId v = t; v < kN; v += kThreads) {
+          // Merge v with a random earlier partner (dead partners
+          // legitimately refuse), then help exhaust v's set.
+          if (rng.NextBounded(2) == 0) {
+            uf.Unite(v, static_cast<VertexId>(rng.NextBounded(kN)));
+          }
+          uf.ClaimSet(v, t);
+          while (true) {
+            VertexId picked = kInvalidVertex;
+            const Pick pick = uf.PickActive(v, &picked, &members);
+            if (pick == Pick::kPicked) {
+              uf.Retire(picked);
+              continue;
+            }
+            if (pick == Pick::kDied) died[t].push_back(members);
+            break;
+          }
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+
+    // Exactly-once death: the reports partition [0, kN).
+    std::vector<int> seen(kN, 0);
+    for (const auto& reports : died) {
+      for (const auto& d : reports) {
+        for (VertexId v : d) ++seen[v];
+      }
+    }
+    for (VertexId v = 0; v < kN; ++v) {
+      EXPECT_EQ(seen[v], 1) << "vertex " << v << " seed " << seed;
+    }
+    // Death reports are whole sets: members of one report share a root.
+    for (const auto& reports : died) {
+      for (const auto& d : reports) {
+        for (size_t i = 1; i < d.size(); ++i) {
+          EXPECT_TRUE(uf.SameSet(d[i - 1], d[i]));
+        }
+      }
+    }
+    for (VertexId v = 0; v < kN; ++v) EXPECT_TRUE(uf.IsDead(v));
+  }
+}
+
+}  // namespace
+}  // namespace tdb

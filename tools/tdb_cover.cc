@@ -3,7 +3,7 @@
 //   tdb_cover --graph edges.txt --k 5 --algo TDB++ [--verify]
 //             [--two-cycles] [--unconstrained] [--time-limit 60]
 //             [--order deg-asc|id|deg-desc|random] [--threads N]
-//             [--intra-threshold N] [--scc-algo tarjan|fwbw]
+//             [--intra-threshold N] [--scc-algo tarjan|fwbw|uf]
 //             [--output cover.txt] [--stats]
 //
 // Reads a SNAP-style text edge list (or TDBG binary with --binary),
@@ -55,8 +55,9 @@ void PrintUsage() {
       "  --intra-threshold N  min SCC size for in-place solving with\n"
       "                      intra-SCC parallel probing (default 2048)\n"
       "  --scc-algo NAME     condensation strategy: tarjan | fwbw\n"
-      "                      (parallel trim + forward-backward; the\n"
-      "                      cover is identical either way)\n"
+      "                      (parallel trim + forward-backward) | uf\n"
+      "                      (concurrent union-find UFSCC; the cover is\n"
+      "                      identical for all three)\n"
       "  --two-cycles        also cover 2-cycles\n"
       "  --unconstrained     cover cycles of every length\n"
       "  --time-limit SEC    wall-clock budget (0 = unlimited)\n"

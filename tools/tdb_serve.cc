@@ -4,7 +4,7 @@
 //             [--admit-threads 2] [--ingest-threads 1] [--algo TDB++]
 //             [--compact-threshold 4096] [--sync-compaction] [--gate]
 //             [--two-cycles] [--seed 42] [--compact-budget SEC]
-//             [--scc-algo tarjan|fwbw] [--admission-cache [LOG2]]
+//             [--scc-algo tarjan|fwbw|uf] [--admission-cache [LOG2]]
 //             [--data-dir DIR] [--durability none|batch|always]
 //             [--kill-after N] [--state-dump FILE]
 //
@@ -103,7 +103,8 @@ void PrintUsage() {
       "(default 4096, 0 = never)\n"
       "  --compact-budget SEC  work-budget-split deadline per compaction\n"
       "  --scc-algo NAME       condensation strategy for compaction\n"
-      "                        solves: tarjan | fwbw (parallel)\n"
+      "                        solves: tarjan | fwbw (parallel) | uf\n"
+      "                        (concurrent union-find UFSCC)\n"
       "  --admission-cache [L] memoize admission verdicts per epoch in a\n"
       "                        2^L-entry cache (default L=16 when the\n"
       "                        flag is given; off otherwise)\n"
