@@ -39,6 +39,7 @@
 #include "graph/generators.h"
 #include "service/cycle_break_service.h"
 #include "table_printer.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -122,6 +123,10 @@ int main(int argc, char** argv) {
   bool have_reference = false;
   uint64_t reference_digest = 0;
   bool determinism_ok = true;
+  // Per-row latency histograms live in a bench-local registry; the JSON
+  // rows read their percentiles back from the registry instruments, the
+  // same data path tdb_serve's /metrics exports.
+  MetricRegistry bench_registry;
   for (const int threads : {1, 2, 4, 8}) {
     ServiceOptions options;
     options.cover.k = kHop;
@@ -130,15 +135,20 @@ int main(int argc, char** argv) {
     CsrGraph base_copy = base;  // the service takes ownership per row
     Timer timer;
     CycleBreakService service(std::move(base_copy), options);
+    LatencyHistogram* admit_lat = bench_registry.AddHistogram(
+        "bench_admit_t" + std::to_string(threads) + "_seconds",
+        "Per-query admission latency during the ingest sweep");
     std::vector<std::thread> readers;
     readers.reserve(threads);
     for (int t = 0; t < threads; ++t) {
-      readers.emplace_back([&service, t, queries, n] {
+      readers.emplace_back([&service, admit_lat, t, queries, n] {
         Rng rng(500 + static_cast<uint64_t>(t));
         for (uint64_t q = 0; q < queries; ++q) {
           const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
           const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+          Timer query_timer;
           (void)service.CheckAdmission(u, v);
+          admit_lat->Record(query_timer.ElapsedSeconds());
         }
       });
     }
@@ -186,6 +196,9 @@ int main(int argc, char** argv) {
     json.Num("compactions", stats.compactions);
     json.Num("seconds", seconds);
     json.Num("cover", cover);
+    json.Num("admit_p50_us", admit_lat->PercentileSeconds(0.50) * 1e6);
+    json.Num("admit_p95_us", admit_lat->PercentileSeconds(0.95) * 1e6);
+    json.Num("admit_p99_us", admit_lat->PercentileSeconds(0.99) * 1e6);
   }
   table.Print();
 
@@ -256,9 +269,13 @@ int main(int argc, char** argv) {
   }
 
   // Runs one mode: kAdmitThreads threads over disjoint slices of the
-  // query list, verdict bits recorded for cross-mode comparison.
+  // query list, verdict bits recorded for cross-mode comparison and
+  // per-query latency recorded into the mode's registry histogram
+  // (batched mode samples batch latency / batch length per query, so
+  // percentiles stay comparable across modes).
   const auto run_mode = [&](CycleBreakService& service, bool batched,
-                            std::vector<uint8_t>* verdicts) {
+                            std::vector<uint8_t>* verdicts,
+                            LatencyHistogram* lat) {
     verdicts->assign(admit_queries.size(), 0);
     Timer timer;
     std::vector<std::thread> workers;
@@ -272,17 +289,23 @@ int main(int argc, char** argv) {
         if (batched) {
           for (size_t at = begin; at < end; at += admit_batch) {
             const size_t len = std::min(admit_batch, end - at);
+            Timer batch_timer;
             const std::vector<AdmissionVerdict> out =
                 service.CheckAdmissionBatch(
                     std::span<const Edge>(admit_queries.data() + at, len));
+            const double per_query = batch_timer.ElapsedSeconds() /
+                                     static_cast<double>(len);
             for (size_t j = 0; j < len; ++j) {
               (*verdicts)[at + j] = out[j].would_close ? 1 : 0;
+              lat->Record(per_query);
             }
           }
         } else {
           for (size_t i = begin; i < end; ++i) {
+            Timer query_timer;
             const AdmissionVerdict v = service.CheckAdmission(
                 admit_queries[i].src, admit_queries[i].dst);
+            lat->Record(query_timer.ElapsedSeconds());
             (*verdicts)[i] = v.would_close ? 1 : 0;
           }
         }
@@ -302,12 +325,21 @@ int main(int argc, char** argv) {
     const char* mode;
     double seconds = 0;
     std::vector<uint8_t> verdicts;
+    LatencyHistogram* lat = nullptr;
   };
   ModeResult modes[3] = {
       {"plain"}, {"indexed"}, {"indexed_batched"}};
-  modes[0].seconds = run_mode(*plain_service, false, &modes[0].verdicts);
-  modes[1].seconds = run_mode(*indexed_service, false, &modes[1].verdicts);
-  modes[2].seconds = run_mode(*indexed_service, true, &modes[2].verdicts);
+  for (ModeResult& m : modes) {
+    m.lat = bench_registry.AddHistogram(
+        std::string("bench_admit_") + m.mode + "_seconds",
+        "Per-query admission latency in the steady-state sweep");
+  }
+  modes[0].seconds =
+      run_mode(*plain_service, false, &modes[0].verdicts, modes[0].lat);
+  modes[1].seconds =
+      run_mode(*indexed_service, false, &modes[1].verdicts, modes[1].lat);
+  modes[2].seconds =
+      run_mode(*indexed_service, true, &modes[2].verdicts, modes[2].lat);
 
   for (const ModeResult& m : modes) {
     if (m.verdicts != modes[0].verdicts) {
@@ -343,6 +375,9 @@ int main(int argc, char** argv) {
     json.Num("speedup", speedup);
     json.Num("would_close", would_close);
     json.Num("cover", steady_cover);
+    json.Num("admit_p50_us", m.lat->PercentileSeconds(0.50) * 1e6);
+    json.Num("admit_p95_us", m.lat->PercentileSeconds(0.95) * 1e6);
+    json.Num("admit_p99_us", m.lat->PercentileSeconds(0.99) * 1e6);
   }
   admit_table.Print();
   {

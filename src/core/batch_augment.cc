@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "search/bounded_reach.h"
+#include "util/trace.h"
 
 namespace tdb {
 
@@ -194,6 +195,7 @@ BatchAugmentStats BatchAugment(OverlayGraph* graph, TransversalState* state,
                                const CoverOptions& options,
                                std::span<const Edge> batch,
                                ThreadPool* pool) {
+  TDB_TRACE_SPAN("ingest.batch_augment");
   BatchAugmentStats stats;
   stats.submitted = batch.size();
   std::vector<EdgeId> added;

@@ -21,6 +21,7 @@
 #include "search/search_context.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace tdb {
 
@@ -251,8 +252,11 @@ CoverResult BarrierSolve(const EngineRun& run, SccStats* scc_stats,
                    : run.master;
   SccOptions scc_options = run.scc_options;
   scc_options.deadline = &condense_deadline;
-  const SccResult scc =
-      CondenseScc(run.graph, scc_options, nullptr, scc_stats);
+  SccResult scc;
+  {
+    TDB_TRACE_SPAN("engine.condense");
+    scc = CondenseScc(run.graph, scc_options, nullptr, scc_stats);
+  }
   *scc_components = scc.num_components;
   if (scc.timed_out) {
     if (split_budget) {
@@ -518,6 +522,7 @@ CoverResult PipelineSolve(const EngineRun& run, SccStats* scc_stats,
   // pool thread, so the lazy extractor slot is touched by one thread.
   auto solve_tail_batch = [&](std::vector<std::vector<VertexId>> batch,
                               int w) {
+    TDB_TRACE_SPAN("engine.solve_tail_batch");
     if (tail_extractors[w] == nullptr) {
       tail_extractors[w] = std::make_unique<SubgraphExtractor>(run.graph);
     }
@@ -595,7 +600,11 @@ CoverResult PipelineSolve(const EngineRun& run, SccStats* scc_stats,
     // amortized check state.
     Deadline condense_deadline = run.master;
     scc_options.deadline = &condense_deadline;
-    SccResult scc = CondenseScc(run.graph, scc_options, sink, scc_stats);
+    SccResult scc;
+    {
+      TDB_TRACE_SPAN("engine.condense");
+      scc = CondenseScc(run.graph, scc_options, sink, scc_stats);
+    }
     if (scc.timed_out) scc_timed_out.store(true, std::memory_order_relaxed);
     if (!small_batch.empty()) submit_batch(std::exchange(small_batch, {}));
     {
@@ -638,6 +647,7 @@ CoverResult PipelineSolve(const EngineRun& run, SccStats* scc_stats,
       t.result.status =
           Status::TimedOut("engine: budget exhausted before component");
     } else {
+      TDB_TRACE_SPAN("engine.solve_in_place");
       t.result = SolveInPlace(run, members, executor, &deadline);
     }
     in_place_results.push_back(std::move(t));
@@ -674,6 +684,7 @@ CoverResult PipelineSolve(const EngineRun& run, SccStats* scc_stats,
 CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
                                        CoverAlgorithm algorithm,
                                        const CoverOptions& options) {
+  TDB_TRACE_SPAN("engine.solve");
   CoverResult result;
   if (!IsKnownAlgorithm(algorithm)) {
     result.status = Status::InvalidArgument("unknown algorithm");

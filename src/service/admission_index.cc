@@ -6,6 +6,7 @@
 #include "search/bounded_reach.h"
 #include "search/search_context.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace tdb {
 
@@ -15,6 +16,7 @@ std::shared_ptr<const AdmissionIndex> AdmissionIndex::Build(
   // k - 1 must sit strictly below the byte-packed distance cap, or the
   // "> max_path_ means no path" comparison loses its meaning.
   if (options.k >= 254) return nullptr;
+  TDB_TRACE_SPAN("admission_index.build");
   Timer timer;
   std::shared_ptr<AdmissionIndex> index(new AdmissionIndex());
   const VertexId n = graph.num_vertices();

@@ -9,6 +9,7 @@
 
 #include "core/solver.h"
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace tdb {
 
@@ -239,6 +240,7 @@ SubmitResult CycleBreakService::SubmitEdges(std::span<const Edge> batch) {
 
 SubmitResult CycleBreakService::SubmitLocked(std::span<const Edge> batch,
                                              bool append_to_journal) {
+  TDB_TRACE_SPAN("service.submit");
   SubmitResult result;
   const uint64_t seq = last_seq_ + 1;
   if (append_to_journal) {
@@ -384,6 +386,7 @@ void CycleBreakService::WaitForCompaction() {
 }
 
 uint64_t CycleBreakService::PublishLocked() {
+  TDB_TRACE_SPAN("service.publish");
   auto snapshot = std::make_shared<ServiceSnapshot>(working_, state_,
                                                     options_.cover);
   if (options_.admission_cache_log2 > 0) {
@@ -426,6 +429,7 @@ bool CycleBreakService::ShouldCompactLocked() const {
 void CycleBreakService::CompactLocked() {
   const uint64_t cut_seq = last_seq_;
   if (options_.synchronous_compaction || replaying_) {
+    TDB_TRACE_SPAN("service.compact_solve");
     auto input = std::make_shared<const CsrGraph>(working_.ToCsr());
     InstallCompactionLocked(input, cut_seq, SolveBase(*input));
     return;  // the caller's publish covers the swap
@@ -438,6 +442,7 @@ void CycleBreakService::CompactLocked() {
   // Only an O(delta) overlay copy happens under writer_mu_; the O(n + m)
   // CSR materialization and the solve run on the compaction thread.
   compact_thread_ = std::thread([this, cut_seq, frozen = working_] {
+    TDB_TRACE_SPAN("service.compact_solve");
     auto input = std::make_shared<const CsrGraph>(frozen.ToCsr());
     CoverResult solved = SolveBase(*input);  // no locks held
     {
@@ -452,6 +457,7 @@ void CycleBreakService::CompactLocked() {
 void CycleBreakService::InstallCompactionLocked(
     std::shared_ptr<const CsrGraph> base, uint64_t cut_seq,
     CoverResult solved) {
+  TDB_TRACE_SPAN("service.compact_install");
   const VertexId n = base->num_vertices();
   std::vector<VertexId> cover = std::move(solved.cover);
   if (!solved.status.ok()) {
@@ -502,6 +508,7 @@ void CycleBreakService::InstallCompactionLocked(
 }
 
 void CycleBreakService::PersistCutLocked(uint64_t cut_seq) {
+  TDB_TRACE_SPAN("service.persist_cut");
   const std::string& dir = options_.data_dir;
   const std::string snapshot_file = SnapshotFileName(cut_seq);
   const std::string snapshot_path = dir + "/" + snapshot_file;

@@ -201,6 +201,11 @@ class CycleBreakService {
 
   ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
 
+  /// The live counters, for metric-registry export (see
+  /// service/service_metrics.h). Read-only; the atomics stay valid for
+  /// the service's lifetime.
+  const ServiceStats& raw_stats() const { return stats_; }
+
   /// What Open replayed (zeros for fresh services).
   const RecoveryInfo& recovery_info() const { return recovery_; }
 

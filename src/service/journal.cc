@@ -10,6 +10,7 @@
 
 #include "util/cfile.h"
 #include "util/crc32.h"
+#include "util/trace.h"
 
 namespace tdb {
 
@@ -36,6 +37,7 @@ bool ReadAll(std::FILE* f, void* data, size_t len) {
 }
 
 Status FsyncFile(std::FILE* f, const std::string& path) {
+  TDB_TRACE_SPAN("journal.fsync");
   if (std::fflush(f) != 0) return IoError(path, "fflush failed");
   if (::fsync(::fileno(f)) != 0) return IoError(path, "fsync failed");
   return Status::OK();
@@ -178,6 +180,7 @@ Status Journal::Open(const std::string& path, DurabilityPolicy durability,
 }
 
 Status Journal::Append(uint64_t seq, std::span<const Edge> batch) {
+  TDB_TRACE_SPAN("journal.append");
   if (file_ == nullptr) {
     return Status::IOError(path_ + ": journal poisoned by earlier failure");
   }

@@ -10,6 +10,7 @@
 #include "graph/graph_io.h"
 #include "util/cfile.h"
 #include "util/crc32.h"
+#include "util/trace.h"
 
 namespace tdb {
 
@@ -165,6 +166,7 @@ Status Corrupt(const std::string& path, const char* what) {
 
 Status WriteSnapshotFile(const SnapshotState& state,
                          const std::string& path) {
+  TDB_TRACE_SPAN("snapshot.write");
   const std::string tmp = path + ".tmp";
   FilePtr f(std::fopen(tmp.c_str(), "wb"));
   if (f == nullptr) return Status::IOError(tmp + ": cannot create");
@@ -220,6 +222,7 @@ Status WriteSnapshotFile(const SnapshotState& state,
 }
 
 Status ReadSnapshotFile(const std::string& path, SnapshotState* state) {
+  TDB_TRACE_SPAN("snapshot.read");
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) return Status::IOError(path + ": cannot open");
   // The header's counts drive allocations; bound them by what the file

@@ -2,17 +2,18 @@
 //
 // ServiceStats is written from concurrent ingest/admission/compaction
 // paths, so every counter is a relaxed atomic — the numbers are
-// monitoring data, not synchronization. LatencyHistogram is the same
-// idea for latencies: fixed power-of-two buckets over nanoseconds,
-// lock-free recording, approximate percentiles (each reported value is
-// the upper bound of its bucket, i.e. within 2x of the true value —
-// plenty for a p50/p95/p99 serving dashboard).
+// monitoring data, not synchronization. LatencyHistogram (the matching
+// lock-free log2 latency instrument) now lives in util/metrics.h with
+// the rest of the metric toolkit; it is re-exported here so existing
+// service-layer users keep compiling unchanged. To export ServiceStats
+// through the process-wide registry, see service/service_metrics.h.
 #ifndef TDB_SERVICE_STATS_H_
 #define TDB_SERVICE_STATS_H_
 
 #include <atomic>
-#include <bit>
 #include <cstdint>
+
+#include "util/metrics.h"
 
 namespace tdb {
 
@@ -115,46 +116,6 @@ struct ServiceStats {
     out.persist_failures = get(persist_failures);
     return out;
   }
-};
-
-/// Lock-free log2-bucketed latency histogram over nanoseconds.
-class LatencyHistogram {
- public:
-  /// Records one sample. Thread-safe, wait-free.
-  void Record(double seconds) {
-    const double ns = seconds * 1e9;
-    const uint64_t ticks = ns <= 1.0 ? 1 : static_cast<uint64_t>(ns);
-    const int bucket = 64 - std::countl_zero(ticks);
-    counts_[bucket >= kBuckets ? kBuckets - 1 : bucket].fetch_add(
-        1, std::memory_order_relaxed);
-  }
-
-  uint64_t TotalCount() const {
-    uint64_t total = 0;
-    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
-    return total;
-  }
-
-  /// Approximate p-th percentile (p in [0, 1]) in seconds: the upper edge
-  /// of the bucket containing that rank, or 0 with no samples.
-  double PercentileSeconds(double p) const {
-    const uint64_t total = TotalCount();
-    if (total == 0) return 0.0;
-    uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
-    if (rank >= total) rank = total - 1;
-    uint64_t seen = 0;
-    for (int b = 0; b < kBuckets; ++b) {
-      seen += counts_[b].load(std::memory_order_relaxed);
-      if (seen > rank) {
-        return static_cast<double>(uint64_t{1} << b) * 1e-9;
-      }
-    }
-    return 0.0;
-  }
-
- private:
-  static constexpr int kBuckets = 64;
-  std::atomic<uint64_t> counts_[kBuckets] = {};
 };
 
 }  // namespace tdb

@@ -1,0 +1,310 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace tdb {
+
+namespace {
+
+/// %.9g covers every bucket edge and count exactly enough for both
+/// exporters while staying locale-independent.
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+/// HELP text escaping per the exposition format: backslash and newline.
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Highest bucket worth emitting: everything above the last non-empty
+/// bucket carries the same cumulative count, which +Inf already states.
+int LastNonEmptyBucket(const LatencyHistogram& h) {
+  int last = 0;
+  for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+    if (h.BucketCount(b) > 0) last = b;
+  }
+  return last;
+}
+
+}  // namespace
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+bool MetricRegistry::IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+const MetricRegistry::Entry* MetricRegistry::FindLocked(
+    const std::string& name) const {
+  for (const auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+Counter* MetricRegistry::AddCounter(const std::string& name,
+                                    const std::string& help) {
+  TDB_CHECK(IsValidMetricName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const Entry* existing = FindLocked(name)) {
+    TDB_CHECK(existing->type == Type::kCounter &&
+              existing->owned_counter != nullptr);
+    return existing->owned_counter.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->id = next_id_++;
+  entry->name = name;
+  entry->help = help;
+  entry->type = Type::kCounter;
+  entry->owned_counter = std::make_unique<Counter>();
+  Counter* counter = entry->owned_counter.get();
+  entry->counter_value = [counter] { return counter->Value(); };
+  entries_.push_back(std::move(entry));
+  return counter;
+}
+
+Gauge* MetricRegistry::AddGauge(const std::string& name,
+                                const std::string& help) {
+  TDB_CHECK(IsValidMetricName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const Entry* existing = FindLocked(name)) {
+    TDB_CHECK(existing->type == Type::kGauge &&
+              existing->owned_gauge != nullptr);
+    return existing->owned_gauge.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->id = next_id_++;
+  entry->name = name;
+  entry->help = help;
+  entry->type = Type::kGauge;
+  entry->owned_gauge = std::make_unique<Gauge>();
+  Gauge* gauge = entry->owned_gauge.get();
+  entry->gauge_value = [gauge] { return gauge->Value(); };
+  entries_.push_back(std::move(entry));
+  return gauge;
+}
+
+LatencyHistogram* MetricRegistry::AddHistogram(const std::string& name,
+                                               const std::string& help) {
+  TDB_CHECK(IsValidMetricName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const Entry* existing = FindLocked(name)) {
+    TDB_CHECK(existing->type == Type::kHistogram &&
+              existing->owned_histogram != nullptr);
+    return existing->owned_histogram.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->id = next_id_++;
+  entry->name = name;
+  entry->help = help;
+  entry->type = Type::kHistogram;
+  entry->owned_histogram = std::make_unique<LatencyHistogram>();
+  LatencyHistogram* histogram = entry->owned_histogram.get();
+  entry->histogram = histogram;
+  entries_.push_back(std::move(entry));
+  return histogram;
+}
+
+MetricRegistry::Registration MetricRegistry::AddViewLocked(Entry entry) {
+  TDB_CHECK(IsValidMetricName(entry.name));
+  TDB_CHECK(FindLocked(entry.name) == nullptr);
+  entry.id = next_id_++;
+  const uint64_t id = entry.id;
+  entries_.push_back(std::make_unique<Entry>(std::move(entry)));
+  return Registration(this, id);
+}
+
+MetricRegistry::Registration MetricRegistry::AddCounterView(
+    const std::string& name, const std::string& help,
+    const std::atomic<uint64_t>* value) {
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.type = Type::kCounter;
+  entry.counter_value = [value] {
+    return value->load(std::memory_order_relaxed);
+  };
+  std::lock_guard<std::mutex> lock(mu_);
+  return AddViewLocked(std::move(entry));
+}
+
+MetricRegistry::Registration MetricRegistry::AddGaugeFn(
+    const std::string& name, const std::string& help,
+    std::function<double()> fn) {
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.type = Type::kGauge;
+  entry.gauge_value = std::move(fn);
+  std::lock_guard<std::mutex> lock(mu_);
+  return AddViewLocked(std::move(entry));
+}
+
+MetricRegistry::Registration MetricRegistry::AddHistogramView(
+    const std::string& name, const std::string& help,
+    const LatencyHistogram* histogram) {
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.type = Type::kHistogram;
+  entry.histogram = histogram;
+  std::lock_guard<std::mutex> lock(mu_);
+  return AddViewLocked(std::move(entry));
+}
+
+void MetricRegistry::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const std::unique_ptr<Entry>& e) {
+                                  return e->id == id;
+                                }),
+                 entries_.end());
+}
+
+void MetricRegistry::Registration::Release() {
+  if (registry_ != nullptr) {
+    registry_->Unregister(id_);
+    registry_ = nullptr;
+  }
+}
+
+std::string MetricRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& entry : entries_) sorted.push_back(entry.get());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) { return a->name < b->name; });
+
+  std::string out;
+  for (const Entry* entry : sorted) {
+    out += "# HELP " + entry->name + " " + EscapeHelp(entry->help) + "\n";
+    switch (entry->type) {
+      case Type::kCounter:
+        out += "# TYPE " + entry->name + " counter\n";
+        out += entry->name + " " +
+               std::to_string(entry->counter_value()) + "\n";
+        break;
+      case Type::kGauge:
+        out += "# TYPE " + entry->name + " gauge\n";
+        out += entry->name + " " + FormatDouble(entry->gauge_value()) + "\n";
+        break;
+      case Type::kHistogram: {
+        const LatencyHistogram& h = *entry->histogram;
+        out += "# TYPE " + entry->name + " histogram\n";
+        const int last = LastNonEmptyBucket(h);
+        uint64_t cumulative = 0;
+        for (int b = 0; b <= last; ++b) {
+          cumulative += h.BucketCount(b);
+          out += entry->name + "_bucket{le=\"" +
+                 FormatDouble(
+                     LatencyHistogram::BucketUpperEdgeSeconds(b)) +
+                 "\"} " + std::to_string(cumulative) + "\n";
+        }
+        // Relaxed per-bucket loads can race concurrent recording; the
+        // +Inf line re-reads the total so the invariant "+Inf equals
+        // _count" holds within this scrape regardless.
+        const uint64_t total = std::max(cumulative, h.TotalCount());
+        out += entry->name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(total) + "\n";
+        out += entry->name + "_sum " + FormatDouble(h.SumSeconds()) + "\n";
+        out += entry->name + "_count " + std::to_string(total) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& entry : entries_) sorted.push_back(entry.get());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) { return a->name < b->name; });
+
+  std::string counters, gauges, histograms;
+  for (const Entry* entry : sorted) {
+    const std::string key = "\"" + EscapeJson(entry->name) + "\": ";
+    switch (entry->type) {
+      case Type::kCounter:
+        if (!counters.empty()) counters += ", ";
+        counters += key + std::to_string(entry->counter_value());
+        break;
+      case Type::kGauge:
+        if (!gauges.empty()) gauges += ", ";
+        gauges += key + FormatDouble(entry->gauge_value());
+        break;
+      case Type::kHistogram: {
+        const LatencyHistogram& h = *entry->histogram;
+        if (!histograms.empty()) histograms += ", ";
+        std::string buckets;
+        const int last = LastNonEmptyBucket(h);
+        uint64_t cumulative = 0;
+        for (int b = 0; b <= last; ++b) {
+          cumulative += h.BucketCount(b);
+          if (!buckets.empty()) buckets += ", ";
+          buckets += "{\"le_seconds\": " +
+                     FormatDouble(
+                         LatencyHistogram::BucketUpperEdgeSeconds(b)) +
+                     ", \"count\": " + std::to_string(cumulative) + "}";
+        }
+        histograms += key + "{\"count\": " +
+                      std::to_string(std::max(cumulative, h.TotalCount())) +
+                      ", \"sum_seconds\": " + FormatDouble(h.SumSeconds()) +
+                      ", \"p50_seconds\": " +
+                      FormatDouble(h.PercentileSeconds(0.50)) +
+                      ", \"p95_seconds\": " +
+                      FormatDouble(h.PercentileSeconds(0.95)) +
+                      ", \"p99_seconds\": " +
+                      FormatDouble(h.PercentileSeconds(0.99)) +
+                      ", \"buckets\": [" + buckets + "]}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +
+         "}, \"histograms\": {" + histograms + "}}\n";
+}
+
+}  // namespace tdb

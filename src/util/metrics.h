@@ -1,0 +1,239 @@
+// Process-wide metric registry: named counters, gauges and log2-bucketed
+// latency histograms with Prometheus text exposition and a JSON dump.
+//
+// The split that keeps hot paths hot: *registration* (startup, rare)
+// takes a mutex and hands back a stable pointer; *recording* (per
+// event, concurrent) is one relaxed atomic RMW on that pointer — no
+// locks, no lookups, no allocation. Exporters walk the registry under
+// the registration mutex, reading each instrument with relaxed loads,
+// so a scrape never blocks a recorder.
+//
+// Two registration shapes:
+//   * owned instruments (AddCounter/AddGauge/AddHistogram): the registry
+//     allocates and keeps them alive forever — the "register at startup"
+//     shape for process-lifetime metrics;
+//   * views (AddCounterView/AddGaugeFn/AddHistogramView): the caller
+//     owns the storage (e.g. the atomics already inside ServiceStats)
+//     and the returned RAII Registration unbinds it on destruction, so
+//     shorter-lived objects can export without double-counting or
+//     dangling.
+#ifndef TDB_UTIL_METRICS_H_
+#define TDB_UTIL_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tdb {
+
+/// Monotonic counter; wait-free relaxed recording.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins double gauge; wait-free relaxed recording.
+class Gauge {
+ public:
+  void Set(double value) {
+    bits_.store(std::bit_cast<uint64_t>(value), std::memory_order_relaxed);
+  }
+  double Value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<uint64_t> bits_{std::bit_cast<uint64_t>(0.0)};
+};
+
+/// Lock-free log2-bucketed latency histogram over nanoseconds.
+///
+/// Bucket b (b >= 1) holds samples whose nanosecond tick count has its
+/// highest set bit at b - 1, i.e. ticks in [2^(b-1), 2^b); bucket 0 is
+/// the clamp bucket for garbage input (negative, NaN, sub-nanosecond).
+/// Each reported percentile is the upper edge of its bucket — within 2x
+/// of the true value, plenty for a p50/p95/p99 serving dashboard.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  /// Records one sample. Thread-safe, wait-free. Negative, NaN and
+  /// sub-nanosecond inputs (possible under clock adjustment) clamp into
+  /// bucket 0 with zero sum contribution instead of hitting the
+  /// undefined float-to-integer cast.
+  void Record(double seconds) {
+    const double ns = seconds * 1e9;
+    uint64_t ticks = 0;
+    int bucket = 0;
+    if (ns >= 1.0) {  // false for NaN and negatives
+      // 2^63 caps the cast: anything at or beyond it saturates into the
+      // last bucket rather than overflowing the uint64 conversion.
+      constexpr double kCastCap = 9223372036854775808.0;  // 2^63
+      ticks = ns >= kCastCap ? (uint64_t{1} << 63)
+                             : static_cast<uint64_t>(ns);
+      bucket = 64 - std::countl_zero(ticks);
+      if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+    }
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ticks, std::memory_order_relaxed);
+  }
+
+  uint64_t TotalCount() const {
+    uint64_t total = 0;
+    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Sum of all recorded samples in seconds (clamped samples add 0).
+  double SumSeconds() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
+  uint64_t BucketCount(int bucket) const {
+    return counts_[bucket].load(std::memory_order_relaxed);
+  }
+
+  /// Upper edge of `bucket` in seconds: 2^bucket nanoseconds.
+  static double BucketUpperEdgeSeconds(int bucket) {
+    return static_cast<double>(uint64_t{1} << bucket) * 1e-9;
+  }
+
+  /// Approximate p-th percentile (p in [0, 1]) in seconds: the upper edge
+  /// of the bucket containing that rank, or 0 with no samples.
+  double PercentileSeconds(double p) const {
+    const uint64_t total = TotalCount();
+    if (total == 0) return 0.0;
+    uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+    if (rank >= total) rank = total - 1;
+    uint64_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      seen += counts_[b].load(std::memory_order_relaxed);
+      if (seen > rank) return BucketUpperEdgeSeconds(b);
+    }
+    return 0.0;
+  }
+
+ private:
+  std::atomic<uint64_t> counts_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+/// Named instrument directory with two exporters. Thread-safe; see the
+/// file comment for the registration-vs-recording cost split.
+class MetricRegistry {
+ public:
+  /// RAII unbind handle for view registrations. Destroying it (or the
+  /// registry outliving it) removes the entry; the default-constructed
+  /// handle is inert.
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& other) noexcept
+        : registry_(other.registry_), id_(other.id_) {
+      other.registry_ = nullptr;
+    }
+    Registration& operator=(Registration&& other) noexcept {
+      if (this != &other) {
+        Release();
+        registry_ = other.registry_;
+        id_ = other.id_;
+        other.registry_ = nullptr;
+      }
+      return *this;
+    }
+    ~Registration() { Release(); }
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+
+   private:
+    friend class MetricRegistry;
+    Registration(MetricRegistry* registry, uint64_t id)
+        : registry_(registry), id_(id) {}
+    void Release();
+
+    MetricRegistry* registry_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide registry (what tdb_serve exports).
+  static MetricRegistry& Global();
+
+  /// Owned instruments: get-or-create by name (a second call with the
+  /// same name returns the same instrument; a type mismatch aborts).
+  /// The returned pointer is valid for the registry's lifetime. Names
+  /// must match Prometheus legality ([a-zA-Z_:][a-zA-Z0-9_:]*).
+  Counter* AddCounter(const std::string& name, const std::string& help);
+  Gauge* AddGauge(const std::string& name, const std::string& help);
+  LatencyHistogram* AddHistogram(const std::string& name,
+                                 const std::string& help);
+
+  /// View registrations: the caller keeps ownership of the storage,
+  /// which must outlive the returned Registration. The name must not
+  /// already be registered.
+  [[nodiscard]] Registration AddCounterView(
+      const std::string& name, const std::string& help,
+      const std::atomic<uint64_t>* value);
+  [[nodiscard]] Registration AddGaugeFn(const std::string& name,
+                                        const std::string& help,
+                                        std::function<double()> fn);
+  [[nodiscard]] Registration AddHistogramView(
+      const std::string& name, const std::string& help,
+      const LatencyHistogram* histogram);
+
+  /// Prometheus text exposition format 0.0.4: HELP/TYPE per family,
+  /// cumulative le-labelled buckets + _sum/_count for histograms.
+  /// Families are emitted in name order.
+  std::string RenderPrometheus() const;
+
+  /// JSON dump: {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {count, sum_seconds, p50/p95/p99_seconds, buckets}}}.
+  std::string RenderJson() const;
+
+  static bool IsValidMetricName(const std::string& name);
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    uint64_t id = 0;
+    std::string name;
+    std::string help;
+    Type type = Type::kCounter;
+    /// Readers for the three types; exactly one is set.
+    std::function<uint64_t()> counter_value;
+    std::function<double()> gauge_value;
+    const LatencyHistogram* histogram = nullptr;
+    /// Keep-alive storage for owned instruments (null for views).
+    std::unique_ptr<Counter> owned_counter;
+    std::unique_ptr<Gauge> owned_gauge;
+    std::unique_ptr<LatencyHistogram> owned_histogram;
+  };
+
+  const Entry* FindLocked(const std::string& name) const;
+  Registration AddViewLocked(Entry entry);
+  void Unregister(uint64_t id);
+
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_UTIL_METRICS_H_

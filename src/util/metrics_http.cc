@@ -1,0 +1,126 @@
+#include "util/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/metrics.h"
+
+namespace tdb {
+
+namespace {
+
+/// Writes the whole buffer, riding out EINTR and short sends. A peer
+/// that hangs up mid-response is its own problem: MSG_NOSIGNAL keeps
+/// the failure a return code instead of a SIGPIPE.
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(const char* status, const char* content_type,
+                         const std::string& body) {
+  return std::string("HTTP/1.0 ") + status +
+         "\r\nContent-Type: " + content_type +
+         "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n" + body;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(MetricRegistry* registry, int port)
+    : registry_(registry), requested_port_(port) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+Status MetricsHttpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("metrics listener: cannot create socket");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(requested_port_));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 8) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("metrics listener: cannot bind 127.0.0.1:" +
+                           std::to_string(requested_port_));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &len) == 0) {
+    bound_port_ = ntohs(addr.sin_port);
+  }
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  if (!thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Unblocks the accept; the loop observes stopping_ and exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void MetricsHttpServer::Serve() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      continue;  // transient (EINTR, aborted connection)
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  // Only the request line matters; 4 KB is plenty for any scraper.
+  char buf[4096];
+  const ssize_t n = ::recv(fd, buf, sizeof buf - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  const char* line_end = std::strstr(buf, "\r\n");
+  const std::string request_line(
+      buf, line_end != nullptr ? static_cast<size_t>(line_end - buf)
+                               : static_cast<size_t>(n));
+  if (request_line.rfind("GET ", 0) != 0) {
+    SendAll(fd, HttpResponse("405 Method Not Allowed", "text/plain",
+                             "only GET is served\n"));
+    return;
+  }
+  const size_t path_end = request_line.find(' ', 4);
+  const std::string path = request_line.substr(
+      4, path_end == std::string::npos ? std::string::npos : path_end - 4);
+  if (path == "/metrics") {
+    SendAll(fd, HttpResponse("200 OK",
+                             "text/plain; version=0.0.4; charset=utf-8",
+                             registry_->RenderPrometheus()));
+  } else if (path == "/metrics.json") {
+    SendAll(fd, HttpResponse("200 OK", "application/json",
+                             registry_->RenderJson()));
+  } else {
+    SendAll(fd, HttpResponse("404 Not Found", "text/plain",
+                             "try /metrics or /metrics.json\n"));
+  }
+}
+
+}  // namespace tdb

@@ -1,0 +1,61 @@
+// Minimal blocking HTTP listener exporting a MetricRegistry.
+//
+// Serves exactly two endpoints over HTTP/1.0-style request/response on
+// 127.0.0.1 (loopback only — this is a scrape port, not a public API):
+//
+//   GET /metrics        Prometheus text exposition (0.0.4)
+//   GET /metrics.json   the registry's JSON dump
+//
+// One accept loop on one background thread, one connection at a time:
+// a scrape renders the registry (which never blocks recorders) and the
+// response is a few KB, so prompt sequential service is plenty for a
+// monitoring endpoint. Start() binds (port 0 = kernel-assigned; read it
+// back from port()); Stop()/destruction closes the socket and joins.
+#ifndef TDB_UTIL_METRICS_HTTP_H_
+#define TDB_UTIL_METRICS_HTTP_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace tdb {
+
+class MetricRegistry;
+
+class MetricsHttpServer {
+ public:
+  /// Serves `registry` (borrowed; must outlive the server) on loopback
+  /// `port`. Nothing happens until Start().
+  MetricsHttpServer(MetricRegistry* registry, int port);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds + listens + spawns the serving thread. Fails (without a
+  /// thread) when the port cannot be bound.
+  Status Start();
+
+  /// The bound port (after a successful Start; 0 before).
+  int port() const { return bound_port_; }
+
+  /// Idempotent; blocks until the serving thread exits.
+  void Stop();
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  MetricRegistry* const registry_;
+  const int requested_port_;
+  int bound_port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_UTIL_METRICS_HTTP_H_

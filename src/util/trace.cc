@@ -1,0 +1,149 @@
+#include "util/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tdb::trace {
+
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+/// One span as stored: 24 bytes, no ownership (names are literals).
+struct StoredSpan {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+};
+
+/// A thread's private ring. Only the owning thread writes; the
+/// serializer reads `count` with acquire so everything a joined (or
+/// otherwise happens-before-ordered) thread wrote is visible.
+struct ThreadBuffer {
+  static constexpr uint64_t kCapacity = 8192;  // 192 KiB per thread
+
+  explicit ThreadBuffer(uint32_t tid_in) : tid(tid_in) {}
+
+  uint32_t tid;
+  std::atomic<uint64_t> count{0};  // monotonic spans emitted
+  StoredSpan spans[kCapacity];
+};
+
+struct BufferDirectory {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 1;
+};
+
+BufferDirectory& Directory() {
+  static BufferDirectory* directory = new BufferDirectory();
+  return *directory;
+}
+
+ThreadBuffer* LocalBuffer() {
+  // The shared_ptr keeps the buffer alive in the directory after the
+  // thread exits, so short-lived worker threads' spans survive into the
+  // final dump.
+  thread_local std::shared_ptr<ThreadBuffer> local = [] {
+    BufferDirectory& directory = Directory();
+    std::lock_guard<std::mutex> lock(directory.mu);
+    auto buffer = std::make_shared<ThreadBuffer>(directory.next_tid++);
+    directory.buffers.push_back(buffer);
+    return buffer;
+  }();
+  return local.get();
+}
+
+}  // namespace
+
+uint64_t NowNs() {
+  // One process-wide anchor so every thread's timestamps share a zero.
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+void EmitSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  ThreadBuffer* buffer = LocalBuffer();
+  const uint64_t n = buffer->count.load(std::memory_order_relaxed);
+  StoredSpan& slot = buffer->spans[n % ThreadBuffer::kCapacity];
+  slot.name = name;
+  slot.start_ns = start_ns;
+  slot.dur_ns = end_ns - start_ns;
+  buffer->count.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t TotalSpanCount() {
+  internal::BufferDirectory& directory = internal::Directory();
+  std::lock_guard<std::mutex> lock(directory.mu);
+  uint64_t total = 0;
+  for (const auto& buffer : directory.buffers) {
+    total += buffer->count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+void Reset() {
+  internal::BufferDirectory& directory = internal::Directory();
+  std::lock_guard<std::mutex> lock(directory.mu);
+  for (const auto& buffer : directory.buffers) {
+    buffer->count.store(0, std::memory_order_release);
+  }
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError(path + ": cannot write trace");
+  }
+  std::vector<std::shared_ptr<internal::ThreadBuffer>> buffers;
+  {
+    internal::BufferDirectory& directory = internal::Directory();
+    std::lock_guard<std::mutex> lock(directory.mu);
+    buffers = directory.buffers;
+  }
+  std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+  bool first = true;
+  for (const auto& buffer : buffers) {
+    const uint64_t count = buffer->count.load(std::memory_order_acquire);
+    const uint64_t survivors =
+        count < internal::ThreadBuffer::kCapacity
+            ? count
+            : internal::ThreadBuffer::kCapacity;
+    for (uint64_t i = count - survivors; i < count; ++i) {
+      const internal::StoredSpan& span =
+          buffer->spans[i % internal::ThreadBuffer::kCapacity];
+      // ts/dur are microseconds in the trace_event format; %.3f keeps
+      // nanosecond resolution.
+      std::fprintf(f,
+                   "%s\n{\"name\": \"%s\", \"cat\": \"tdb\", \"ph\": "
+                   "\"X\", \"pid\": 1, \"tid\": %u, \"ts\": %.3f, "
+                   "\"dur\": %.3f}",
+                   first ? "" : ",", span.name, buffer->tid,
+                   static_cast<double>(span.start_ns) * 1e-3,
+                   static_cast<double>(span.dur_ns) * 1e-3);
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n]}\n");
+  if (std::fclose(f) != 0) {
+    return Status::IOError(path + ": close failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace tdb::trace

@@ -1,0 +1,85 @@
+// Per-thread lock-free span tracer with Chrome trace_event export.
+//
+// `TDB_TRACE_SPAN("engine.solve")` opens an RAII scope; when tracing is
+// enabled its constructor/destructor stamp a steady-clock interval into
+// the calling thread's private ring buffer (fixed capacity, oldest
+// events overwritten — recording never blocks and never allocates after
+// the thread's first span). When tracing is disabled — the default —
+// the whole span is one relaxed flag load and a branch: zero clock
+// reads, zero stores, so instrumented hot paths cost nothing.
+//
+// `WriteChromeTrace(path)` serializes every thread's surviving events as
+// Chrome trace_event JSON ("X" complete events), loadable in
+// chrome://tracing or Perfetto. Serialization walks buffers other
+// threads own: call it at quiescence (workers joined / service drained),
+// the same discipline the exporters in tdb_serve follow.
+#ifndef TDB_UTIL_TRACE_H_
+#define TDB_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace tdb::trace {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+uint64_t NowNs();
+void EmitSpan(const char* name, uint64_t start_ns, uint64_t end_ns);
+}  // namespace internal
+
+/// Cheap enough for any hot path: one relaxed load.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+void SetEnabled(bool enabled);
+
+/// Spans recorded since startup (or the last Reset) across all threads,
+/// including any the ring buffers have since overwritten.
+uint64_t TotalSpanCount();
+
+/// Clears every thread's buffer. Quiescence required (test plumbing).
+void Reset();
+
+/// Writes all surviving spans as Chrome trace_event JSON. Quiescence
+/// required: threads still recording may tear concurrently-written
+/// slots.
+Status WriteChromeTrace(const std::string& path);
+
+/// RAII span: records [construction, destruction) under `name` when
+/// tracing was enabled at construction. `name` must be a string literal
+/// (or otherwise outlive the trace dump) — the tracer stores the
+/// pointer, not a copy.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (Enabled()) {
+      name_ = name;
+      start_ns_ = internal::NowNs();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) {
+      internal::EmitSpan(name_, start_ns_, internal::NowNs());
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace tdb::trace
+
+#define TDB_TRACE_CONCAT_INNER(a, b) a##b
+#define TDB_TRACE_CONCAT(a, b) TDB_TRACE_CONCAT_INNER(a, b)
+/// Traces the rest of the enclosing scope as one span.
+#define TDB_TRACE_SPAN(name) \
+  ::tdb::trace::Span TDB_TRACE_CONCAT(tdb_trace_span_, __LINE__)(name)
+
+#endif  // TDB_UTIL_TRACE_H_

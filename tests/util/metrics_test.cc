@@ -1,0 +1,289 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/metrics_http.h"
+
+namespace tdb {
+namespace {
+
+// ------------------------------------------------- LatencyHistogram
+
+TEST(LatencyHistogramTest, BucketBoundariesAreExact) {
+  // Bucket b >= 1 holds tick counts in [2^(b-1), 2^b): a sample exactly
+  // on a power of two belongs to the bucket above the edge.
+  LatencyHistogram h;
+  h.Record(1e-9);  // 1 tick -> bucket 1
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  h.Record(2e-9);  // 2 ticks -> bucket 2 (edge is exclusive below)
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  h.Record(3e-9);  // 3 ticks -> still bucket 2
+  EXPECT_EQ(h.BucketCount(2), 2u);
+  h.Record(4e-9);  // 4 ticks -> bucket 3
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  h.Record(1024e-9);  // 2^10 ticks -> bucket 11
+  EXPECT_EQ(h.BucketCount(11), 1u);
+  EXPECT_EQ(h.TotalCount(), 5u);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperEdgeSeconds(1), 2e-9);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperEdgeSeconds(11), 2048e-9);
+}
+
+TEST(LatencyHistogramTest, GarbageInputClampsToBucketZero) {
+  // Regression: the old cast of a negative/NaN double to uint64_t was
+  // undefined behavior. All garbage now lands in bucket 0 with zero sum
+  // contribution.
+  LatencyHistogram h;
+  h.Record(-1.0);
+  h.Record(-1e-12);
+  h.Record(0.0);
+  h.Record(0.4e-9);  // sub-nanosecond
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  h.Record(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.BucketCount(0), 6u);
+  EXPECT_EQ(h.TotalCount(), 6u);
+  EXPECT_DOUBLE_EQ(h.SumSeconds(), 0.0);
+}
+
+TEST(LatencyHistogramTest, HugeInputSaturatesLastBucket) {
+  LatencyHistogram h;
+  h.Record(std::numeric_limits<double>::infinity());
+  h.Record(1e30);  // way beyond 2^63 ns
+  EXPECT_EQ(h.BucketCount(LatencyHistogram::kNumBuckets - 1), 2u);
+  EXPECT_EQ(h.TotalCount(), 2u);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotonic) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(static_cast<double>(i) * 1e-6);
+  }
+  double prev = 0.0;
+  for (double p : {0.0, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0}) {
+    const double value = h.PercentileSeconds(p);
+    EXPECT_GE(value, prev) << "p=" << p;
+    prev = value;
+  }
+  // The upper-edge convention bounds the error to 2x from above.
+  EXPECT_GE(h.PercentileSeconds(0.50), 500e-6);
+  EXPECT_LE(h.PercentileSeconds(0.50), 2 * 512e-6);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h.SumSeconds(), 0.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordingLosesNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<double>(t + 1) * 1e-6);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.TotalCount(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  // Each thread's sample has an exact integer tick count, so the sum is
+  // exact too: sum_t (t+1) * 1000 ticks * kPerThread.
+  const double expected =
+      static_cast<double>(kPerThread) * 1e-6 *
+      (kThreads * (kThreads + 1) / 2);
+  EXPECT_DOUBLE_EQ(h.SumSeconds(), expected);
+}
+
+// --------------------------------------------------- MetricRegistry
+
+TEST(MetricRegistryTest, NameLegality) {
+  EXPECT_TRUE(MetricRegistry::IsValidMetricName("tdb_requests_total"));
+  EXPECT_TRUE(MetricRegistry::IsValidMetricName("a:b_c9"));
+  EXPECT_TRUE(MetricRegistry::IsValidMetricName("_hidden"));
+  EXPECT_FALSE(MetricRegistry::IsValidMetricName(""));
+  EXPECT_FALSE(MetricRegistry::IsValidMetricName("9lives"));
+  EXPECT_FALSE(MetricRegistry::IsValidMetricName("has space"));
+  EXPECT_FALSE(MetricRegistry::IsValidMetricName("has-dash"));
+  EXPECT_FALSE(MetricRegistry::IsValidMetricName("sneaky\n"));
+}
+
+TEST(MetricRegistryTest, OwnedInstrumentsGetOrCreate) {
+  MetricRegistry registry;
+  Counter* a = registry.AddCounter("x_total", "a counter");
+  Counter* b = registry.AddCounter("x_total", "a counter");
+  EXPECT_EQ(a, b);
+  a->Increment(2);
+  b->Increment();
+  EXPECT_EQ(a->Value(), 3u);
+}
+
+TEST(MetricRegistryTest, PrometheusGolden) {
+  MetricRegistry registry;
+  registry.AddCounter("demo_requests_total", "Requests served")
+      ->Increment(3);
+  registry.AddGauge("demo_temperature", "Current temperature")->Set(2.5);
+  LatencyHistogram* h =
+      registry.AddHistogram("demo_latency_seconds", "Solve latency");
+  h->Record(1e-9);
+  h->Record(3e-9);
+  const std::string expected =
+      "# HELP demo_latency_seconds Solve latency\n"
+      "# TYPE demo_latency_seconds histogram\n"
+      "demo_latency_seconds_bucket{le=\"1e-09\"} 0\n"
+      "demo_latency_seconds_bucket{le=\"2e-09\"} 1\n"
+      "demo_latency_seconds_bucket{le=\"4e-09\"} 2\n"
+      "demo_latency_seconds_bucket{le=\"+Inf\"} 2\n"
+      "demo_latency_seconds_sum 4e-09\n"
+      "demo_latency_seconds_count 2\n"
+      "# HELP demo_requests_total Requests served\n"
+      "# TYPE demo_requests_total counter\n"
+      "demo_requests_total 3\n"
+      "# HELP demo_temperature Current temperature\n"
+      "# TYPE demo_temperature gauge\n"
+      "demo_temperature 2.5\n";
+  EXPECT_EQ(registry.RenderPrometheus(), expected);
+}
+
+TEST(MetricRegistryTest, JsonGolden) {
+  MetricRegistry registry;
+  registry.AddCounter("c_total", "c")->Increment(7);
+  registry.AddGauge("g", "g")->Set(0.25);
+  LatencyHistogram* h = registry.AddHistogram("h_seconds", "h");
+  h->Record(1e-9);
+  const std::string expected =
+      "{\"counters\": {\"c_total\": 7}, \"gauges\": {\"g\": 0.25}, "
+      "\"histograms\": {\"h_seconds\": {\"count\": 1, "
+      "\"sum_seconds\": 1e-09, \"p50_seconds\": 2e-09, "
+      "\"p95_seconds\": 2e-09, \"p99_seconds\": 2e-09, "
+      "\"buckets\": [{\"le_seconds\": 1e-09, \"count\": 0}, "
+      "{\"le_seconds\": 2e-09, \"count\": 1}]}}}\n";
+  EXPECT_EQ(registry.RenderJson(), expected);
+}
+
+TEST(MetricRegistryTest, ViewsExportCallerStorage) {
+  MetricRegistry registry;
+  std::atomic<uint64_t> hits{41};
+  LatencyHistogram lat;
+  lat.Record(1e-6);
+  double level = 1.5;
+  std::vector<MetricRegistry::Registration> regs;
+  regs.push_back(
+      registry.AddCounterView("view_hits_total", "hits", &hits));
+  regs.push_back(registry.AddGaugeFn("view_level", "level",
+                                     [&level] { return level; }));
+  regs.push_back(
+      registry.AddHistogramView("view_lat_seconds", "lat", &lat));
+  hits.fetch_add(1, std::memory_order_relaxed);
+  level = 2.0;
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("view_hits_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("view_level 2\n"), std::string::npos);
+  EXPECT_NE(text.find("view_lat_seconds_count 1\n"), std::string::npos);
+  regs.clear();  // RAII unbind
+  EXPECT_EQ(registry.RenderPrometheus(), "");
+}
+
+TEST(MetricRegistryTest, CountersStayMonotonicAcrossScrapes) {
+  MetricRegistry registry;
+  Counter* c = registry.AddCounter("mono_total", "m");
+  uint64_t previous = 0;
+  for (int scrape = 0; scrape < 5; ++scrape) {
+    c->Increment(static_cast<uint64_t>(scrape));
+    const std::string text = registry.RenderPrometheus();
+    const std::string line = "mono_total ";
+    const size_t at = text.rfind(line);
+    ASSERT_NE(at, std::string::npos);
+    const uint64_t value =
+        std::stoull(text.substr(at + line.size()));
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+TEST(MetricRegistryTest, HistogramInfEqualsCountUnderConcurrency) {
+  // Render while 4 threads hammer the histogram: the +Inf bucket and
+  // _count must agree within every scrape even though per-bucket loads
+  // are relaxed.
+  MetricRegistry registry;
+  LatencyHistogram* h = registry.AddHistogram("busy_seconds", "busy");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) h->Record(1e-6);
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    const std::string text = registry.RenderPrometheus();
+    const std::string inf_line = "busy_seconds_bucket{le=\"+Inf\"} ";
+    const std::string count_line = "busy_seconds_count ";
+    const size_t inf_at = text.find(inf_line);
+    const size_t count_at = text.find(count_line);
+    ASSERT_NE(inf_at, std::string::npos);
+    ASSERT_NE(count_at, std::string::npos);
+    EXPECT_EQ(std::stoull(text.substr(inf_at + inf_line.size())),
+              std::stoull(text.substr(count_at + count_line.size())));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+}
+
+// -------------------------------------------------- HTTP exposition
+
+TEST(MetricsHttpTest, ServesMetricsOverLoopback) {
+  MetricRegistry registry;
+  registry.AddCounter("http_demo_total", "demo")->Increment(5);
+  MetricsHttpServer server(&registry, 0);  // kernel-assigned port
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  const auto fetch = [&](const std::string& request) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+      response.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return response;
+  };
+
+  const std::string text = fetch("GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(text.find("200 OK"), std::string::npos);
+  EXPECT_NE(text.find("http_demo_total 5\n"), std::string::npos);
+  const std::string json = fetch("GET /metrics.json HTTP/1.0\r\n\r\n");
+  EXPECT_NE(json.find("\"http_demo_total\": 5"), std::string::npos);
+  const std::string missing = fetch("GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,122 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tdb {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Serializes the tracer tests: the tracer state is process-global, so
+/// each test starts from a clean, disabled tracer.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::SetEnabled(false);
+    trace::Reset();
+  }
+  void TearDown() override {
+    trace::SetEnabled(false);
+    trace::Reset();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  {
+    TDB_TRACE_SPAN("never.seen");
+  }
+  EXPECT_EQ(trace::TotalSpanCount(), 0u);
+}
+
+TEST_F(TraceTest, EnabledRecordsSpans) {
+  trace::SetEnabled(true);
+  {
+    TDB_TRACE_SPAN("outer");
+    TDB_TRACE_SPAN("inner");
+  }
+  trace::SetEnabled(false);
+  EXPECT_EQ(trace::TotalSpanCount(), 2u);
+}
+
+TEST_F(TraceTest, EnablementIsSampledAtConstruction) {
+  // A span constructed while disabled stays silent even if tracing is
+  // flipped on before its destructor runs.
+  {
+    TDB_TRACE_SPAN("constructed.disabled");
+    trace::SetEnabled(true);
+  }
+  EXPECT_EQ(trace::TotalSpanCount(), 0u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonShape) {
+  trace::SetEnabled(true);
+  {
+    TDB_TRACE_SPAN("solve.phase");
+  }
+  trace::SetEnabled(false);
+  const std::string path = ::testing::TempDir() + "/trace_shape.json";
+  ASSERT_TRUE(trace::WriteChromeTrace(path).ok());
+  const std::string json = ReadFile(path);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"solve.phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, MultiThreadSpansAllSurvive) {
+  trace::SetEnabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TDB_TRACE_SPAN("worker.tick");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  trace::SetEnabled(false);
+  EXPECT_EQ(trace::TotalSpanCount(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const std::string path = ::testing::TempDir() + "/trace_multi.json";
+  ASSERT_TRUE(trace::WriteChromeTrace(path).ok());
+  const std::string json = ReadFile(path);
+  size_t events = 0;
+  for (size_t at = json.find("\"ph\": \"X\""); at != std::string::npos;
+       at = json.find("\"ph\": \"X\"", at + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, static_cast<size_t>(kThreads) * kPerThread);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, RingOverwriteKeepsCountingTotal) {
+  trace::SetEnabled(true);
+  constexpr int kSpans = 10000;  // larger than the ring capacity (8192)
+  for (int i = 0; i < kSpans; ++i) {
+    TDB_TRACE_SPAN("spin");
+  }
+  trace::SetEnabled(false);
+  EXPECT_EQ(trace::TotalSpanCount(), static_cast<uint64_t>(kSpans));
+  const std::string path = ::testing::TempDir() + "/trace_ring.json";
+  ASSERT_TRUE(trace::WriteChromeTrace(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tdb

@@ -29,7 +29,11 @@ import argparse
 import json
 import sys
 
-METRIC_KEYS = {"seconds", "speedup", "cover", "would_close"}
+# Latency percentiles (admit_p*_us) are machine-dependent measurements
+# like seconds/speedup: excluded from row identity so runs with and
+# without them still match the same baseline rows.
+METRIC_KEYS = {"seconds", "speedup", "cover", "would_close",
+               "admit_p50_us", "admit_p95_us", "admit_p99_us"}
 ABSOLUTE_GRACE_SECONDS = 0.05
 
 

@@ -4,7 +4,7 @@
 //             [--two-cycles] [--unconstrained] [--time-limit 60]
 //             [--order deg-asc|id|deg-desc|random] [--threads N]
 //             [--intra-threshold N] [--scc-algo tarjan|fwbw|uf]
-//             [--output cover.txt] [--stats]
+//             [--output cover.txt] [--stats] [--stats-json FILE]
 //
 // Reads a SNAP-style text edge list (or TDBG binary with --binary),
 // computes a hop-constrained cycle cover, and prints it (original vertex
@@ -19,6 +19,7 @@
 #include "core/verifier.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -30,6 +31,7 @@ struct CliArgs {
   std::string algo = "TDB++";
   std::string order = "deg-asc";
   std::string scc_algo = "tarjan";
+  std::string stats_json;
   uint32_t k = 5;
   int threads = 1;
   VertexId intra_threshold = 0;  // 0 = keep the library default
@@ -63,6 +65,8 @@ void PrintUsage() {
       "  --time-limit SEC    wall-clock budget (0 = unlimited)\n"
       "  --verify            check feasibility + minimality afterwards\n"
       "  --stats             print solver statistics to stderr\n"
+      "  --stats-json FILE   write CoverStats + SccStats as JSON (the\n"
+      "                      metric-registry dump schema)\n"
       "  --output FILE       write the cover here instead of stdout\n");
 }
 
@@ -133,6 +137,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->unconstrained = true;
     } else if (arg == "--stats") {
       args->stats = true;
+    } else if (arg == "--stats-json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->stats_json = v;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -237,6 +245,66 @@ int main(int argc, char** argv) {
     VerifyReport report = VerifyCover(graph, result.cover, options);
     std::fprintf(stderr, "verify: %s\n", report.ToString().c_str());
     if (!report.feasible) return 1;
+  }
+
+  if (!args.stats_json.empty()) {
+    // Populate a private registry and reuse its JSON renderer, so the
+    // dump shares its schema with tdb_serve's /metrics.json and
+    // --metrics-dump files.
+    MetricRegistry registry;
+    const CoverStats& cs = result.stats;
+    const auto counter = [&](const char* name, const char* help,
+                             uint64_t value) {
+      registry
+          .AddCounter(std::string("tdb_cover_") + name + "_total", help)
+          ->Increment(value);
+    };
+    counter("searches", "Candidate validations / cycle searches",
+            cs.searches);
+    counter("cycles_found", "Qualifying cycles materialized",
+            cs.cycles_found);
+    counter("expansions", "Adjacency entries scanned", cs.expansions);
+    counter("block_prunes", "Extensions suppressed by block bounds",
+            cs.block_prunes);
+    counter("bfs_filtered", "Candidates discharged by the BFS filter",
+            cs.bfs_filtered);
+    counter("scc_filtered", "Candidates discharged by the SCC prefilter",
+            cs.scc_filtered);
+    counter("prune_removed", "Vertices removed by minimal pruning",
+            cs.prune_removed);
+    counter("intra_probes", "Speculative intra-component validations",
+            cs.intra_probes);
+    counter("intra_restarts", "Stale speculative validations redone",
+            cs.intra_restarts);
+    counter("components_timed_out",
+            "Components that exhausted their budget share",
+            cs.components_timed_out);
+    counter("scc_components", "Components from condensation",
+            cs.scc_components);
+    counter("scc_trim_peeled", "Vertices peeled as trivial SCCs",
+            cs.scc_trim_peeled);
+    counter("scc_fwbw_partitions", "FW-BW pivot partitions",
+            cs.scc_fwbw_partitions);
+    counter("scc_tarjan_partitions", "Sequential-Tarjan partitions",
+            cs.scc_tarjan_partitions);
+    registry
+        .AddGauge("tdb_cover_elapsed_seconds", "Solve wall-clock seconds")
+        ->Set(cs.elapsed_seconds);
+    registry
+        .AddGauge("tdb_cover_scc_seconds",
+                  "Wall-clock seconds in SCC condensation")
+        ->Set(cs.scc_seconds);
+    registry.AddGauge("tdb_cover_cover_size", "Cover size in vertices")
+        ->Set(static_cast<double>(result.cover.size()));
+    const std::string body = registry.RenderJson();
+    std::FILE* jf = std::fopen(args.stats_json.c_str(), "w");
+    if (jf == nullptr ||
+        std::fwrite(body.data(), 1, body.size(), jf) != body.size()) {
+      std::fprintf(stderr, "cannot write %s\n", args.stats_json.c_str());
+      if (jf != nullptr) std::fclose(jf);
+      return 1;
+    }
+    std::fclose(jf);
   }
 
   std::FILE* out = stdout;

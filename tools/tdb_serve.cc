@@ -40,10 +40,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -52,14 +55,26 @@
 #include "graph/graph_io.h"
 #include "service/cycle_break_service.h"
 #include "service/ingest_batcher.h"
+#include "service/service_metrics.h"
 #include "service/stats.h"
 #include "util/crc32.h"
+#include "util/metrics.h"
+#include "util/metrics_http.h"
 #include "util/rng.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace {
 
 using namespace tdb;
+
+/// SIGTERM/SIGINT request a graceful wind-down: the replay loop and the
+/// --metrics-hold wait both break out, so the exit path still writes the
+/// final metrics dump and the trace (what the CI scrape smoke relies on
+/// to stop the server). SIGKILL (--kill-after) stays the honest crash.
+std::atomic<bool> g_shutdown{false};
+
+void OnShutdownSignal(int) { g_shutdown.store(true); }
 
 struct CliArgs {
   std::string stream_path;
@@ -69,6 +84,11 @@ struct CliArgs {
   std::string data_dir;
   std::string durability = "batch";
   std::string state_dump;
+  std::string metrics_dump;
+  std::string trace_out;
+  int metrics_port = -1;  // -1 = off, 0 = kernel-assigned
+  double metrics_interval = 5.0;
+  double metrics_hold = 0.0;
   int admission_cache_log2 = 0;
   int admission_index = 0;
   size_t admission_batch = 0;
@@ -129,7 +149,17 @@ void PrintUsage() {
       "                        (verdicts see the last published batch;\n"
       "                        use --batch 1 for exact per-edge gating)\n"
       "  --two-cycles          also treat 2-cycles as cycles\n"
-      "  --seed S              admission query workload seed\n");
+      "  --seed S              admission query workload seed\n"
+      "  --metrics-port N      serve GET /metrics (Prometheus text) and\n"
+      "                        /metrics.json on 127.0.0.1:N (0 = pick a\n"
+      "                        free port; printed on stderr)\n"
+      "  --metrics-hold SEC    keep serving /metrics for SEC seconds\n"
+      "                        after the replay finishes\n"
+      "  --metrics-dump FILE   write the registry as JSON to FILE every\n"
+      "                        --metrics-interval seconds and at exit\n"
+      "  --metrics-interval S  dump period in seconds (default 5)\n"
+      "  --trace-out FILE      enable span tracing; write Chrome\n"
+      "                        trace_event JSON to FILE at exit\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -169,6 +199,16 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->kill_after = static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--state-dump" && (v = next()) != nullptr) {
       args->state_dump = v;
+    } else if (arg == "--metrics-port" && (v = next()) != nullptr) {
+      args->metrics_port = std::atoi(v);
+    } else if (arg == "--metrics-hold" && (v = next()) != nullptr) {
+      args->metrics_hold = std::atof(v);
+    } else if (arg == "--metrics-dump" && (v = next()) != nullptr) {
+      args->metrics_dump = v;
+    } else if (arg == "--metrics-interval" && (v = next()) != nullptr) {
+      args->metrics_interval = std::atof(v);
+    } else if (arg == "--trace-out" && (v = next()) != nullptr) {
+      args->trace_out = v;
     } else if (arg == "--admission-index" && (v = next()) != nullptr) {
       args->admission_index = std::atoi(v);
     } else if (arg == "--admission-batch" && (v = next()) != nullptr) {
@@ -248,6 +288,22 @@ bool WriteStateDump(const CycleBreakService& service,
   return true;
 }
 
+/// Write-temp + rename so a concurrent reader never sees a torn dump.
+bool WriteMetricsJson(MetricRegistry& registry, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = registry.RenderJson();
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -256,6 +312,11 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  std::signal(SIGTERM, OnShutdownSignal);
+  std::signal(SIGINT, OnShutdownSignal);
+  // Enable tracing before the service exists so the initial solve,
+  // publish and index build are captured too.
+  if (!args.trace_out.empty()) trace::SetEnabled(true);
 
   std::vector<TimedEdge> stream;
   Status st = LoadEdgeStreamText(args.stream_path, &stream);
@@ -411,6 +472,61 @@ int main(int argc, char** argv) {
   std::atomic<bool> done{false};
   std::atomic<uint64_t> background_queries{0};
 
+  // ---------------------------------------------------- observability
+  // Counter views over the service's existing atomics plus histogram
+  // views over the locals above: registering costs one mutex'd append
+  // per metric at startup and nothing per Record — the ingest and
+  // admission hot paths are untouched.
+  MetricRegistry& registry = MetricRegistry::Global();
+  std::vector<MetricRegistry::Registration> metric_regs =
+      BindServiceStats(&registry, service.raw_stats(), "tdb_service_");
+  metric_regs.push_back(registry.AddHistogramView(
+      "tdb_serve_ingest_batch_seconds",
+      "Per-batch SubmitEdges wall-clock", &ingest_lat));
+  metric_regs.push_back(registry.AddHistogramView(
+      "tdb_serve_admission_seconds",
+      "Per-query CheckAdmission wall-clock", &admit_lat));
+  metric_regs.push_back(registry.AddGaugeFn(
+      "tdb_service_epoch", "Epoch of the last published snapshot",
+      [&service] { return static_cast<double>(service.epoch()); }));
+  metric_regs.push_back(registry.AddGaugeFn(
+      "tdb_service_delta_edges",
+      "Delta edges in the published snapshot's overlay", [&service] {
+        return static_cast<double>(
+            service.PinSnapshot()->graph.delta_edges());
+      }));
+
+  MetricsHttpServer metrics_server(&registry, args.metrics_port);
+  if (args.metrics_port >= 0) {
+    st = metrics_server.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics server: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics: http://127.0.0.1:%d/metrics\n",
+                 metrics_server.port());
+  }
+
+  std::mutex dump_mu;
+  std::condition_variable dump_cv;
+  bool dump_stop = false;
+  std::thread dumper;
+  if (!args.metrics_dump.empty()) {
+    dumper = std::thread([&] {
+      const auto period = std::chrono::duration<double>(
+          args.metrics_interval > 0 ? args.metrics_interval : 5.0);
+      std::unique_lock<std::mutex> lock(dump_mu);
+      while (!dump_cv.wait_for(lock, period, [&] { return dump_stop; })) {
+        lock.unlock();
+        if (!WriteMetricsJson(registry, args.metrics_dump)) {
+          std::fprintf(stderr, "cannot write metrics dump %s\n",
+                       args.metrics_dump.c_str());
+        }
+        lock.lock();
+      }
+    });
+  }
+
   // Background admission readers: uniform random pairs over the universe,
   // each thread with a private seeded stream.
   std::vector<std::thread> readers;
@@ -473,6 +589,7 @@ int main(int argc, char** argv) {
     }
   };
   for (size_t i = resume_offset; i < stream.size(); ++i) {
+    if (g_shutdown.load(std::memory_order_relaxed)) break;
     const TimedEdge& e = stream[i];
     if (args.gate) {
       const AdmissionVerdict verdict = service.CheckAdmission(e.src, e.dst);
@@ -567,6 +684,48 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.snapshots_written),
                 static_cast<unsigned long long>(s.persist_failures),
                 args.durability.c_str());
+  }
+  // Observability teardown: hold the scrape port open if asked (lets an
+  // external scraper take its two samples after a short replay), then
+  // stop the exporter threads, flush the final dump, and serialize the
+  // trace now that every recording thread is quiescent.
+  if (args.metrics_hold > 0 && args.metrics_port >= 0) {
+    std::fprintf(stderr, "metrics: holding the port for %.1fs\n",
+                 args.metrics_hold);
+    const auto hold_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(args.metrics_hold));
+    while (!g_shutdown.load(std::memory_order_relaxed) &&
+           std::chrono::steady_clock::now() < hold_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  metrics_server.Stop();
+  if (dumper.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(dump_mu);
+      dump_stop = true;
+    }
+    dump_cv.notify_all();
+    dumper.join();
+    if (!WriteMetricsJson(registry, args.metrics_dump)) {
+      std::fprintf(stderr, "cannot write metrics dump %s\n",
+                   args.metrics_dump.c_str());
+      return 1;
+    }
+  }
+  if (!args.trace_out.empty()) {
+    trace::SetEnabled(false);
+    st = trace::WriteChromeTrace(args.trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot write trace: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace:      %llu spans -> %s\n",
+                 static_cast<unsigned long long>(trace::TotalSpanCount()),
+                 args.trace_out.c_str());
   }
   if (!args.state_dump.empty() &&
       !WriteStateDump(service, args.state_dump)) {
