@@ -106,6 +106,17 @@ struct CoverOptions {
   /// Graphs/partitions smaller than this run sequential Tarjan inside
   /// the parallel condensers (ignored by kTarjan).
   VertexId min_parallel_scc_size = 1u << 14;
+  /// Keep the base graph as delta/varint-compressed CSR blocks
+  /// (graph/compressed_csr.h) instead of raw offset+edge arrays. The
+  /// whole-graph phases (condensation, candidate ranking, SCC discharge)
+  /// run directly on the compressed blocks; solvable components
+  /// materialize to compact raw subgraphs as usual, so peak memory is the
+  /// compressed base plus in-flight components. Covers are bit-identical
+  /// to the raw backend at every thread count. Consumed by the tools and
+  /// the service (which pick the backend before calling SolveCycleCover —
+  /// the CsrGraph overload ignores it); typical adjacency footprint is
+  /// 2.5-4x smaller on locally clustered graphs.
+  bool compressed_base = false;
 
   /// Rejects inconsistent settings (e.g. k < 3 without 2-cycles).
   Status Validate() const;

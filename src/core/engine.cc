@@ -9,6 +9,7 @@
 #include <numeric>
 #include <optional>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "core/darc.h"
 #include "core/probe_executor.h"
 #include "core/top_down.h"
+#include "graph/compressed_csr.h"
 #include "graph/scc.h"
 #include "graph/subgraph.h"
 #include "search/search_context.h"
@@ -111,7 +113,8 @@ struct TaggedResult {
 /// component (rank is a permutation, so the sort has no ties) — the
 /// property that keeps per-component covers bit-identical to the classic
 /// sequential solvers.
-std::vector<VertexId> MakeRank(const CsrGraph& graph,
+template <typename GraphT>
+std::vector<VertexId> MakeRank(const GraphT& graph,
                                const CoverOptions& options) {
   std::vector<VertexId> rank(graph.num_vertices());
   const std::vector<VertexId> order = MakeCandidateOrder(graph, options);
@@ -183,12 +186,16 @@ void MergeTagged(std::vector<TaggedResult>* tagged, CoverResult* result) {
   }
 }
 
-/// Everything both execution paths share.
+/// Everything both execution paths share. Templated over the storage
+/// backend: the raw backend additionally routes big components through
+/// the in-place SubgraphView path, the compressed backend materializes
+/// every component (see engine.h).
+template <typename GraphT>
 struct EngineRun {
-  EngineRun(const CsrGraph& g, CoverAlgorithm a, const CoverOptions& o)
+  EngineRun(const GraphT& g, CoverAlgorithm a, const CoverOptions& o)
       : graph(g), algorithm(a), options(o) {}
 
-  const CsrGraph& graph;
+  const GraphT& graph;
   CoverAlgorithm algorithm;
   const CoverOptions& options;
   CoverOptions component_options;  // scc_prefilter disabled
@@ -200,8 +207,9 @@ struct EngineRun {
 };
 
 /// In-place solve of one component through a SubgraphView, with the
-/// borrowed probe executor (sequential when its pool is null).
-CoverResult SolveInPlace(const EngineRun& run,
+/// borrowed probe executor (sequential when its pool is null). Raw
+/// backend only — the compressed engine materializes instead.
+CoverResult SolveInPlace(const EngineRun<CsrGraph>& run,
                          std::span<const VertexId> members,
                          ProbeExecutor& executor, Deadline* deadline) {
   const SubgraphView view(run.graph, members);
@@ -218,10 +226,11 @@ CoverResult SolveInPlace(const EngineRun& run,
 
 /// Materialized solve of one component; the cover comes back in global
 /// ids.
-CoverResult SolveMaterialized(const EngineRun& run,
+template <typename GraphT>
+CoverResult SolveMaterialized(const EngineRun<GraphT>& run,
                               std::span<const VertexId> members,
                               SearchContext* context,
-                              SubgraphExtractor* extractor,
+                              SubgraphExtractorT<GraphT>* extractor,
                               Deadline* deadline) {
   InducedSubgraph sub = extractor->Extract(members);
   std::vector<VertexId> order;
@@ -237,8 +246,12 @@ CoverResult SolveMaterialized(const EngineRun& run,
 /// cannot run — a single thread gains nothing from overlap, and the
 /// work-budget split needs every component's edge mass upfront to
 /// compute the shares.
-CoverResult BarrierSolve(const EngineRun& run, SccStats* scc_stats,
+template <typename GraphT>
+CoverResult BarrierSolve(const EngineRun<GraphT>& run, SccStats* scc_stats,
                          uint64_t* scc_components) {
+  // The in-place SubgraphView route is raw-only: on the compressed
+  // backend every component materializes (see engine.h).
+  constexpr bool kInPlaceCapable = std::is_same_v<GraphT, CsrGraph>;
   CoverResult result;
   const bool split_budget = run.options.split_budget_by_work &&
                             run.options.time_limit_seconds > 0;
@@ -314,7 +327,7 @@ CoverResult BarrierSolve(const EngineRun& run, SccStats* scc_stats,
   // tail still materializes compact per-component subgraphs.
   std::vector<uint8_t> in_place(solvable.size(), 0);
   for (size_t s = 0; s < solvable.size(); ++s) {
-    if (SupportsInPlaceSolve(run.algorithm) &&
+    if (kInPlaceCapable && SupportsInPlaceSolve(run.algorithm) &&
         scc.component_size[solvable[s]] >=
             run.options.min_intra_parallel_size) {
       in_place[s] = 1;
@@ -342,7 +355,7 @@ CoverResult BarrierSolve(const EngineRun& run, SccStats* scc_stats,
   };
 
   auto solve_slot = [&](size_t slot, SearchContext* context,
-                        SubgraphExtractor* extractor) {
+                        SubgraphExtractorT<GraphT>* extractor) {
     Deadline deadline = slot_deadline(slot);
     if (deadline.ExpiredNow()) {
       slots[slot].result.status =
@@ -382,7 +395,7 @@ CoverResult BarrierSolve(const EngineRun& run, SccStats* scc_stats,
   size_desc(&rest);
 
   // ------------------------------------------------ in-place components
-  if (!big_desc.empty()) {
+  if constexpr (kInPlaceCapable) if (!big_desc.empty()) {
     std::optional<ThreadPool> pool;
     std::vector<SearchContext> worker_contexts;
     SearchContext main_context;
@@ -439,7 +452,7 @@ CoverResult BarrierSolve(const EngineRun& run, SccStats* scc_stats,
         1, static_cast<int>(std::min<size_t>(run.requested, num_pooled)) -
                (has_inline_tail ? 1 : 0));
     std::vector<SearchContext> contexts(workers);
-    std::vector<SubgraphExtractor> extractors;
+    std::vector<SubgraphExtractorT<GraphT>> extractors;
     extractors.reserve(workers);
     for (int w = 0; w < workers; ++w) extractors.emplace_back(run.graph);
     {
@@ -451,7 +464,7 @@ CoverResult BarrierSolve(const EngineRun& run, SccStats* scc_stats,
         });
       }
       SearchContext inline_context;
-      SubgraphExtractor inline_extractor(run.graph);
+      SubgraphExtractorT<GraphT> inline_extractor(run.graph);
       for (size_t i = num_pooled; i < rest.size(); ++i) {
         solve_slot(rest[i], &inline_context, &inline_extractor);
       }
@@ -461,7 +474,7 @@ CoverResult BarrierSolve(const EngineRun& run, SccStats* scc_stats,
     for (const SearchContext& context : contexts) merge_context(context);
   } else if (!rest.empty()) {
     SearchContext context;
-    SubgraphExtractor extractor(run.graph);
+    SubgraphExtractorT<GraphT> extractor(run.graph);
     for (size_t i = 0; i < rest.size(); ++i) {
       solve_slot(rest[i], &context, &extractor);
     }
@@ -492,8 +505,13 @@ CoverResult BarrierSolve(const EngineRun& run, SccStats* scc_stats,
 /// depends on the overlap. Covers are bit-identical to the barrier path:
 /// per-component solves are unchanged and the merge orders components
 /// canonically.
-CoverResult PipelineSolve(const EngineRun& run, SccStats* scc_stats,
+template <typename GraphT>
+CoverResult PipelineSolve(const EngineRun<GraphT>& run, SccStats* scc_stats,
                           uint64_t* scc_components) {
+  // Raw-only in-place route, as in BarrierSolve: on the compressed
+  // backend the sink sends every solvable component to the materialized
+  // tail, and the calling thread just waits for condensation.
+  constexpr bool kInPlaceCapable = std::is_same_v<GraphT, CsrGraph>;
   CoverResult result;
 
   std::mutex queue_mu;
@@ -512,7 +530,7 @@ CoverResult PipelineSolve(const EngineRun& run, SccStats* scc_stats,
   // condensation overlaps solving; that overlap is the pipeline's point,
   // and the phases alternate in practice.
   std::vector<SearchContext> tail_contexts(run.requested);
-  std::vector<std::unique_ptr<SubgraphExtractor>> tail_extractors(
+  std::vector<std::unique_ptr<SubgraphExtractorT<GraphT>>> tail_extractors(
       run.requested);
   std::mutex results_mu;
   std::vector<TaggedResult> tagged;
@@ -524,7 +542,8 @@ CoverResult PipelineSolve(const EngineRun& run, SccStats* scc_stats,
                               int w) {
     TDB_TRACE_SPAN("engine.solve_tail_batch");
     if (tail_extractors[w] == nullptr) {
-      tail_extractors[w] = std::make_unique<SubgraphExtractor>(run.graph);
+      tail_extractors[w] =
+          std::make_unique<SubgraphExtractorT<GraphT>>(run.graph);
     }
     std::vector<TaggedResult> results;
     results.reserve(batch.size());
@@ -564,15 +583,17 @@ CoverResult PipelineSolve(const EngineRun& run, SccStats* scc_stats,
       scc_filtered += members.size();
       return;
     }
-    if (SupportsInPlaceSolve(run.algorithm) &&
-        static_cast<VertexId>(members.size()) >=
-            run.options.min_intra_parallel_size) {
-      {
-        std::lock_guard<std::mutex> lock(queue_mu);
-        big_queue.emplace_back(members.begin(), members.end());
+    if constexpr (kInPlaceCapable) {
+      if (SupportsInPlaceSolve(run.algorithm) &&
+          static_cast<VertexId>(members.size()) >=
+              run.options.min_intra_parallel_size) {
+        {
+          std::lock_guard<std::mutex> lock(queue_mu);
+          big_queue.emplace_back(members.begin(), members.end());
+        }
+        queue_cv.notify_one();
+        return;
       }
-      queue_cv.notify_one();
-      return;
     }
     // Sink calls are serialized by the condenser, so the batching state
     // and the lazy pool emplace cannot race; Submit is thread-safe.
@@ -626,31 +647,38 @@ CoverResult PipelineSolve(const EngineRun& run, SccStats* scc_stats,
   executor.worker_contexts = probe_contexts;
 
   std::vector<TaggedResult> in_place_results;
-  for (;;) {
-    std::vector<VertexId> members;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu);
-      queue_cv.wait(lock,
-                    [&] { return !big_queue.empty() || condense_done; });
-      if (big_queue.empty()) break;
-      members = std::move(big_queue.front());
-      big_queue.pop_front();
+  if constexpr (kInPlaceCapable) {
+    for (;;) {
+      std::vector<VertexId> members;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu);
+        queue_cv.wait(lock,
+                      [&] { return !big_queue.empty() || condense_done; });
+        if (big_queue.empty()) break;
+        members = std::move(big_queue.front());
+        big_queue.pop_front();
+      }
+      if (!probe_pool.has_value()) {
+        probe_pool.emplace(run.requested);
+        executor.pool = &*probe_pool;
+      }
+      TaggedResult t;
+      t.min_member = members.front();
+      Deadline deadline = run.master;
+      if (deadline.ExpiredNow()) {
+        t.result.status =
+            Status::TimedOut("engine: budget exhausted before component");
+      } else {
+        TDB_TRACE_SPAN("engine.solve_in_place");
+        t.result = SolveInPlace(run, members, executor, &deadline);
+      }
+      in_place_results.push_back(std::move(t));
     }
-    if (!probe_pool.has_value()) {
-      probe_pool.emplace(run.requested);
-      executor.pool = &*probe_pool;
-    }
-    TaggedResult t;
-    t.min_member = members.front();
-    Deadline deadline = run.master;
-    if (deadline.ExpiredNow()) {
-      t.result.status =
-          Status::TimedOut("engine: budget exhausted before component");
-    } else {
-      TDB_TRACE_SPAN("engine.solve_in_place");
-      t.result = SolveInPlace(run, members, executor, &deadline);
-    }
-    in_place_results.push_back(std::move(t));
+  } else {
+    // Nothing routes to the big queue on this backend; just wait for the
+    // condenser to drain into the materialized tail.
+    std::unique_lock<std::mutex> lock(queue_mu);
+    queue_cv.wait(lock, [&] { return condense_done; });
   }
 
   condenser.join();
@@ -679,11 +707,11 @@ CoverResult PipelineSolve(const EngineRun& run, SccStats* scc_stats,
   return result;
 }
 
-}  // namespace
-
-CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
-                                       CoverAlgorithm algorithm,
-                                       const CoverOptions& options) {
+/// Backend-generic body of SolveCycleCoverPartitioned.
+template <typename GraphT>
+CoverResult SolveCycleCoverPartitionedT(const GraphT& graph,
+                                        CoverAlgorithm algorithm,
+                                        const CoverOptions& options) {
   TDB_TRACE_SPAN("engine.solve");
   CoverResult result;
   if (!IsKnownAlgorithm(algorithm)) {
@@ -700,7 +728,7 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
     return result;
   }
 
-  EngineRun run(graph, algorithm, options);
+  EngineRun<GraphT> run(graph, algorithm, options);
   run.requested = options.num_threads == 0 ? ThreadPool::HardwareThreads()
                                            : options.num_threads;
   // With the work-budget split every component carries a private deadline
@@ -741,6 +769,20 @@ CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
   result.stats.scc_tarjan_partitions = scc_stats.tarjan_partitions;
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
+}
+
+}  // namespace
+
+CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
+                                       CoverAlgorithm algorithm,
+                                       const CoverOptions& options) {
+  return SolveCycleCoverPartitionedT(graph, algorithm, options);
+}
+
+CoverResult SolveCycleCoverPartitioned(const CompressedCsr& graph,
+                                       CoverAlgorithm algorithm,
+                                       const CoverOptions& options) {
+  return SolveCycleCoverPartitionedT(graph, algorithm, options);
 }
 
 }  // namespace tdb

@@ -67,10 +67,25 @@
 
 namespace tdb {
 
+class CompressedCsr;
+
 /// Runs `algorithm` per SCC of `graph` on options.num_threads workers and
 /// merges the per-component results. SolveCycleCover routes here; call
 /// directly only to bypass the front door's documentation.
 CoverResult SolveCycleCoverPartitioned(const CsrGraph& graph,
+                                       CoverAlgorithm algorithm,
+                                       const CoverOptions& options);
+
+/// Compressed-base overload: condensation, candidate ranking and the SCC
+/// discharge all run directly on the delta/varint blocks (never a raw
+/// copy of the whole graph); every solvable component is then
+/// materialized to a compact raw CsrGraph, so peak resident memory is the
+/// compressed base plus the largest in-flight component. The in-place
+/// SubgraphView route is raw-only — its per-edge random access would pay
+/// a group decode per probe — which the in-place-equals-materialized
+/// invariant (asserted by the engine determinism tests) makes invisible:
+/// covers are bit-identical to the raw backend at every thread count.
+CoverResult SolveCycleCoverPartitioned(const CompressedCsr& graph,
                                        CoverAlgorithm algorithm,
                                        const CoverOptions& options);
 

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <optional>
 
+#include "graph/compressed_csr.h"
 #include "graph/scc.h"
 #include "search/bfs_filter.h"
 #include "search/cycle_finder.h"
@@ -12,7 +13,8 @@
 
 namespace tdb {
 
-std::vector<VertexId> MakeCandidateOrder(const CsrGraph& graph,
+template <typename GraphT>
+std::vector<VertexId> MakeCandidateOrder(const GraphT& graph,
                                          const CoverOptions& options) {
   std::vector<VertexId> order(graph.num_vertices());
   std::iota(order.begin(), order.end(), 0u);
@@ -43,6 +45,11 @@ std::vector<VertexId> MakeCandidateOrder(const CsrGraph& graph,
   }
   return order;
 }
+
+template std::vector<VertexId> MakeCandidateOrder<CsrGraph>(
+    const CsrGraph&, const CoverOptions&);
+template std::vector<VertexId> MakeCandidateOrder<CompressedCsr>(
+    const CompressedCsr&, const CoverOptions&);
 
 CoverResult SolveTopDownOrdered(const CsrGraph& graph,
                                 const CoverOptions& options,

@@ -44,8 +44,11 @@ CoverResult SolveTopDown(const CsrGraph& graph, const CoverOptions& options,
 /// Candidate processing order for `graph` under `options.order`. Exposed
 /// for the partitioned engine, which computes one whole-graph order and
 /// projects it onto each component so that per-component solves make the
-/// same keep/discharge decisions as a whole-graph sweep.
-std::vector<VertexId> MakeCandidateOrder(const CsrGraph& graph,
+/// same keep/discharge decisions as a whole-graph sweep. Templated over
+/// the storage backend (CsrGraph or CompressedCsr — degrees only, so the
+/// order is backend-independent); instantiated in top_down.cc.
+template <typename GraphT>
+std::vector<VertexId> MakeCandidateOrder(const GraphT& graph,
                                          const CoverOptions& options);
 
 /// Engine entry point: one top-down solve processing candidates in

@@ -1,0 +1,431 @@
+#include "graph/compressed_csr.h"
+
+#include <algorithm>
+#include <string>
+
+#include "graph/csr_graph.h"
+#include "util/check.h"
+#include "util/crc32.h"
+
+namespace tdb {
+
+namespace {
+
+bool PutRaw(std::FILE* f, Crc32* crc, const void* data, size_t len) {
+  if (len == 0) return true;
+  if (std::fwrite(data, 1, len, f) != len) return false;
+  crc->Update(data, len);
+  return true;
+}
+
+bool GetRaw(std::FILE* f, Crc32* crc, void* data, size_t len) {
+  if (len == 0) return true;
+  if (std::fread(data, 1, len, f) != len) return false;
+  crc->Update(data, len);
+  return true;
+}
+
+Status Corrupt(const char* what) {
+  return Status::InvalidArgument(std::string("compressed csr: ") + what);
+}
+
+}  // namespace
+
+Status PackedOffsets::WriteTo(std::FILE* f, Crc32* crc) const {
+  const uint8_t wide = wide_ ? 1 : 0;
+  const uint64_t count = size();
+  if (!PutRaw(f, crc, &wide, sizeof(wide)) ||
+      !PutRaw(f, crc, &count, sizeof(count)) ||
+      !PutRaw(f, crc, data(), bytes())) {
+    return Status::IOError("short write of offset section");
+  }
+  return Status::OK();
+}
+
+Status PackedOffsets::ReadFrom(std::FILE* f, Crc32* crc,
+                               uint64_t expected_size) {
+  uint8_t wide = 0;
+  uint64_t count = 0;
+  if (!GetRaw(f, crc, &wide, sizeof(wide)) ||
+      !GetRaw(f, crc, &count, sizeof(count))) {
+    return Corrupt("truncated offset section header");
+  }
+  if (wide > 1) return Corrupt("bad offset width flag");
+  if (count != expected_size) return Corrupt("offset section count");
+  wide_ = wide != 0;
+  bool ok;
+  if (wide_) {
+    v32_.clear();
+    v64_.resize(count);
+    ok = GetRaw(f, crc, v64_.data(), count * sizeof(uint64_t));
+  } else {
+    v64_.clear();
+    v32_.resize(count);
+    ok = GetRaw(f, crc, v32_.data(), count * sizeof(uint32_t));
+  }
+  return ok ? Status::OK() : Corrupt("truncated offset section");
+}
+
+CompressedCsr CompressedCsr::BuildFromCanonical(
+    VertexId n, const std::vector<Edge>& edges) {
+  CompressedCsr g;
+  g.n_ = n;
+  g.m_ = edges.size();
+  const EdgeId m = g.m_;
+
+  std::vector<uint64_t> out_off(static_cast<size_t>(n) + 1, 0);
+  for (const Edge& e : edges) ++out_off[e.src + 1];
+  for (VertexId v = 0; v < n; ++v) out_off[v + 1] += out_off[v];
+
+  // Out direction: group boundaries land in the headers, list starts
+  // that fall mid-group restart the delta chain with a tagged absolute.
+  {
+    std::vector<uint64_t> pos;
+    pos.reserve((m + kGroupMask) >> kGroupShift);
+    VertexId prev = 0;
+    for (EdgeId i = 0; i < m; ++i) {
+      const VertexId dst = edges[i].dst;
+      if ((i & kGroupMask) == 0) {
+        g.out_.group_first.push_back(dst);
+        pos.push_back(g.out_.stream.size());
+      } else if (i == out_off[edges[i].src]) {
+        AppendVarint(&g.out_.stream,
+                     (static_cast<uint64_t>(dst) << 1) | 1);
+      } else {
+        AppendVarint(&g.out_.stream,
+                     static_cast<uint64_t>(dst - prev - 1) << 1);
+      }
+      prev = dst;
+    }
+    g.out_.group_pos.Assign(pos);
+  }
+
+  // In direction: counting sort by target keeps edge-id (= ascending
+  // source) order per bucket; each entry carries the edge's rank inside
+  // its source's out-list so ids stay recoverable.
+  std::vector<uint64_t> in_off(static_cast<size_t>(n) + 1, 0);
+  for (const Edge& e : edges) ++in_off[e.dst + 1];
+  for (VertexId v = 0; v < n; ++v) in_off[v + 1] += in_off[v];
+  std::vector<VertexId> in_src(m);
+  std::vector<uint32_t> in_rank(m);
+  {
+    std::vector<uint64_t> cursor(in_off.begin(), in_off.end() - 1);
+    for (EdgeId i = 0; i < m; ++i) {
+      const uint64_t slot = cursor[edges[i].dst]++;
+      in_src[slot] = edges[i].src;
+      in_rank[slot] = static_cast<uint32_t>(i - out_off[edges[i].src]);
+    }
+  }
+  {
+    std::vector<uint64_t> pos;
+    pos.reserve((m + kGroupMask) >> kGroupShift);
+    VertexId prev = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      for (uint64_t j = in_off[v]; j < in_off[v + 1]; ++j) {
+        const VertexId src = in_src[j];
+        if ((j & kGroupMask) == 0) {
+          g.in_.group_first.push_back(src);
+          g.in_group_rank_.push_back(in_rank[j]);
+          pos.push_back(g.in_.stream.size());
+        } else {
+          if (j == in_off[v]) {
+            AppendVarint(&g.in_.stream,
+                         (static_cast<uint64_t>(src) << 1) | 1);
+          } else {
+            AppendVarint(&g.in_.stream,
+                         static_cast<uint64_t>(src - prev - 1) << 1);
+          }
+          AppendVarint(&g.in_.stream, in_rank[j]);
+        }
+        prev = src;
+      }
+    }
+    g.in_.group_pos.Assign(pos);
+  }
+
+  g.out_offsets_.Assign(out_off);
+  g.in_offsets_.Assign(in_off);
+  return g;
+}
+
+CompressedCsr CompressedCsr::FromEdges(VertexId n, std::vector<Edge> edges,
+                                       bool keep_self_loops) {
+  if (!keep_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+  for (const Edge& e : edges) {
+    TDB_CHECK_MSG(e.src < n && e.dst < n, "edge (%u,%u) out of range n=%u",
+                  e.src, e.dst, n);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return BuildFromCanonical(n, edges);
+}
+
+CompressedCsr CompressedCsr::FromCsr(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<Edge> edges;
+  edges.reserve(graph.num_edges());
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId w : graph.OutNeighbors(v)) edges.push_back({v, w});
+  }
+  return BuildFromCanonical(n, edges);
+}
+
+CsrGraph CompressedCsr::ToCsr() const {
+  std::vector<Edge> edges;
+  edges.reserve(m_);
+  for (VertexId v = 0; v < n_; ++v) {
+    ForEachOut(v, [&](VertexId w, EdgeId) {
+      edges.push_back({v, w});
+      return true;
+    });
+  }
+  // The stored lists are already canonical; keep_self_loops preserves
+  // any loops the source graph was built with.
+  return CsrGraph::FromEdges(n_, std::move(edges),
+                             /*keep_self_loops=*/true);
+}
+
+EdgeId CompressedCsr::FindEdge(VertexId u, VertexId v) const {
+  EdgeId lo = out_offsets_.Get(u);
+  const EdgeId hi = out_offsets_.Get(u + 1);
+  if (lo == hi) return kInvalidEdge;
+  // Every group boundary rank 32g with lo < 32g < hi falls inside u's
+  // list, so those headers are ascending — binary search them to skip
+  // whole groups before the final linear decode.
+  const size_t g_begin = static_cast<size_t>(lo >> kGroupShift) + 1;
+  const size_t g_end = static_cast<size_t>((hi - 1) >> kGroupShift) + 1;
+  if (g_begin < g_end) {
+    const auto first = out_.group_first.begin() + g_begin;
+    const auto last = out_.group_first.begin() + g_end;
+    const auto it = std::upper_bound(first, last, v);
+    if (it != first) {
+      const size_t g = static_cast<size_t>(
+          std::prev(it) - out_.group_first.begin());
+      lo = static_cast<EdgeId>(g) << kGroupShift;
+    }
+  }
+  OutCursor c;
+  SeekOut(lo, &c);
+  for (EdgeId r = lo;;) {
+    if (c.value >= v) return c.value == v ? r : kInvalidEdge;
+    if (++r == hi) return kInvalidEdge;
+    AdvanceOut(r, &c);
+  }
+}
+
+CompressedCsrFootprint CompressedCsr::MemoryFootprint() const {
+  CompressedCsrFootprint fp;
+  fp.offset_bytes = out_offsets_.bytes() + in_offsets_.bytes();
+  fp.out_stream_bytes = out_.stream.size();
+  fp.out_header_bytes =
+      out_.group_pos.bytes() + out_.group_first.size() * sizeof(VertexId);
+  fp.in_stream_bytes = in_.stream.size();
+  fp.in_header_bytes = in_.group_pos.bytes() +
+                       in_.group_first.size() * sizeof(VertexId) +
+                       in_group_rank_.size() * sizeof(uint32_t);
+  return fp;
+}
+
+// Section layout appended by WriteSections (all little-endian, every
+// byte fed to the caller's CRC):
+//   out offsets | in offsets          (PackedOffsets: wide u8,
+//                                      count u64, raw array)
+//   out stream  (size u64 + bytes) | out group_pos (PackedOffsets) |
+//   out group_first (raw u32 x groups)
+//   in stream   (size u64 + bytes) | in group_pos  (PackedOffsets) |
+//   in group_first (raw u32 x groups) | in group_rank (raw u32 x groups)
+// n and m are not repeated here — the enclosing frame (snapshot header)
+// already carries them, and ReadSections sizes everything from them.
+Status CompressedCsr::WriteSections(std::FILE* f, Crc32* crc) const {
+  TDB_RETURN_IF_ERROR(out_offsets_.WriteTo(f, crc));
+  TDB_RETURN_IF_ERROR(in_offsets_.WriteTo(f, crc));
+  const auto write_block = [&](const Block& b) {
+    const uint64_t stream_size = b.stream.size();
+    if (!PutRaw(f, crc, &stream_size, sizeof(stream_size)) ||
+        !PutRaw(f, crc, b.stream.data(), b.stream.size())) {
+      return Status::IOError("short write of adjacency stream");
+    }
+    TDB_RETURN_IF_ERROR(b.group_pos.WriteTo(f, crc));
+    if (!PutRaw(f, crc, b.group_first.data(),
+                b.group_first.size() * sizeof(VertexId))) {
+      return Status::IOError("short write of group headers");
+    }
+    return Status::OK();
+  };
+  TDB_RETURN_IF_ERROR(write_block(out_));
+  TDB_RETURN_IF_ERROR(write_block(in_));
+  if (!PutRaw(f, crc, in_group_rank_.data(),
+              in_group_rank_.size() * sizeof(uint32_t))) {
+    return Status::IOError("short write of group ranks");
+  }
+  return Status::OK();
+}
+
+Status CompressedCsr::ReadSections(std::FILE* f, Crc32* crc, VertexId n,
+                                   EdgeId m, CompressedCsr* out) {
+  *out = CompressedCsr();
+  out->n_ = n;
+  out->m_ = m;
+  const uint64_t groups = (m + kGroupMask) >> kGroupShift;
+  const uint64_t offsets = static_cast<uint64_t>(n) + 1;
+  TDB_RETURN_IF_ERROR(out->out_offsets_.ReadFrom(f, crc, offsets));
+  TDB_RETURN_IF_ERROR(out->in_offsets_.ReadFrom(f, crc, offsets));
+  const auto read_block = [&](Block* b, uint64_t max_entry_bytes) {
+    uint64_t stream_size = 0;
+    if (!GetRaw(f, crc, &stream_size, sizeof(stream_size))) {
+      return Corrupt("truncated stream size");
+    }
+    // An entry never exceeds its varint budget, so anything larger than
+    // that bound cannot have been written by the encoder — reject
+    // before trusting the size for an allocation.
+    if (stream_size > m * max_entry_bytes) {
+      return Corrupt("stream size exceeds the entry budget");
+    }
+    b->stream.resize(stream_size);
+    if (!GetRaw(f, crc, b->stream.data(), stream_size)) {
+      return Corrupt("truncated adjacency stream");
+    }
+    TDB_RETURN_IF_ERROR(b->group_pos.ReadFrom(f, crc, groups));
+    b->group_first.resize(groups);
+    if (!GetRaw(f, crc, b->group_first.data(),
+                groups * sizeof(VertexId))) {
+      return Corrupt("truncated group headers");
+    }
+    return Status::OK();
+  };
+  TDB_RETURN_IF_ERROR(read_block(&out->out_, kMaxVarintBytes));
+  TDB_RETURN_IF_ERROR(read_block(&out->in_, 2 * kMaxVarintBytes));
+  out->in_group_rank_.resize(groups);
+  if (!GetRaw(f, crc, out->in_group_rank_.data(),
+              groups * sizeof(uint32_t))) {
+    return Corrupt("truncated group ranks");
+  }
+  return out->Validate();
+}
+
+Status CompressedCsr::Validate() const {
+  const uint64_t groups = (m_ + kGroupMask) >> kGroupShift;
+  const uint64_t offsets = static_cast<uint64_t>(n_) + 1;
+  if (out_offsets_.size() != offsets || in_offsets_.size() != offsets) {
+    return Corrupt("offset array size");
+  }
+  if (out_offsets_.Get(0) != 0 || out_offsets_.Get(n_) != m_ ||
+      in_offsets_.Get(0) != 0 || in_offsets_.Get(n_) != m_) {
+    return Corrupt("offset array bounds");
+  }
+  for (VertexId v = 0; v < n_; ++v) {
+    if (out_offsets_.Get(v) > out_offsets_.Get(v + 1) ||
+        in_offsets_.Get(v) > in_offsets_.Get(v + 1)) {
+      return Corrupt("offsets not monotone");
+    }
+  }
+  if (out_.group_first.size() != groups ||
+      out_.group_pos.size() != groups ||
+      in_.group_first.size() != groups ||
+      in_.group_pos.size() != groups || in_group_rank_.size() != groups) {
+    return Corrupt("group header count");
+  }
+
+  // Walk the out stream with the checked decoder, reconstructing every
+  // target; the decoded values double as the oracle for the in walk.
+  std::vector<VertexId> dst_of(m_);
+  {
+    const uint8_t* p = out_.stream.data();
+    const uint8_t* end = p + out_.stream.size();
+    VertexId src = 0;
+    VertexId val = 0;
+    VertexId prev = 0;
+    for (EdgeId r = 0; r < m_; ++r) {
+      while (out_offsets_.Get(src + 1) <= r) ++src;
+      const bool list_start = r == out_offsets_.Get(src);
+      if ((r & kGroupMask) == 0) {
+        const size_t g = static_cast<size_t>(r >> kGroupShift);
+        if (out_.group_pos.Get(g) !=
+            static_cast<uint64_t>(p - out_.stream.data())) {
+          return Corrupt("out group position mismatch");
+        }
+        val = out_.group_first[g];
+        if (!list_start && val <= prev) {
+          return Corrupt("out header breaks ascending order");
+        }
+      } else {
+        uint64_t raw = 0;
+        p = DecodeVarintChecked(p, end, &raw);
+        if (p == nullptr) return Corrupt("out stream truncated");
+        if ((raw & 1) != (list_start ? 1u : 0u)) {
+          return Corrupt("out tag disagrees with list boundary");
+        }
+        const uint64_t payload = raw >> 1;
+        const uint64_t next =
+            list_start ? payload
+                       : static_cast<uint64_t>(val) + 1 + payload;
+        if (next > 0xffffffffull) return Corrupt("out value overflow");
+        val = static_cast<VertexId>(next);
+      }
+      if (val >= n_) return Corrupt("out neighbor out of range");
+      dst_of[r] = val;
+      prev = val;
+    }
+    if (p != end) return Corrupt("out stream trailing bytes");
+  }
+
+  // Walk the in stream; every (source, rank) pair must name a real edge
+  // that ends at the bucket's vertex.
+  {
+    const uint8_t* p = in_.stream.data();
+    const uint8_t* end = p + in_.stream.size();
+    VertexId dst = 0;
+    VertexId src = 0;
+    VertexId prev = 0;
+    uint32_t rank = 0;
+    for (EdgeId r = 0; r < m_; ++r) {
+      while (in_offsets_.Get(dst + 1) <= r) ++dst;
+      const bool list_start = r == in_offsets_.Get(dst);
+      if ((r & kGroupMask) == 0) {
+        const size_t g = static_cast<size_t>(r >> kGroupShift);
+        if (in_.group_pos.Get(g) !=
+            static_cast<uint64_t>(p - in_.stream.data())) {
+          return Corrupt("in group position mismatch");
+        }
+        src = in_.group_first[g];
+        rank = in_group_rank_[g];
+        if (!list_start && src <= prev) {
+          return Corrupt("in header breaks ascending order");
+        }
+      } else {
+        uint64_t raw = 0;
+        p = DecodeVarintChecked(p, end, &raw);
+        if (p == nullptr) return Corrupt("in stream truncated");
+        if ((raw & 1) != (list_start ? 1u : 0u)) {
+          return Corrupt("in tag disagrees with list boundary");
+        }
+        const uint64_t payload = raw >> 1;
+        const uint64_t next =
+            list_start ? payload
+                       : static_cast<uint64_t>(src) + 1 + payload;
+        if (next > 0xffffffffull) return Corrupt("in source overflow");
+        src = static_cast<VertexId>(next);
+        uint64_t raw_rank = 0;
+        p = DecodeVarintChecked(p, end, &raw_rank);
+        if (p == nullptr) return Corrupt("in stream truncated");
+        if (raw_rank > 0xffffffffull) return Corrupt("in rank overflow");
+        rank = static_cast<uint32_t>(raw_rank);
+      }
+      if (src >= n_) return Corrupt("in source out of range");
+      const EdgeId begin = out_offsets_.Get(src);
+      if (rank >= out_offsets_.Get(src + 1) - begin) {
+        return Corrupt("in rank exceeds the source's degree");
+      }
+      if (dst_of[begin + rank] != dst) {
+        return Corrupt("in entry names a different edge");
+      }
+      prev = src;
+    }
+    if (p != end) return Corrupt("in stream trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace tdb

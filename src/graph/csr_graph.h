@@ -7,9 +7,13 @@
 // id equal to its position in the out-CSR — the DARC baseline and the line
 // graph are built on those ids.
 //
-// Memory: 2 * m * 4 bytes of targets/sources + m * 4 of edge sources +
-// m * 8 of in-edge ids + 2 * (n + 1) * 8 of offsets. A billion-edge graph
-// fits in ~28 GB, matching the paper's big-memory-server deployment model.
+// Memory: 20 bytes per edge — out_targets_ + edge_src_ + in_sources_ at
+// 4 bytes each plus in_edge_ids_ at 8 — and 2 * (n + 1) * 8 bytes of
+// offsets. A billion-edge graph (n = 2^27, m = 2^30) costs ~22 GB,
+// matching the paper's big-memory-server deployment model; the
+// delta/varint CompressedCsr backend stores the same graph (same edge
+// ids) in a fraction of that when residency matters more than raw scan
+// speed.
 #ifndef TDB_GRAPH_CSR_GRAPH_H_
 #define TDB_GRAPH_CSR_GRAPH_H_
 
@@ -73,6 +77,43 @@ class CsrGraph {
   std::span<const EdgeId> InEdgeIds(VertexId v) const {
     return {in_edge_ids_.data() + in_offsets_[v],
             in_edge_ids_.data() + in_offsets_[v + 1]};
+  }
+
+  // Compression-aware iteration seam, shared with CompressedCsr (and
+  // OverlayGraph/SubgraphView): generic traversal code calls these and
+  // statically degenerates to the raw span loops here — no per-edge
+  // decode, no runtime backend branch.
+
+  /// Streams v's out-neighbors as fn(target, edge id); fn returns false
+  /// to stop early (the method then returns false).
+  template <typename Fn>
+  bool ForEachOut(VertexId v, Fn&& fn) const {
+    const EdgeId end = out_offsets_[v + 1];
+    for (EdgeId e = out_offsets_[v]; e < end; ++e) {
+      if (!fn(out_targets_[e], e)) return false;
+    }
+    return true;
+  }
+
+  /// Streams v's in-neighbors as fn(source, edge id).
+  template <typename Fn>
+  bool ForEachIn(VertexId v, Fn&& fn) const {
+    const EdgeId end = in_offsets_[v + 1];
+    for (EdgeId e = in_offsets_[v]; e < end; ++e) {
+      if (!fn(in_sources_[e], in_edge_ids_[e])) return false;
+    }
+    return true;
+  }
+
+  /// Seam twin of CompressedCsr::DecodeNeighbors: the raw backend hands
+  /// out its internal span and never touches the scratch.
+  std::span<const VertexId> DecodeNeighbors(
+      VertexId v, std::vector<VertexId>& /*scratch*/) const {
+    return OutNeighbors(v);
+  }
+  std::span<const VertexId> DecodeInNeighbors(
+      VertexId v, std::vector<VertexId>& /*scratch*/) const {
+    return InNeighbors(v);
   }
 
   /// Number of edges whose reverse edge also exists (counted per edge, so

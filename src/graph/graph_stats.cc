@@ -26,6 +26,14 @@ GraphStats ComputeStats(const CsrGraph& graph) {
     s.reciprocity = static_cast<double>(graph.CountReciprocalEdges()) /
                     static_cast<double>(s.num_edges);
   }
+  const uint64_t offsets =
+      (static_cast<uint64_t>(s.num_vertices) + 1) * sizeof(EdgeId);
+  s.out_offset_bytes = offsets;
+  s.in_offset_bytes = offsets;
+  s.out_target_bytes = s.num_edges * sizeof(VertexId);
+  s.edge_src_bytes = s.num_edges * sizeof(VertexId);
+  s.in_source_bytes = s.num_edges * sizeof(VertexId);
+  s.in_edge_id_bytes = s.num_edges * sizeof(EdgeId);
   return s;
 }
 
@@ -37,6 +45,22 @@ std::string GraphStats::ToString() const {
                 num_vertices, static_cast<unsigned long long>(num_edges),
                 avg_degree, static_cast<unsigned long long>(max_out_degree),
                 static_cast<unsigned long long>(max_in_degree), reciprocity);
+  return buf;
+}
+
+std::string GraphStats::FootprintString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "csr_bytes=%llu (out_offsets=%llu out_targets=%llu edge_src=%llu "
+      "in_offsets=%llu in_sources=%llu in_edge_ids=%llu)",
+      static_cast<unsigned long long>(total_bytes()),
+      static_cast<unsigned long long>(out_offset_bytes),
+      static_cast<unsigned long long>(out_target_bytes),
+      static_cast<unsigned long long>(edge_src_bytes),
+      static_cast<unsigned long long>(in_offset_bytes),
+      static_cast<unsigned long long>(in_source_bytes),
+      static_cast<unsigned long long>(in_edge_id_bytes));
   return buf;
 }
 

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <utility>
 
+#include "graph/compressed_csr.h"
 #include "util/concurrent_union_find.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -73,12 +75,25 @@ SccResult FinalizeCanonical(VertexId n, const std::vector<VertexId>& label,
   return result;
 }
 
+/// Decodes v's out-neighbors into the depth-indexed buffer of `bufs` —
+/// the same per-depth scheme as the search engines' SearchContext: every
+/// live DFS frame keeps a stable decoded list (deque buffers never
+/// relocate) while deeper frames decode theirs. Zero-copy on CsrGraph.
+template <typename GraphT>
+std::span<const VertexId> DecodeDepth(const GraphT& g, VertexId v,
+                                      std::deque<std::vector<VertexId>>& bufs,
+                                      size_t depth) {
+  while (bufs.size() <= depth) bufs.emplace_back();
+  return g.DecodeNeighbors(v, bufs[depth]);
+}
+
 /// Iterative Tarjan over the whole graph (no recursion, safe for
 /// multi-million-vertex graphs). Emits each component as it closes.
 /// Polls `deadline` (when non-null) once per DFS step — the Deadline
 /// amortizes the clock reads — and returns false on expiry, leaving the
 /// labeling incomplete.
-bool TarjanWhole(const CsrGraph& graph, EmitCtx& ctx, Deadline* deadline) {
+template <typename GraphT>
+bool TarjanWhole(const GraphT& graph, EmitCtx& ctx, Deadline* deadline) {
   const VertexId n = graph.num_vertices();
   std::vector<VertexId> index(n, kUnvisited);
   std::vector<VertexId> lowlink(n, 0);
@@ -86,17 +101,27 @@ bool TarjanWhole(const CsrGraph& graph, EmitCtx& ctx, Deadline* deadline) {
   std::vector<VertexId> scc_stack;
   std::vector<VertexId> members;
 
-  // Explicit DFS frame: vertex plus position in its out-neighbor list.
+  // Explicit DFS frame: vertex, cursor into its decoded out-neighbor
+  // list, and the list itself (stable per-depth buffer).
   struct Frame {
     VertexId v;
-    EdgeId next;  // absolute index into the out-CSR target array
+    EdgeId idx;
+    EdgeId deg;
+    const VertexId* nbrs;
   };
   std::vector<Frame> dfs;
+  std::deque<std::vector<VertexId>> bufs;
+
+  auto push = [&](VertexId v) {
+    const std::span<const VertexId> nbrs =
+        DecodeDepth(graph, v, bufs, dfs.size());
+    dfs.push_back({v, 0, static_cast<EdgeId>(nbrs.size()), nbrs.data()});
+  };
 
   VertexId next_index = 0;
   for (VertexId root = 0; root < n; ++root) {
     if (index[root] != kUnvisited) continue;
-    dfs.push_back({root, graph.OutEdgeBegin(root)});
+    push(root);
     index[root] = lowlink[root] = next_index++;
     scc_stack.push_back(root);
     on_stack[root] = 1;
@@ -105,13 +130,13 @@ bool TarjanWhole(const CsrGraph& graph, EmitCtx& ctx, Deadline* deadline) {
       if (deadline != nullptr && deadline->Expired()) return false;
       Frame& frame = dfs.back();
       VertexId v = frame.v;
-      if (frame.next < graph.OutEdgeEnd(v)) {
-        VertexId w = graph.EdgeDst(frame.next++);
+      if (frame.idx < frame.deg) {
+        VertexId w = frame.nbrs[frame.idx++];
         if (index[w] == kUnvisited) {
           index[w] = lowlink[w] = next_index++;
           scc_stack.push_back(w);
           on_stack[w] = 1;
-          dfs.push_back({w, graph.OutEdgeBegin(w)});
+          push(w);
         } else if (on_stack[w]) {
           lowlink[v] = std::min(lowlink[v], index[w]);
         }
@@ -143,7 +168,8 @@ bool TarjanWhole(const CsrGraph& graph, EmitCtx& ctx, Deadline* deadline) {
 /// vertices and membership is part[v] == tag. Scratch is dense over local
 /// ids; `local_of` is a graph-sized map shared across concurrent calls —
 /// partitions are disjoint, so writes never race.
-void TarjanSubset(const CsrGraph& graph, std::span<const VertexId> subset,
+template <typename GraphT>
+void TarjanSubset(const GraphT& graph, std::span<const VertexId> subset,
                   const std::vector<uint32_t>& part, uint32_t tag,
                   std::vector<VertexId>& local_of, EmitCtx& ctx) {
   const VertexId m = static_cast<VertexId>(subset.size());
@@ -156,15 +182,24 @@ void TarjanSubset(const CsrGraph& graph, std::span<const VertexId> subset,
   std::vector<VertexId> members;    // global ids
 
   struct Frame {
-    VertexId v;    // local id
-    EdgeId next;   // absolute index into the out-CSR of the global vertex
+    VertexId v;  // local id
+    EdgeId idx;
+    EdgeId deg;
+    const VertexId* nbrs;  // global ids (decoded per-depth)
   };
   std::vector<Frame> dfs;
+  std::deque<std::vector<VertexId>> bufs;
+
+  auto push = [&](VertexId local) {
+    const std::span<const VertexId> nbrs =
+        DecodeDepth(graph, subset[local], bufs, dfs.size());
+    dfs.push_back({local, 0, static_cast<EdgeId>(nbrs.size()), nbrs.data()});
+  };
 
   VertexId next_index = 0;
   for (VertexId root = 0; root < m; ++root) {
     if (index[root] != kUnvisited) continue;
-    dfs.push_back({root, graph.OutEdgeBegin(subset[root])});
+    push(root);
     index[root] = lowlink[root] = next_index++;
     scc_stack.push_back(root);
     on_stack[root] = 1;
@@ -172,15 +207,15 @@ void TarjanSubset(const CsrGraph& graph, std::span<const VertexId> subset,
     while (!dfs.empty()) {
       Frame& frame = dfs.back();
       VertexId v = frame.v;
-      if (frame.next < graph.OutEdgeEnd(subset[v])) {
-        VertexId wg = graph.EdgeDst(frame.next++);
+      if (frame.idx < frame.deg) {
+        VertexId wg = frame.nbrs[frame.idx++];
         if (part[wg] != tag) continue;  // edge leaves the partition
         VertexId w = local_of[wg];
         if (index[w] == kUnvisited) {
           index[w] = lowlink[w] = next_index++;
           scc_stack.push_back(w);
           on_stack[w] = 1;
-          dfs.push_back({w, graph.OutEdgeBegin(wg)});
+          push(w);
         } else if (on_stack[w]) {
           lowlink[v] = std::min(lowlink[v], index[w]);
         }
@@ -210,10 +245,13 @@ void TarjanSubset(const CsrGraph& graph, std::span<const VertexId> subset,
 /// the calling thread (an explicit partition stack); the pool is used for
 /// flat data-parallel sweeps (degree scans, BFS frontiers, partition
 /// splits) and for the final backlog of below-cutoff partitions, which
-/// run sequential Tarjan concurrently.
+/// run sequential Tarjan concurrently. Neighbor sweeps stream through the
+/// ForEachOut/ForEachIn seam; the CompressedCsr cursors are function
+/// locals, so concurrent sweeps over one graph stay race-free.
+template <typename GraphT>
 class FwBwCondenser {
  public:
-  FwBwCondenser(const CsrGraph& graph, const SccOptions& options,
+  FwBwCondenser(const GraphT& graph, const SccOptions& options,
                 int threads, EmitCtx& ctx, SccStats* stats,
                 Deadline* deadline)
       : g_(graph),
@@ -330,34 +368,56 @@ class FwBwCondenser {
       if (part_[v] != tag) continue;  // already peeled via the other side
       part_[v] = 0;
       EmitTrivial(v);
-      for (VertexId w : g_.OutNeighbors(v)) {
+      g_.ForEachOut(v, [&](VertexId w, EdgeId) {
         if (part_[w] == tag && --deg_in_[w] == 0) queue.push_back(w);
-      }
-      for (VertexId w : g_.InNeighbors(v)) {
+        return true;
+      });
+      g_.ForEachIn(v, [&](VertexId w, EdgeId) {
         if (part_[w] == tag && --deg_out_[w] == 0) queue.push_back(w);
-      }
+        return true;
+      });
     }
     if (queue.empty()) return;
     std::erase_if(*partition, [&](VertexId v) { return part_[v] != tag; });
   }
 
-  VertexId CountActive(std::span<const VertexId> nbrs, uint32_t tag) const {
+  /// Active in-/out-neighbor count of `u` (self-loops included).
+  template <bool kOut>
+  VertexId CountActive(VertexId u, uint32_t tag) const {
     VertexId count = 0;
-    for (VertexId w : nbrs) count += part_[w] == tag ? 1 : 0;
+    auto body = [&](VertexId w, EdgeId) {
+      count += part_[w] == tag ? 1 : 0;
+      return true;
+    };
+    if constexpr (kOut) {
+      g_.ForEachOut(u, body);
+    } else {
+      g_.ForEachIn(u, body);
+    }
     return count;
   }
 
-  /// The unique active neighbor of `u` other than itself, kInvalidVertex
-  /// when there are zero or two-plus.
-  VertexId OnlyActive(std::span<const VertexId> nbrs, VertexId u,
-                      uint32_t tag) const {
+  /// The unique active in-/out-neighbor of `u` other than itself,
+  /// kInvalidVertex when there are zero or two-plus.
+  template <bool kOut>
+  VertexId OnlyActive(VertexId u, uint32_t tag) const {
     VertexId only = kInvalidVertex;
-    for (VertexId w : nbrs) {
-      if (w == u || part_[w] != tag) continue;
-      if (only != kInvalidVertex) return kInvalidVertex;
+    bool multiple = false;
+    auto body = [&](VertexId w, EdgeId) {
+      if (w == u || part_[w] != tag) return true;
+      if (only != kInvalidVertex) {
+        multiple = true;
+        return false;
+      }
       only = w;
+      return true;
+    };
+    if constexpr (kOut) {
+      g_.ForEachOut(u, body);
+    } else {
+      g_.ForEachIn(u, body);
     }
-    return only;
+    return multiple ? kInvalidVertex : only;
   }
 
   /// Trim-2: peels two-vertex SCCs. If u's only active in-neighbor
@@ -379,24 +439,24 @@ class FwBwCondenser {
             // neighbor; a self-loop contributes at most one more to the
             // restricted degree, so degree > 2 can never match.
             if (deg_in_[u] <= 2) {
-              const VertexId vin = OnlyActive(g_.InNeighbors(u), u, tag);
+              const VertexId vin = OnlyActive<false>(u, tag);
               if (vin == kInvalidVertex) {
                 // Trim-1 guarantees at least one active in-neighbor; zero
                 // non-self means only a self-loop feeds u: singleton.
-                if (CountActive(g_.InNeighbors(u), tag) ==
+                if (CountActive<false>(u, tag) ==
                     (g_.HasEdge(u, u) ? 1u : 0u)) {
                   out->emplace_back(u, u);
                 }
               } else if (u < vin && deg_in_[vin] <= 2 &&
-                         OnlyActive(g_.InNeighbors(vin), vin, tag) == u) {
+                         OnlyActive<false>(vin, tag) == u) {
                 out->emplace_back(u, vin);
                 continue;
               }
             }
             if (deg_out_[u] <= 2) {
-              const VertexId vout = OnlyActive(g_.OutNeighbors(u), u, tag);
+              const VertexId vout = OnlyActive<true>(u, tag);
               if (vout != kInvalidVertex && u < vout && deg_out_[vout] <= 2 &&
-                  OnlyActive(g_.OutNeighbors(vout), vout, tag) == u) {
+                  OnlyActive<true>(vout, tag) == u) {
                 out->emplace_back(u, vout);
               }
             }
@@ -425,6 +485,13 @@ class FwBwCondenser {
   /// claiming and chunk-ordered concatenation.
   template <bool kForward>
   void BfsMark(VertexId pivot, uint32_t tag, std::vector<uint32_t>& mark) {
+    auto sweep = [this](VertexId u, auto&& body) {
+      if constexpr (kForward) {
+        g_.ForEachOut(u, body);
+      } else {
+        g_.ForEachIn(u, body);
+      }
+    };
     mark[pivot] = epoch_;
     std::vector<VertexId> frontier{pivot};
     std::vector<VertexId> next;
@@ -432,31 +499,30 @@ class FwBwCondenser {
       next.clear();
       if (pool_ == nullptr || frontier.size() <= kGrain) {
         for (VertexId u : frontier) {
-          for (VertexId w :
-               kForward ? g_.OutNeighbors(u) : g_.InNeighbors(u)) {
+          sweep(u, [&](VertexId w, EdgeId) {
             if (part_[w] == tag && mark[w] != epoch_) {
               mark[w] = epoch_;
               next.push_back(w);
             }
-          }
+            return true;
+          });
         }
       } else {
         ParallelGather<VertexId>(
             pool(), frontier.size(), kGrain, &next,
             [&](size_t begin, size_t end, std::vector<VertexId>* out, int) {
               for (size_t i = begin; i < end; ++i) {
-                const VertexId u = frontier[i];
-                for (VertexId w :
-                     kForward ? g_.OutNeighbors(u) : g_.InNeighbors(u)) {
-                  if (part_[w] != tag) continue;
+                sweep(frontier[i], [&](VertexId w, EdgeId) {
+                  if (part_[w] != tag) return true;
                   std::atomic_ref<uint32_t> claimed(mark[w]);
                   uint32_t seen = claimed.load(std::memory_order_relaxed);
-                  if (seen == epoch_) continue;
+                  if (seen == epoch_) return true;
                   if (claimed.compare_exchange_strong(
                           seen, epoch_, std::memory_order_relaxed)) {
                     out->push_back(w);
                   }
-                }
+                  return true;
+                });
               }
             });
       }
@@ -550,7 +616,7 @@ class FwBwCondenser {
     }
   }
 
-  const CsrGraph& g_;
+  const GraphT& g_;
   const VertexId n_;
   const VertexId cutoff_;
   EmitCtx& ctx_;
@@ -576,9 +642,10 @@ class FwBwCondenser {
 /// LIVE -> DEAD transition. No global barriers, no per-pivot rescans:
 /// a component streams into the sink the moment its set retires, and
 /// trivial SCCs fall out of the same pass (no separate trim peel).
+template <typename GraphT>
 class UfSccWorker {
  public:
-  UfSccWorker(const CsrGraph& graph, ConcurrentUnionFind& uf, EmitCtx& ctx,
+  UfSccWorker(const GraphT& graph, ConcurrentUnionFind& uf, EmitCtx& ctx,
               std::atomic<bool>& abort)
       : g_(graph), uf_(uf), ctx_(ctx), abort_(&abort) {}
 
@@ -600,12 +667,13 @@ class UfSccWorker {
   /// One search frame: the set being explored (represented by the
   /// element whose claim created the frame), the element currently
   /// picked from the set's work ring, and the cursor through that
-  /// element's out-edges.
+  /// element's decoded out-neighbor list (per-depth buffer).
   struct Frame {
     VertexId v;
     VertexId picked = kInvalidVertex;
-    EdgeId edge = 0;
-    EdgeId edge_end = 0;
+    EdgeId idx = 0;
+    EdgeId deg = 0;
+    const VertexId* nbrs = nullptr;
   };
 
   bool Explore(VertexId start, int worker, Deadline& deadline) {
@@ -640,12 +708,15 @@ class UfSccWorker {
           continue;
         }
         f.picked = picked;
-        f.edge = g_.OutEdgeBegin(picked);
-        f.edge_end = g_.OutEdgeEnd(picked);
+        const std::span<const VertexId> nbrs =
+            DecodeDepth(g_, picked, bufs_, stack_.size() - 1);
+        f.nbrs = nbrs.data();
+        f.idx = 0;
+        f.deg = static_cast<EdgeId>(nbrs.size());
       }
       bool descended = false;
-      while (f.edge < f.edge_end) {
-        const VertexId w = g_.EdgeDst(f.edge++);
+      while (f.idx < f.deg) {
+        const VertexId w = f.nbrs[f.idx++];
         const Claim claim = uf_.ClaimSet(w, worker);
         if (claim == Claim::kDead) continue;
         if (claim == Claim::kSuccess) {
@@ -678,32 +749,34 @@ class UfSccWorker {
     return true;
   }
 
-  const CsrGraph& g_;
+  const GraphT& g_;
   ConcurrentUnionFind& uf_;
   EmitCtx& ctx_;
   std::atomic<bool>* abort_;
   std::vector<Frame> stack_;
   std::vector<VertexId> rp_;       // one entry per distinct set on the path
   std::vector<VertexId> members_;  // death-extraction scratch
+  std::deque<std::vector<VertexId>> bufs_;  // per-depth decode buffers
 };
 
 /// Runs the UFSCC workers: inline when single-threaded, one per pool
 /// worker otherwise. Returns false when the deadline expired (labels
 /// incomplete); `deadline`'s state is synced so the caller observes the
 /// expiry too.
-bool UnionFindCondense(const CsrGraph& graph, EmitCtx& ctx, int threads,
+template <typename GraphT>
+bool UnionFindCondense(const GraphT& graph, EmitCtx& ctx, int threads,
                        Deadline* deadline) {
   ConcurrentUnionFind uf(graph.num_vertices());
   std::atomic<bool> abort{false};
   const Deadline budget = deadline != nullptr ? *deadline : Deadline();
   if (threads <= 1) {
-    UfSccWorker(graph, uf, ctx, abort).Run(0, 1, budget);
+    UfSccWorker<GraphT>(graph, uf, ctx, abort).Run(0, 1, budget);
   } else {
-    std::vector<std::unique_ptr<UfSccWorker>> workers;
+    std::vector<std::unique_ptr<UfSccWorker<GraphT>>> workers;
     workers.reserve(threads);
     for (int t = 0; t < threads; ++t) {
       workers.push_back(
-          std::make_unique<UfSccWorker>(graph, uf, ctx, abort));
+          std::make_unique<UfSccWorker<GraphT>>(graph, uf, ctx, abort));
     }
     ThreadPool pool(threads);
     for (int t = 0; t < threads; ++t) {
@@ -718,6 +791,71 @@ bool UnionFindCondense(const CsrGraph& graph, EmitCtx& ctx, int threads,
     return false;
   }
   return true;
+}
+
+template <typename GraphT>
+SccResult CondenseSccT(const GraphT& graph, const SccOptions& options,
+                       const ComponentSink& sink, SccStats* stats) {
+  Timer timer;
+  const VertexId n = graph.num_vertices();
+  EmitCtx ctx;
+  ctx.label.assign(n, kInvalidVertex);
+  ctx.sink = &sink;
+
+  const int threads = options.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                               : options.num_threads;
+  // Below the cutoff the parallel strategies would only add overhead
+  // (FW-BW would immediately fall back; UFSCC pays atomics per edge);
+  // run plain Tarjan instead.
+  const bool big = n >= std::max<VertexId>(options.min_parallel_size, 1);
+  bool timed_out = false;
+  if (options.deadline != nullptr && options.deadline->ExpiredNow()) {
+    // The budget was gone before condensation started: abort before the
+    // first traversal rather than after it.
+    timed_out = true;
+  } else if (options.algorithm == SccAlgorithm::kParallelFwBw && big) {
+    FwBwCondenser<GraphT> condenser(graph, options, threads, ctx, stats,
+                                    options.deadline);
+    timed_out = !condenser.Run();
+  } else if (options.algorithm == SccAlgorithm::kUnionFind && big) {
+    timed_out = !UnionFindCondense(
+        graph, ctx, std::min(threads, ConcurrentUnionFind::kMaxWorkers),
+        options.deadline);
+  } else {
+    timed_out = !TarjanWhole(graph, ctx, options.deadline);
+    if (stats != nullptr && options.algorithm != SccAlgorithm::kTarjan &&
+        n > 0) {
+      ++stats->tarjan_partitions;
+    }
+  }
+
+  SccResult result;
+  result.timed_out = timed_out;
+  if (!timed_out && options.canonical_result) {
+    // An aborted run must never reach here: some labels are still
+    // kInvalidVertex, which the canonical renumbering cannot represent.
+    result = FinalizeCanonical(
+        n, ctx.label, ctx.next_label.load(std::memory_order_relaxed));
+    result.timed_out = false;
+  } else {
+    result.num_components = ctx.next_label.load(std::memory_order_relaxed);
+  }
+  if (stats != nullptr) {
+    stats->components = result.num_components;
+    stats->seconds = timer.ElapsedSeconds();
+  }
+  return result;
+}
+
+template <typename GraphT>
+std::vector<uint8_t> SccAtLeastMaskT(const GraphT& graph,
+                                     VertexId min_size) {
+  SccResult scc = CondenseSccT(graph, SccOptions{}, nullptr, nullptr);
+  std::vector<uint8_t> mask(graph.num_vertices(), 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    mask[v] = scc.SizeOf(v) >= min_size ? 1 : 0;
+  }
+  return mask;
 }
 
 }  // namespace
@@ -753,69 +891,30 @@ Status ParseSccAlgorithm(const std::string& name, SccAlgorithm* algo) {
 
 SccResult CondenseScc(const CsrGraph& graph, const SccOptions& options,
                       const ComponentSink& sink, SccStats* stats) {
-  Timer timer;
-  const VertexId n = graph.num_vertices();
-  EmitCtx ctx;
-  ctx.label.assign(n, kInvalidVertex);
-  ctx.sink = &sink;
+  return CondenseSccT(graph, options, sink, stats);
+}
 
-  const int threads = options.num_threads == 0 ? ThreadPool::HardwareThreads()
-                                               : options.num_threads;
-  // Below the cutoff the parallel strategies would only add overhead
-  // (FW-BW would immediately fall back; UFSCC pays atomics per edge);
-  // run plain Tarjan instead.
-  const bool big = n >= std::max<VertexId>(options.min_parallel_size, 1);
-  bool timed_out = false;
-  if (options.deadline != nullptr && options.deadline->ExpiredNow()) {
-    // The budget was gone before condensation started: abort before the
-    // first traversal rather than after it.
-    timed_out = true;
-  } else if (options.algorithm == SccAlgorithm::kParallelFwBw && big) {
-    FwBwCondenser condenser(graph, options, threads, ctx, stats,
-                            options.deadline);
-    timed_out = !condenser.Run();
-  } else if (options.algorithm == SccAlgorithm::kUnionFind && big) {
-    timed_out = !UnionFindCondense(
-        graph, ctx, std::min(threads, ConcurrentUnionFind::kMaxWorkers),
-        options.deadline);
-  } else {
-    timed_out = !TarjanWhole(graph, ctx, options.deadline);
-    if (stats != nullptr && options.algorithm != SccAlgorithm::kTarjan &&
-        n > 0) {
-      ++stats->tarjan_partitions;
-    }
-  }
-
-  SccResult result;
-  result.timed_out = timed_out;
-  if (!timed_out && options.canonical_result) {
-    // An aborted run must never reach here: some labels are still
-    // kInvalidVertex, which the canonical renumbering cannot represent.
-    result = FinalizeCanonical(
-        n, ctx.label, ctx.next_label.load(std::memory_order_relaxed));
-    result.timed_out = false;
-  } else {
-    result.num_components = ctx.next_label.load(std::memory_order_relaxed);
-  }
-  if (stats != nullptr) {
-    stats->components = result.num_components;
-    stats->seconds = timer.ElapsedSeconds();
-  }
-  return result;
+SccResult CondenseScc(const CompressedCsr& graph, const SccOptions& options,
+                      const ComponentSink& sink, SccStats* stats) {
+  return CondenseSccT(graph, options, sink, stats);
 }
 
 SccResult ComputeScc(const CsrGraph& graph) {
   return CondenseScc(graph, SccOptions{});
 }
 
+SccResult ComputeScc(const CompressedCsr& graph) {
+  return CondenseScc(graph, SccOptions{});
+}
+
 std::vector<uint8_t> SccAtLeastMask(const CsrGraph& graph,
                                     VertexId min_size) {
-  SccResult scc = ComputeScc(graph);
-  std::vector<uint8_t> mask(graph.num_vertices(), 0);
-  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    mask[v] = scc.SizeOf(v) >= min_size ? 1 : 0;
-  }
-  return mask;
+  return SccAtLeastMaskT(graph, min_size);
+}
+
+std::vector<uint8_t> SccAtLeastMask(const CompressedCsr& graph,
+                                    VertexId min_size) {
+  return SccAtLeastMaskT(graph, min_size);
 }
 
 }  // namespace tdb

@@ -153,23 +153,33 @@ struct SccStats {
 /// starts solving while the condenser is still decomposing the rest.
 using ComponentSink = std::function<void(std::span<const VertexId> members)>;
 
+class CompressedCsr;
+
 /// Computes the SCC decomposition of `graph` with the chosen strategy.
 /// The returned SccResult is canonical (see above) and bit-identical
-/// across algorithms and thread counts. `sink`, when non-null, receives
-/// every component as it is finalized; `stats`, when non-null, receives
-/// run instrumentation.
+/// across algorithms, thread counts AND storage backends — every
+/// traversal runs through the ForEachOut/ForEachIn seam, so condensing a
+/// CompressedCsr base never materializes a raw copy. `sink`, when
+/// non-null, receives every component as it is finalized; `stats`, when
+/// non-null, receives run instrumentation.
 SccResult CondenseScc(const CsrGraph& graph, const SccOptions& options,
+                      const ComponentSink& sink = nullptr,
+                      SccStats* stats = nullptr);
+SccResult CondenseScc(const CompressedCsr& graph, const SccOptions& options,
                       const ComponentSink& sink = nullptr,
                       SccStats* stats = nullptr);
 
 /// Computes SCCs with the default sequential Tarjan strategy (canonical
 /// ids, like every CondenseScc result).
 SccResult ComputeScc(const CsrGraph& graph);
+SccResult ComputeScc(const CompressedCsr& graph);
 
 /// Marks vertices whose SCC has at least `min_size` members. Only marked
 /// vertices can lie on a simple cycle of length >= min_size' where
 /// min_size' is 3 without 2-cycles (pass 3) or 2 with them (pass 2).
 std::vector<uint8_t> SccAtLeastMask(const CsrGraph& graph,
+                                    VertexId min_size);
+std::vector<uint8_t> SccAtLeastMask(const CompressedCsr& graph,
                                     VertexId min_size);
 
 }  // namespace tdb

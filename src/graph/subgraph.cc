@@ -2,15 +2,18 @@
 
 #include <utility>
 
+#include "graph/compressed_csr.h"
 #include "util/check.h"
 
 namespace tdb {
 
-SubgraphExtractor::SubgraphExtractor(const CsrGraph& parent)
+template <typename GraphT>
+SubgraphExtractorT<GraphT>::SubgraphExtractorT(const GraphT& parent)
     : parent_(parent),
       global_to_local_(parent.num_vertices(), kInvalidVertex) {}
 
-InducedSubgraph SubgraphExtractor::Extract(
+template <typename GraphT>
+InducedSubgraph SubgraphExtractorT<GraphT>::Extract(
     std::span<const VertexId> members) {
   InducedSubgraph sub;
   sub.to_global.assign(members.begin(), members.end());
@@ -28,10 +31,11 @@ InducedSubgraph SubgraphExtractor::Extract(
   // pre-sorted by (src, dst) — FromEdges' sort is then a no-op pass.
   edge_scratch_.clear();
   for (VertexId local = 0; local < k; ++local) {
-    for (VertexId w : parent_.OutNeighbors(members[local])) {
+    parent_.ForEachOut(members[local], [&](VertexId w, EdgeId) {
       const VertexId wl = global_to_local_[w];
       if (wl != kInvalidVertex) edge_scratch_.push_back({local, wl});
-    }
+      return true;
+    });
   }
   sub.graph = CsrGraph::FromEdges(k, edge_scratch_);
 
@@ -39,14 +43,9 @@ InducedSubgraph SubgraphExtractor::Extract(
   return sub;
 }
 
-InducedSubgraph ExtractInducedSubgraph(const CsrGraph& parent,
-                                       std::span<const VertexId> members) {
-  SubgraphExtractor extractor(parent);
-  return extractor.Extract(members);
-}
-
-SubgraphView::SubgraphView(const CsrGraph& parent,
-                           std::span<const VertexId> members)
+template <typename GraphT>
+SubgraphViewT<GraphT>::SubgraphViewT(const GraphT& parent,
+                                     std::span<const VertexId> members)
     : parent_(&parent), members_(members) {
   for (size_t i = 0; i < members_.size(); ++i) {
     TDB_CHECK(members_[i] < parent.num_vertices());
@@ -55,23 +54,32 @@ SubgraphView::SubgraphView(const CsrGraph& parent,
   }
 }
 
-EdgeId SubgraphView::CountEdges() const {
+template <typename GraphT>
+EdgeId SubgraphViewT<GraphT>::CountEdges() const {
   EdgeId count = 0;
   for (VertexId g : members_) {
-    for (VertexId w : parent_->OutNeighbors(g)) {
+    parent_->ForEachOut(g, [&](VertexId w, EdgeId) {
       if (Contains(w)) ++count;
-    }
+      return true;
+    });
   }
   return count;
 }
 
-void SubgraphView::FillMemberMask(std::vector<uint8_t>* mask) const {
+template <typename GraphT>
+void SubgraphViewT<GraphT>::FillMemberMask(std::vector<uint8_t>* mask) const {
   mask->assign(parent_->num_vertices(), 0);
   for (VertexId g : members_) (*mask)[g] = 1;
 }
 
-InducedSubgraph SubgraphView::Materialize() const {
+template <typename GraphT>
+InducedSubgraph SubgraphViewT<GraphT>::Materialize() const {
   return ExtractInducedSubgraph(*parent_, members_);
 }
+
+template class SubgraphExtractorT<CsrGraph>;
+template class SubgraphExtractorT<CompressedCsr>;
+template class SubgraphViewT<CsrGraph>;
+template class SubgraphViewT<CompressedCsr>;
 
 }  // namespace tdb

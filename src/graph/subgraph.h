@@ -7,17 +7,21 @@
 //     self-contained CsrGraph over dense local ids — right for the long
 //     tail of small components, where the copy is tiny and the solver
 //     then touches perfectly compact memory.
-//   * SubgraphView wraps the parent CsrGraph with an id remap and a
+//   * SubgraphView wraps the parent graph with an id remap and a
 //     membership test but copies no edges — right for the giant
 //     component, where materializing would nearly duplicate the whole
 //     graph. Mask-based solvers run directly on the parent through the
 //     view (see core/engine.h), cutting peak memory from O(m) per copy
 //     to O(1) beyond the member list itself.
 //
-// Local ids are assigned in ascending global order in both forms, so an
-// id-ordered sweep of the subgraph visits vertices in the same relative
-// order as an id-ordered sweep of the full graph — the property that
-// keeps per-component solves bit-identical to a whole-graph solve.
+// Both are templated over the storage backend (CsrGraph or
+// CompressedCsr). Extraction always materializes to a *raw* CsrGraph:
+// per-component solves want the fastest possible adjacency, and the
+// compressed base keeps only one full-graph copy resident. Local ids are
+// assigned in ascending global order in both forms, so an id-ordered
+// sweep of the subgraph visits vertices in the same relative order as an
+// id-ordered sweep of the full graph — the property that keeps
+// per-component solves bit-identical to a whole-graph solve.
 #ifndef TDB_GRAPH_SUBGRAPH_H_
 #define TDB_GRAPH_SUBGRAPH_H_
 
@@ -29,6 +33,8 @@
 
 namespace tdb {
 
+class CompressedCsr;
+
 /// A vertex-induced subgraph over dense local ids plus the mapping back.
 struct InducedSubgraph {
   CsrGraph graph;
@@ -39,25 +45,35 @@ struct InducedSubgraph {
 /// Reusable extractor. Holds an n-sized global->local scratch map so that
 /// extracting many subgraphs of one parent costs O(|C| + edges(C)) each
 /// instead of O(n). Not thread-safe: one extractor per worker.
-class SubgraphExtractor {
+template <typename GraphT>
+class SubgraphExtractorT {
  public:
-  explicit SubgraphExtractor(const CsrGraph& parent);
+  explicit SubgraphExtractorT(const GraphT& parent);
 
   /// Extracts the subgraph induced by `members`, which must be sorted
   /// ascending with no duplicates and all < parent.num_vertices().
   InducedSubgraph Extract(std::span<const VertexId> members);
 
  private:
-  const CsrGraph& parent_;
+  const GraphT& parent_;
   /// kInvalidVertex outside the member set being extracted; entries are
   /// reset after every Extract so the map is reusable.
   std::vector<VertexId> global_to_local_;
   std::vector<Edge> edge_scratch_;
 };
 
-/// One-shot convenience wrapper around SubgraphExtractor.
-InducedSubgraph ExtractInducedSubgraph(const CsrGraph& parent,
-                                       std::span<const VertexId> members);
+extern template class SubgraphExtractorT<CsrGraph>;
+extern template class SubgraphExtractorT<CompressedCsr>;
+
+using SubgraphExtractor = SubgraphExtractorT<CsrGraph>;
+
+/// One-shot convenience wrapper around SubgraphExtractorT.
+template <typename GraphT>
+InducedSubgraph ExtractInducedSubgraph(const GraphT& parent,
+                                       std::span<const VertexId> members) {
+  SubgraphExtractorT<GraphT> extractor(parent);
+  return extractor.Extract(members);
+}
 
 /// Non-materializing view of the subgraph induced by a sorted member set.
 ///
@@ -67,16 +83,17 @@ InducedSubgraph ExtractInducedSubgraph(const CsrGraph& parent,
 /// adjacency on the fly. No edge is ever copied, so a view over the giant
 /// SCC of a billion-edge graph costs nothing beyond the SCC decomposition
 /// that produced the member list.
-class SubgraphView {
+template <typename GraphT>
+class SubgraphViewT {
  public:
   /// `members` must be sorted ascending with no duplicates and all
   /// < parent.num_vertices(); the span is borrowed, not copied.
-  SubgraphView(const CsrGraph& parent, std::span<const VertexId> members);
+  SubgraphViewT(const GraphT& parent, std::span<const VertexId> members);
 
   VertexId num_vertices() const {
     return static_cast<VertexId>(members_.size());
   }
-  const CsrGraph& parent() const { return *parent_; }
+  const GraphT& parent() const { return *parent_; }
   std::span<const VertexId> members() const { return members_; }
 
   /// Global id of a local id (must be < num_vertices()).
@@ -100,19 +117,22 @@ class SubgraphView {
   /// ids ascend with global ids).
   template <typename Fn>
   void ForEachOutNeighbor(VertexId local, Fn&& fn) const {
-    for (VertexId w : parent_->OutNeighbors(ToGlobal(local))) {
+    parent_->ForEachOut(ToGlobal(local), [&](VertexId w, EdgeId) {
       const VertexId wl = ToLocal(w);
       if (wl != kInvalidVertex) fn(wl);
-    }
+      return true;
+    });
   }
 
-  /// In-neighbor analogue of ForEachOutNeighbor.
+  /// In-neighbor analogue of ForEachOutNeighbor (ascending *global*
+  /// neighbor order — the raw backend's in-lists are source-sorted).
   template <typename Fn>
   void ForEachInNeighbor(VertexId local, Fn&& fn) const {
-    for (VertexId w : parent_->InNeighbors(ToGlobal(local))) {
+    parent_->ForEachIn(ToGlobal(local), [&](VertexId w, EdgeId) {
       const VertexId wl = ToLocal(w);
       if (wl != kInvalidVertex) fn(wl);
-    }
+      return true;
+    });
   }
 
   /// Number of edges of the induced subgraph. O(sum of member degrees).
@@ -127,9 +147,14 @@ class SubgraphView {
   InducedSubgraph Materialize() const;
 
  private:
-  const CsrGraph* parent_;
+  const GraphT* parent_;
   std::span<const VertexId> members_;
 };
+
+extern template class SubgraphViewT<CsrGraph>;
+extern template class SubgraphViewT<CompressedCsr>;
+
+using SubgraphView = SubgraphViewT<CsrGraph>;
 
 }  // namespace tdb
 

@@ -1,0 +1,71 @@
+// LEB128 varint encode/decode used by the compressed CSR blocks.
+//
+// Two decoders are provided on purpose. The unchecked one is the hot
+// path: CompressedCsr streams are either built in this process or fully
+// validated once at load time, so per-decode bounds checks would only
+// slow the scan loops down. The checked one is what that load-time
+// validation (and anything touching untrusted bytes) must use: it
+// refuses to read past `end` and rejects overlong encodings, so a
+// truncated or corrupted block fails cleanly instead of overrunning.
+#ifndef TDB_GRAPH_VARINT_H_
+#define TDB_GRAPH_VARINT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tdb {
+
+/// Longest legal LEB128 encoding of a uint64 (10 * 7 bits >= 64).
+inline constexpr int kMaxVarintBytes = 10;
+
+/// Appends the LEB128 encoding of `value` (1..10 bytes).
+inline void AppendVarint(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+/// Decodes one varint from a trusted, well-formed stream. The caller
+/// guarantees a complete encoding starts at `p` (see header comment).
+inline const uint8_t* DecodeVarintUnchecked(const uint8_t* p,
+                                            uint64_t* value) {
+  uint8_t byte = *p++;
+  uint64_t v = byte & 0x7f;
+  int shift = 7;
+  while (byte & 0x80) {
+    byte = *p++;
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    shift += 7;
+  }
+  *value = v;
+  return p;
+}
+
+/// Decodes one varint from untrusted bytes. Returns the position past
+/// the encoding, or nullptr when the buffer ends mid-varint or the
+/// encoding runs past 10 bytes (overlong / not a varint).
+inline const uint8_t* DecodeVarintChecked(const uint8_t* p,
+                                          const uint8_t* end,
+                                          uint64_t* value) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < kMaxVarintBytes; ++i) {
+    if (p == end) return nullptr;
+    const uint8_t byte = *p++;
+    // The 10th byte may only carry the last 64 - 63 = 1 bit.
+    if (i == kMaxVarintBytes - 1 && byte > 0x01) return nullptr;
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = v;
+      return p;
+    }
+    shift += 7;
+  }
+  return nullptr;
+}
+
+}  // namespace tdb
+
+#endif  // TDB_GRAPH_VARINT_H_

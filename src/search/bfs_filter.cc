@@ -1,24 +1,29 @@
 #include "search/bfs_filter.h"
 
+#include "graph/compressed_csr.h"
 #include "util/check.h"
 
 namespace tdb {
 
-BfsFilter::BfsFilter(const CsrGraph& graph)
+template <typename GraphT>
+BfsFilterT<GraphT>::BfsFilterT(const GraphT& graph)
     : graph_(graph), owned_context_(std::make_unique<SearchContext>()) {
   ctx_ = owned_context_.get();
   ctx_->EnsureBfsSize(graph.num_vertices());
 }
 
-BfsFilter::BfsFilter(const CsrGraph& graph, SearchContext* context)
+template <typename GraphT>
+BfsFilterT<GraphT>::BfsFilterT(const GraphT& graph, SearchContext* context)
     : graph_(graph), ctx_(context) {
   TDB_CHECK(context != nullptr);
   ctx_->EnsureBfsSize(graph.num_vertices());
 }
 
-uint32_t BfsFilter::ShortestClosedWalk(VertexId start, uint32_t max_hops,
-                                       const uint8_t* active,
-                                       Deadline* deadline) {
+template <typename GraphT>
+uint32_t BfsFilterT<GraphT>::ShortestClosedWalk(VertexId start,
+                                                uint32_t max_hops,
+                                                const uint8_t* active,
+                                                Deadline* deadline) {
   EpochArray<uint8_t>& visited = ctx_->visited;
   std::vector<VertexId>& frontier = ctx_->frontier;
   std::vector<VertexId>& next_frontier = ctx_->next_frontier;
@@ -36,21 +41,30 @@ uint32_t BfsFilter::ShortestClosedWalk(VertexId start, uint32_t max_hops,
     next_frontier.clear();
     for (VertexId u : frontier) {
       if (deadline != nullptr && deadline->Expired()) return kTimedOutWalk;
-      for (VertexId w : graph_.OutNeighbors(u)) {
-        if (w == start) return depth + 1;
-        if (visited.Get(w)) continue;
-        if (active != nullptr && !active[w]) continue;
+      bool closed = false;
+      graph_.ForEachOut(u, [&](VertexId w, EdgeId) {
+        if (w == start) {
+          closed = true;
+          return false;
+        }
+        if (visited.Get(w)) return true;
+        if (active != nullptr && !active[w]) return true;
         visited.Set(w, 1);
         ++last_visited_;
         // Vertices at distance max_hops - 1 can still close a walk of
         // length max_hops; deeper ones cannot.
         if (depth + 1 < max_hops) next_frontier.push_back(w);
-      }
+        return true;
+      });
+      if (closed) return depth + 1;
     }
     frontier.swap(next_frontier);
     if (frontier.empty()) break;
   }
   return max_hops + 1;
 }
+
+template class BfsFilterT<CsrGraph>;
+template class BfsFilterT<CompressedCsr>;
 
 }  // namespace tdb

@@ -24,14 +24,20 @@ namespace tdb {
 /// frontier buffers live in the SearchContext, so concurrent filters need
 /// only distinct contexts. A single (instance, context) pair is not
 /// thread-safe.
-class BfsFilter {
+///
+/// Templated over the storage backend (CsrGraph or CompressedCsr): the
+/// level-synchronous sweep streams neighbors through ForEachOut, so the
+/// compressed backend decodes each adjacency group exactly once per scan
+/// with no intermediate buffer.
+template <typename GraphT>
+class BfsFilterT {
  public:
   /// Self-contained form: owns a private context.
-  explicit BfsFilter(const CsrGraph& graph);
+  explicit BfsFilterT(const GraphT& graph);
 
   /// Reentrant form: scratch lives in `*context` (borrowed, must outlive
   /// the filter), grown to the graph's size on construction.
-  BfsFilter(const CsrGraph& graph, SearchContext* context);
+  BfsFilterT(const GraphT& graph, SearchContext* context);
 
   /// Length of the shortest closed walk through `start` inside the
   /// subgraph induced by `active` (start exempt), or any value > max_hops
@@ -54,11 +60,18 @@ class BfsFilter {
   uint64_t last_visited() const { return last_visited_; }
 
  private:
-  const CsrGraph& graph_;
+  const GraphT& graph_;
   std::unique_ptr<SearchContext> owned_context_;
   SearchContext* ctx_;
   uint64_t last_visited_ = 0;
 };
+
+class CompressedCsr;
+extern template class BfsFilterT<CsrGraph>;
+extern template class BfsFilterT<CompressedCsr>;
+
+/// The raw-backend filter, under its historical name.
+using BfsFilter = BfsFilterT<CsrGraph>;
 
 }  // namespace tdb
 

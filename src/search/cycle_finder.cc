@@ -1,41 +1,45 @@
 #include "search/cycle_finder.h"
 
+#include "graph/compressed_csr.h"
 #include "util/check.h"
 
 namespace tdb {
 
-CycleFinder::CycleFinder(const CsrGraph& graph)
+template <typename GraphT>
+CycleFinderT<GraphT>::CycleFinderT(const GraphT& graph)
     : graph_(graph), owned_context_(std::make_unique<SearchContext>()) {
   ctx_ = owned_context_.get();
   ctx_->EnsureDfsSize(graph.num_vertices());
 }
 
-CycleFinder::CycleFinder(const CsrGraph& graph, SearchContext* context)
+template <typename GraphT>
+CycleFinderT<GraphT>::CycleFinderT(const GraphT& graph,
+                                   SearchContext* context)
     : graph_(graph), ctx_(context) {
   TDB_CHECK(context != nullptr);
   ctx_->EnsureDfsSize(graph.num_vertices());
 }
 
-SearchOutcome CycleFinder::FindCycleThrough(VertexId start,
-                                            const CycleConstraint& constraint,
-                                            const uint8_t* active,
-                                            std::vector<VertexId>* cycle,
-                                            Deadline* deadline) {
+template <typename GraphT>
+SearchOutcome CycleFinderT<GraphT>::FindCycleThrough(
+    VertexId start, const CycleConstraint& constraint, const uint8_t* active,
+    std::vector<VertexId>* cycle, Deadline* deadline) {
   return Search(start, start, constraint.min_len, constraint.max_hops,
                 active, /*blocked_edges=*/nullptr, cycle, deadline);
 }
 
-SearchOutcome CycleFinder::FindPath(VertexId s, VertexId t, uint32_t min_hops,
-                                    uint32_t max_hops, const uint8_t* active,
-                                    const uint8_t* blocked_edges,
-                                    std::vector<VertexId>* path,
-                                    Deadline* deadline) {
+template <typename GraphT>
+SearchOutcome CycleFinderT<GraphT>::FindPath(
+    VertexId s, VertexId t, uint32_t min_hops, uint32_t max_hops,
+    const uint8_t* active, const uint8_t* blocked_edges,
+    std::vector<VertexId>* path, Deadline* deadline) {
   TDB_CHECK(s != t);
   return Search(s, t, min_hops, max_hops, active, blocked_edges, path,
                 deadline);
 }
 
-size_t CycleFinder::EnumeratePathsPlain(
+template <typename GraphT>
+size_t CycleFinderT<GraphT>::EnumeratePathsPlain(
     VertexId s, VertexId t, uint32_t min_hops, uint32_t max_hops,
     const uint8_t* active, const uint8_t* blocked_edges,
     const std::function<bool(const std::vector<VertexId>&)>& sink) {
@@ -51,18 +55,23 @@ size_t CycleFinder::EnumeratePathsPlain(
   return count;
 }
 
-bool CycleFinder::EnumerateFromPlain(
+template <typename GraphT>
+bool CycleFinderT<GraphT>::EnumerateFromPlain(
     VertexId u, VertexId t, uint32_t min_hops, uint32_t max_hops,
     const uint8_t* active, const uint8_t* blocked_edges,
     std::vector<VertexId>* prefix, size_t* count,
     const std::function<bool(const std::vector<VertexId>&)>& sink) {
   const uint32_t depth_u = static_cast<uint32_t>(prefix->size()) - 1;
   bool keep_going = true;
-  for (EdgeId eid = graph_.OutEdgeBegin(u);
-       keep_going && eid < graph_.OutEdgeEnd(u); ++eid) {
+  // One decode per entry; recursion uses deeper buffers, keeping this
+  // span valid across child calls.
+  const std::span<const VertexId> nbrs = DecodeAt(u, depth_u);
+  const EdgeId begin = graph_.OutEdgeBegin(u);
+  const EdgeId end = begin + nbrs.size();
+  for (EdgeId eid = begin; keep_going && eid < end; ++eid) {
     ++ctx_->stats.expansions;
     if (blocked_edges != nullptr && blocked_edges[eid]) continue;
-    const VertexId w = graph_.EdgeDst(eid);
+    const VertexId w = nbrs[eid - begin];
     if (w == t) {
       const uint32_t len = depth_u + 1;
       if (len < min_hops || len > max_hops) continue;
@@ -85,11 +94,11 @@ bool CycleFinder::EnumerateFromPlain(
   return keep_going;
 }
 
-SearchOutcome CycleFinder::Search(VertexId s, VertexId t, uint32_t min_hops,
-                                  uint32_t max_hops, const uint8_t* active,
-                                  const uint8_t* blocked_edges,
-                                  std::vector<VertexId>* out,
-                                  Deadline* deadline) {
+template <typename GraphT>
+SearchOutcome CycleFinderT<GraphT>::Search(
+    VertexId s, VertexId t, uint32_t min_hops, uint32_t max_hops,
+    const uint8_t* active, const uint8_t* blocked_edges,
+    std::vector<VertexId>* out, Deadline* deadline) {
   TDB_CHECK(s < graph_.num_vertices() && t < graph_.num_vertices());
   if (max_hops == 0 || min_hops > max_hops) return SearchOutcome::kNotFound;
 
@@ -101,15 +110,22 @@ SearchOutcome CycleFinder::Search(VertexId s, VertexId t, uint32_t min_hops,
     stack.clear();
   };
 
+  auto push = [&](VertexId v) {
+    const std::span<const VertexId> nbrs = DecodeAt(v, stack.size());
+    const EdgeId begin = graph_.OutEdgeBegin(v);
+    stack.push_back(
+        {v, begin, graph_.OutEdgeEnd(v), begin, nbrs.data()});
+  };
+
   stack.clear();
-  stack.push_back({s, graph_.OutEdgeBegin(s)});
+  push(s);
   on_path[s] = 1;
   ++ctx_->stats.pushes;
 
   while (!stack.empty()) {
     SearchFrame& frame = stack.back();
     const VertexId u = frame.v;
-    if (frame.next < graph_.OutEdgeEnd(u)) {
+    if (frame.next < frame.end) {
       const EdgeId eid = frame.next++;
       ++ctx_->stats.expansions;
       if (deadline != nullptr && deadline->Expired()) {
@@ -117,7 +133,7 @@ SearchOutcome CycleFinder::Search(VertexId s, VertexId t, uint32_t min_hops,
         return SearchOutcome::kTimedOut;
       }
       if (blocked_edges != nullptr && blocked_edges[eid]) continue;
-      const VertexId w = graph_.EdgeDst(eid);
+      const VertexId w = frame.nbrs[eid - frame.base];
       // Hop count of u from s == its depth on the stack.
       const uint32_t depth_u = static_cast<uint32_t>(stack.size()) - 1;
       if (w == t) {
@@ -141,7 +157,7 @@ SearchOutcome CycleFinder::Search(VertexId s, VertexId t, uint32_t min_hops,
       if (depth_w + 1 > max_hops) continue;
       on_path[w] = 1;
       ++ctx_->stats.pushes;
-      stack.push_back({w, graph_.OutEdgeBegin(w)});
+      push(w);
     } else {
       on_path[u] = 0;
       stack.pop_back();
@@ -149,5 +165,8 @@ SearchOutcome CycleFinder::Search(VertexId s, VertexId t, uint32_t min_hops,
   }
   return SearchOutcome::kNotFound;
 }
+
+template class CycleFinderT<CsrGraph>;
+template class CycleFinderT<CompressedCsr>;
 
 }  // namespace tdb

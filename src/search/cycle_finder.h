@@ -28,14 +28,18 @@ namespace tdb {
 /// while the mask is frozen (its batch-validate / sequential-commit cycle
 /// guarantees that). A single (instance, context) pair is not
 /// thread-safe.
-class CycleFinder {
+///
+/// Templated over the storage backend (CsrGraph or CompressedCsr); each
+/// DFS frame holds its vertex's decoded neighbor list (see SearchFrame).
+template <typename GraphT>
+class CycleFinderT {
  public:
   /// Self-contained form: owns a private context.
-  explicit CycleFinder(const CsrGraph& graph);
+  explicit CycleFinderT(const GraphT& graph);
 
   /// Reentrant form: scratch and stats live in `*context` (borrowed, must
   /// outlive the finder), grown to the graph's size on construction.
-  CycleFinder(const CsrGraph& graph, SearchContext* context);
+  CycleFinderT(const GraphT& graph, SearchContext* context);
 
   /// Searches for a simple cycle through `start` with hop count in
   /// [constraint.min_len, constraint.max_hops].
@@ -86,10 +90,23 @@ class CycleFinder {
                        const uint8_t* blocked_edges,
                        std::vector<VertexId>* out, Deadline* deadline);
 
-  const CsrGraph& graph_;
+  /// Decodes u's out-neighbors into the context's depth-d buffer (a
+  /// zero-copy span on the raw backend).
+  std::span<const VertexId> DecodeAt(VertexId u, size_t depth) {
+    return graph_.DecodeNeighbors(u, ctx_->DecodeBuffer(depth));
+  }
+
+  const GraphT& graph_;
   std::unique_ptr<SearchContext> owned_context_;
   SearchContext* ctx_;
 };
+
+class CompressedCsr;
+extern template class CycleFinderT<CsrGraph>;
+extern template class CycleFinderT<CompressedCsr>;
+
+/// The raw-backend finder, under its historical name.
+using CycleFinder = CycleFinderT<CsrGraph>;
 
 }  // namespace tdb
 

@@ -2,50 +2,54 @@
 
 #include <algorithm>
 
+#include "graph/compressed_csr.h"
 #include "util/check.h"
 
 namespace tdb {
 
-BlockSearch::BlockSearch(const CsrGraph& graph)
+template <typename GraphT>
+BlockSearchT<GraphT>::BlockSearchT(const GraphT& graph)
     : graph_(graph), owned_context_(std::make_unique<SearchContext>()) {
   ctx_ = owned_context_.get();
   ctx_->EnsureDfsSize(graph.num_vertices());
   ctx_->EnsureBlockSize(graph.num_vertices());
 }
 
-BlockSearch::BlockSearch(const CsrGraph& graph, SearchContext* context)
+template <typename GraphT>
+BlockSearchT<GraphT>::BlockSearchT(const GraphT& graph,
+                                   SearchContext* context)
     : graph_(graph), ctx_(context) {
   TDB_CHECK(context != nullptr);
   ctx_->EnsureDfsSize(graph.num_vertices());
   ctx_->EnsureBlockSize(graph.num_vertices());
 }
 
-SearchOutcome BlockSearch::FindCycleThrough(VertexId start,
-                                            const CycleConstraint& constraint,
-                                            const uint8_t* active,
-                                            std::vector<VertexId>* cycle,
-                                            Deadline* deadline) {
+template <typename GraphT>
+SearchOutcome BlockSearchT<GraphT>::FindCycleThrough(
+    VertexId start, const CycleConstraint& constraint,
+    const uint8_t* active, std::vector<VertexId>* cycle,
+    Deadline* deadline) {
   return Search(start, start, constraint.min_len, constraint.max_hops,
                 constraint.permanent_block, active, /*blocked_edges=*/nullptr,
                 cycle, deadline);
 }
 
-SearchOutcome BlockSearch::FindPath(VertexId s, VertexId t, uint32_t min_hops,
-                                    uint32_t max_hops, const uint8_t* active,
-                                    const uint8_t* blocked_edges,
-                                    std::vector<VertexId>* path,
-                                    Deadline* deadline) {
+template <typename GraphT>
+SearchOutcome BlockSearchT<GraphT>::FindPath(
+    VertexId s, VertexId t, uint32_t min_hops, uint32_t max_hops,
+    const uint8_t* active, const uint8_t* blocked_edges,
+    std::vector<VertexId>* path, Deadline* deadline) {
   TDB_CHECK(s != t);
   return Search(s, t, min_hops, max_hops, /*permanent_block=*/false, active,
                 blocked_edges, path, deadline);
 }
 
-SearchOutcome BlockSearch::Search(VertexId s, VertexId t, uint32_t min_hops,
-                                  uint32_t max_hops, bool permanent_block,
-                                  const uint8_t* active,
-                                  const uint8_t* blocked_edges,
-                                  std::vector<VertexId>* out,
-                                  Deadline* deadline) {
+template <typename GraphT>
+SearchOutcome BlockSearchT<GraphT>::Search(
+    VertexId s, VertexId t, uint32_t min_hops, uint32_t max_hops,
+    bool permanent_block, const uint8_t* active,
+    const uint8_t* blocked_edges, std::vector<VertexId>* out,
+    Deadline* deadline) {
   TDB_CHECK(s < graph_.num_vertices() && t < graph_.num_vertices());
   // The depth-1 closure special case below assumes the length window can
   // only reject closures at depth < min_hops - 1 <= 1; every constraint in
@@ -62,22 +66,32 @@ SearchOutcome BlockSearch::Search(VertexId s, VertexId t, uint32_t min_hops,
   edge_to_target.NewEpoch();
   // Mark vertices owning a direct edge to the target so the failure path
   // can recognize the skipped-closure case in O(1).
-  for (VertexId u : graph_.InNeighbors(t)) edge_to_target.Set(u, 1);
+  graph_.ForEachIn(t, [&](VertexId u, EdgeId) {
+    edge_to_target.Set(u, 1);
+    return true;
+  });
 
   auto cleanup = [&] {
     for (const SearchFrame& f : stack) on_path[f.v] = 0;
     stack.clear();
   };
 
+  auto push = [&](VertexId v) {
+    const std::span<const VertexId> nbrs = DecodeAt(v, stack.size());
+    const EdgeId begin = graph_.OutEdgeBegin(v);
+    stack.push_back(
+        {v, begin, graph_.OutEdgeEnd(v), begin, nbrs.data()});
+  };
+
   stack.clear();
-  stack.push_back({s, graph_.OutEdgeBegin(s)});
+  push(s);
   on_path[s] = 1;
   ++ctx_->stats.pushes;
 
   while (!stack.empty()) {
     SearchFrame& frame = stack.back();
     const VertexId u = frame.v;
-    if (frame.next < graph_.OutEdgeEnd(u)) {
+    if (frame.next < frame.end) {
       const EdgeId eid = frame.next++;
       ++ctx_->stats.expansions;
       if (deadline != nullptr && deadline->Expired()) {
@@ -85,7 +99,7 @@ SearchOutcome BlockSearch::Search(VertexId s, VertexId t, uint32_t min_hops,
         return SearchOutcome::kTimedOut;
       }
       if (blocked_edges != nullptr && blocked_edges[eid]) continue;
-      const VertexId w = graph_.EdgeDst(eid);
+      const VertexId w = frame.nbrs[eid - frame.base];
       const uint32_t depth_u = static_cast<uint32_t>(stack.size()) - 1;
       if (w == t) {
         const uint32_t len = depth_u + 1;
@@ -119,7 +133,7 @@ SearchOutcome BlockSearch::Search(VertexId s, VertexId t, uint32_t min_hops,
       }
       on_path[w] = 1;
       ++ctx_->stats.pushes;
-      stack.push_back({w, graph_.OutEdgeBegin(w)});
+      push(w);
     } else {
       // Exhausted u without reaching t: record the failure bound
       // (paper Algorithm 9 line 3 semantics, applied at pop time).
@@ -149,7 +163,8 @@ SearchOutcome BlockSearch::Search(VertexId s, VertexId t, uint32_t min_hops,
   return SearchOutcome::kNotFound;
 }
 
-size_t BlockSearch::EnumeratePaths(
+template <typename GraphT>
+size_t BlockSearchT<GraphT>::EnumeratePaths(
     VertexId s, VertexId t, uint32_t min_hops, uint32_t max_hops,
     const uint8_t* active, const uint8_t* blocked_edges,
     const std::function<bool(const std::vector<VertexId>&)>& sink) {
@@ -160,7 +175,10 @@ size_t BlockSearch::EnumeratePaths(
 
   ctx_->block.NewEpoch();
   ctx_->edge_to_target.NewEpoch();
-  for (VertexId u : graph_.InNeighbors(t)) ctx_->edge_to_target.Set(u, 1);
+  graph_.ForEachIn(t, [&](VertexId u, EdgeId) {
+    ctx_->edge_to_target.Set(u, 1);
+    return true;
+  });
 
   std::vector<VertexId> prefix{s};
   ctx_->on_path[s] = 1;
@@ -172,7 +190,8 @@ size_t BlockSearch::EnumeratePaths(
   return count;
 }
 
-bool BlockSearch::EnumerateFrom(
+template <typename GraphT>
+bool BlockSearchT<GraphT>::EnumerateFrom(
     VertexId u, VertexId t, uint32_t min_hops, uint32_t max_hops,
     const uint8_t* active, const uint8_t* blocked_edges,
     std::vector<VertexId>* prefix, size_t* count, bool* emitted_any,
@@ -180,11 +199,15 @@ bool BlockSearch::EnumerateFrom(
   const uint32_t depth_u = static_cast<uint32_t>(prefix->size()) - 1;
   bool subtree_emitted = false;
   bool keep_going = true;
-  for (EdgeId eid = graph_.OutEdgeBegin(u);
-       keep_going && eid < graph_.OutEdgeEnd(u); ++eid) {
+  // One decode per entry into u; the recursion below uses deeper
+  // buffers, so this span stays valid across child calls.
+  const std::span<const VertexId> nbrs = DecodeAt(u, depth_u);
+  const EdgeId begin = graph_.OutEdgeBegin(u);
+  const EdgeId end = begin + nbrs.size();
+  for (EdgeId eid = begin; keep_going && eid < end; ++eid) {
     ++ctx_->stats.expansions;
     if (blocked_edges != nullptr && blocked_edges[eid]) continue;
-    const VertexId w = graph_.EdgeDst(eid);
+    const VertexId w = nbrs[eid - begin];
     if (w == t) {
       const uint32_t len = depth_u + 1;
       if (len < min_hops || len > max_hops) {
@@ -235,7 +258,9 @@ bool BlockSearch::EnumerateFrom(
   return keep_going;
 }
 
-void BlockSearch::Unblock(VertexId u, uint32_t level, const uint8_t* active) {
+template <typename GraphT>
+void BlockSearchT<GraphT>::Unblock(VertexId u, uint32_t level,
+                                   const uint8_t* active) {
   // Iterative version of Algorithm 10 with an explicit worklist. A stale
   // worklist entry may race a lower level that cascaded in first; the
   // recheck at pop keeps block values monotonically decreasing so the
@@ -252,13 +277,17 @@ void BlockSearch::Unblock(VertexId u, uint32_t level, const uint8_t* active) {
     if (!first && ctx_->block.Get(v) <= l) continue;  // already as relaxed
     first = false;
     ctx_->block.Set(v, l);
-    for (VertexId w : graph_.InNeighbors(v)) {
-      if (ctx_->on_path[w]) continue;
-      if (active != nullptr && !active[w]) continue;
+    graph_.ForEachIn(v, [&](VertexId w, EdgeId) {
+      if (ctx_->on_path[w]) return true;
+      if (active != nullptr && !active[w]) return true;
       const uint32_t bw = ctx_->block.Get(w);
       if (bw > l + 1 && bw != 0) work.push_back({w, l + 1});
-    }
+      return true;
+    });
   }
 }
+
+template class BlockSearchT<CsrGraph>;
+template class BlockSearchT<CompressedCsr>;
 
 }  // namespace tdb

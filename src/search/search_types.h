@@ -30,11 +30,19 @@ struct SearchStats {
   void Reset() { *this = SearchStats{}; }
 };
 
-/// One explicit DFS frame: a vertex plus the cursor into its out-CSR
-/// edge-id range. Shared by every iterative search engine.
+/// One explicit DFS frame: a vertex, the cursor into its out-CSR edge-id
+/// range, and the vertex's decoded out-neighbor list. Shared by every
+/// iterative search engine. `nbrs` points either at the raw backend's
+/// adjacency array or at the per-depth decode buffer of the frame's
+/// SearchContext (stable until another frame at the same depth replaces
+/// it); the neighbor behind cursor `next` is nbrs[next - base], so edge
+/// ids stay canonical on every backend without a per-edge decode.
 struct SearchFrame {
   VertexId v;
-  EdgeId next;
+  EdgeId next;           ///< Canonical id of the next out-edge to scan.
+  EdgeId end;            ///< One past v's last out-edge id.
+  EdgeId base;           ///< OutEdgeBegin(v).
+  const VertexId* nbrs;  ///< Decoded out-neighbors of v (out-degree many).
 };
 
 /// Search-side view of the problem's cycle semantics.

@@ -76,23 +76,49 @@ CycleBreakService::CycleBreakService(CsrGraph base,
 }
 
 void CycleBreakService::BootstrapFresh(CsrGraph base) {
-  working_ = OverlayGraph(std::make_shared<const CsrGraph>(std::move(base)));
-  const CsrGraph& snapshot = working_.base();
-  CoverResult solved = SolveBase(snapshot);
+  CoverResult solved;
+  VertexId n = 0;
+  if (options_.compressed_base) {
+    // The raw input is transient: it is re-encoded here and dropped, so
+    // the resident base is the compressed blocks from the first epoch.
+    auto cbase = std::make_shared<const CompressedCsr>(
+        CompressedCsr::FromCsr(base));
+    base = CsrGraph();
+    n = cbase->num_vertices();
+    working_ = OverlayGraph(cbase);
+    solved = SolveBase(*cbase);
+  } else {
+    working_ =
+        OverlayGraph(std::make_shared<const CsrGraph>(std::move(base)));
+    n = working_.num_vertices();
+    solved = SolveBase(working_.base());
+  }
   std::vector<VertexId> cover = std::move(solved.cover);
   if (!solved.status.ok()) {
     // Always-valid service: fall back to the trivially feasible
     // all-vertices cover and record the failure.
-    cover.resize(snapshot.num_vertices());
+    cover.resize(n);
     std::iota(cover.begin(), cover.end(), VertexId{0});
     stats_.compactions_failed.fetch_add(1, kRelaxed);
   }
-  state_.base = BaseCover::FromVertexCover(
-      snapshot.num_vertices(), std::move(cover), solved.status);
+  state_.base =
+      BaseCover::FromVertexCover(n, std::move(cover), solved.status);
   stats_.compaction_components_timed_out.fetch_add(
       solved.stats.components_timed_out, kRelaxed);
   std::lock_guard<std::mutex> lock(writer_mu_);
+  StampBaseGaugesLocked();
   PublishLocked();
+}
+
+void CycleBreakService::StampBaseGaugesLocked() const {
+  const uint64_t raw = CompressedCsr::RawCsrBytes(working_.num_vertices(),
+                                                  working_.base_edges());
+  const uint64_t resident =
+      working_.compressed()
+          ? working_.compressed_base_ptr()->MemoryFootprint().total()
+          : raw;
+  stats_.base_bytes.store(resident, kRelaxed);
+  stats_.base_raw_bytes.store(raw, kRelaxed);
 }
 
 Status CycleBreakService::Create(CsrGraph base,
@@ -155,16 +181,18 @@ Status CycleBreakService::InitStoreFresh() {
   snap.epoch = published_.epoch();  // 1: the bootstrap publish
   snap.last_seq = 0;
   snap.events_ingested = 0;
-  snap.base = working_.base();
+  CaptureBaseLocked(&snap);
   snap.cover_mask = state_.base->vertex_mask;
   snap.solve_ok = state_.base->solve_status.ok();
   const std::string snapshot_file = SnapshotFileName(0);
   Status st = WriteSnapshotFile(snap, dir + "/" + snapshot_file);
   if (!st.ok()) return st;
   const std::string journal_file = JournalFileName(0);
+  std::unique_ptr<Journal> journal;
   st = Journal::Create(dir + "/" + journal_file, /*base_seq=*/0,
-                       options_.durability, &journal_);
+                       options_.durability, &journal);
   if (!st.ok()) return st;
+  journal_ = std::move(journal);
   st = WriteStoreManifest(dir, {snapshot_file, journal_file});
   if (!st.ok()) return st;
   snapshot_file_ = snapshot_file;
@@ -178,17 +206,20 @@ Status CycleBreakService::RecoverFromStore(const StoreManifest& manifest,
   if (snap.epoch == 0) {
     return Status::InvalidArgument(dir + ": snapshot carries epoch 0");
   }
-  const VertexId n = snap.base.num_vertices();
+  const VertexId n = snap.compressed ? snap.compressed_base.num_vertices()
+                                     : snap.base.num_vertices();
   std::vector<VertexId> cover;
   for (VertexId v = 0; v < n; ++v) {
     if (snap.cover_mask[v] != 0) cover.push_back(v);
   }
   std::vector<JournalRecord> records;
   JournalOpenInfo info;
+  std::unique_ptr<Journal> journal;
   Status st = Journal::Open(dir + "/" + manifest.journal_file,
                             options_.durability, &records, &info,
-                            &journal_);
+                            &journal);
   if (!st.ok()) return st;
+  journal_ = std::move(journal);
   if (journal_->base_seq() != snap.last_seq) {
     return Status::InvalidArgument(
         dir + ": journal base sequence does not match the snapshot");
@@ -198,8 +229,20 @@ Status CycleBreakService::RecoverFromStore(const StoreManifest& manifest,
   recovery_.journal_truncated_bytes = info.truncated_bytes;
 
   std::lock_guard<std::mutex> lock(writer_mu_);
-  working_ = OverlayGraph(
-      std::make_shared<const CsrGraph>(std::move(snap.base)));
+  // The store format and the configured backend may disagree (the flag
+  // was toggled between runs): re-encode or decode on load. Canonical
+  // edge ids are ranks in the out-CSR, which both backends preserve, so
+  // the snapshot's S/W id sets stay valid either way.
+  if (options_.compressed_base) {
+    working_ = OverlayGraph(std::make_shared<const CompressedCsr>(
+        snap.compressed ? std::move(snap.compressed_base)
+                        : CompressedCsr::FromCsr(snap.base)));
+  } else {
+    working_ = OverlayGraph(std::make_shared<const CsrGraph>(
+        snap.compressed ? snap.compressed_base.ToCsr()
+                        : std::move(snap.base)));
+  }
+  StampBaseGaugesLocked();
   state_ = TransversalState{};
   state_.base = BaseCover::FromVertexCover(
       n, std::move(cover),
@@ -209,6 +252,7 @@ Status CycleBreakService::RecoverFromStore(const StoreManifest& manifest,
   state_.covered.insert(snap.covered.begin(), snap.covered.end());
   state_.reusable.insert(snap.reusable.begin(), snap.reusable.end());
   last_seq_ = snap.last_seq;
+  applied_seq_ = snap.last_seq;
   events_at_cut_ = snap.events_ingested;
   total_events_.store(snap.events_ingested, kRelaxed);
   published_.SeedEpoch(snap.epoch - 1);
@@ -234,7 +278,11 @@ Status CycleBreakService::RecoverFromStore(const StoreManifest& manifest,
 CycleBreakService::~CycleBreakService() { WaitForCompaction(); }
 
 SubmitResult CycleBreakService::SubmitEdges(std::span<const Edge> batch) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::unique_lock<std::mutex> lock(writer_mu_);
+  if (journal_ != nullptr &&
+      options_.durability == DurabilityPolicy::kAlways) {
+    return SubmitGroupCommit(batch, std::move(lock));
+  }
   return SubmitLocked(batch, /*append_to_journal=*/journal_ != nullptr);
 }
 
@@ -262,6 +310,67 @@ SubmitResult CycleBreakService::SubmitLocked(std::span<const Edge> batch,
         seq, total_events_.load(kRelaxed),
         std::vector<Edge>(batch.begin(), batch.end())});
   }
+  return ApplyLocked(seq, batch);
+}
+
+SubmitResult CycleBreakService::SubmitGroupCommit(
+    std::span<const Edge> batch, std::unique_lock<std::mutex> lock) {
+  TDB_TRACE_SPAN("service.submit");
+  SubmitResult result;
+  // Phase 1 (writer_mu_): reserve the sequence, append unsynced, queue
+  // the pending copy — so a concurrent rotation carries this batch even
+  // before it applies.
+  const uint64_t seq = last_seq_ + 1;
+  result.status = journal_->AppendNoSync(seq, batch);
+  if (!result.status.ok()) {
+    stats_.persist_failures.fetch_add(1, kRelaxed);
+    return result;
+  }
+  stats_.journal_records.fetch_add(1, kRelaxed);
+  last_seq_ = seq;
+  total_events_.fetch_add(batch.size(), kRelaxed);
+  pending_.push_back(PendingBatch{
+      seq, total_events_.load(kRelaxed),
+      std::vector<Edge>(batch.begin(), batch.end())});
+  const std::shared_ptr<Journal> journal = journal_;
+  lock.unlock();
+  // Phase 2 (no locks): the group fsync. One leader flushes the whole
+  // appended tail; followers just wait on the commit sequence — and the
+  // next submitter is appending its phase 1 while the device stalls,
+  // which is where the grouping comes from.
+  GroupCommitInfo info;
+  result.status = journal->CommitDurable(seq, &info);
+  if (info.led) {
+    stats_.journal_group_commits.fetch_add(1, kRelaxed);
+    stats_.journal_group_size.fetch_add(info.records, kRelaxed);
+  }
+  if (!result.status.ok()) {
+    // Durable-before-apply: the batch is NOT applied. Pull its pending
+    // copy back out so no rotation ever makes a never-applied batch
+    // replayable. Failures are prefix-closed (the journal poisons), so
+    // every later sequence unwinds itself the same way and the queue
+    // stays consistent.
+    lock.lock();
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->seq == seq) {
+        pending_.erase(it);
+        break;
+      }
+    }
+    total_events_.fetch_sub(batch.size(), kRelaxed);
+    stats_.persist_failures.fetch_add(1, kRelaxed);
+    return result;
+  }
+  // Phase 3 (writer_mu_): apply strictly in sequence order — commits
+  // are prefix-closed, so every predecessor's phase 3 is coming.
+  lock.lock();
+  apply_cv_.wait(lock, [&] { return applied_seq_ == seq - 1; });
+  return ApplyLocked(seq, batch);
+}
+
+SubmitResult CycleBreakService::ApplyLocked(uint64_t seq,
+                                            std::span<const Edge> batch) {
+  SubmitResult result;
   const BatchAugmentStats s = BatchAugment(&working_, &state_,
                                            options_.cover, batch,
                                            ingest_pool_.get());
@@ -273,6 +382,8 @@ SubmitResult CycleBreakService::SubmitLocked(std::span<const Edge> batch,
   stats_.path_queries.fetch_add(s.path_queries, kRelaxed);
   stats_.speculative_probes.fetch_add(s.speculative_probes, kRelaxed);
   stats_.prunes.fetch_add(s.prunes, kRelaxed);
+  applied_seq_ = seq;
+  apply_cv_.notify_all();
   if (ShouldCompactLocked()) CompactLocked();
   result.stats = s;
   result.epoch = PublishLocked();
@@ -427,11 +538,30 @@ bool CycleBreakService::ShouldCompactLocked() const {
 }
 
 void CycleBreakService::CompactLocked() {
-  const uint64_t cut_seq = last_seq_;
-  if (options_.synchronous_compaction || replaying_) {
+  // Cut at the applied frontier, not last_seq_: under group commit a
+  // reserved-but-unapplied batch is not in working_ yet, so it belongs
+  // to the post-cut tail.
+  const uint64_t cut_seq = applied_seq_;
+  // Per-backend solve: the compressed path folds base + delta straight
+  // into fresh delta/varint blocks (never a raw whole-graph copy) and
+  // solves on them.
+  auto solve_input = [this](const OverlayGraph& frozen,
+                            CoverResult* solved) -> OverlayGraph {
     TDB_TRACE_SPAN("service.compact_solve");
-    auto input = std::make_shared<const CsrGraph>(working_.ToCsr());
-    InstallCompactionLocked(input, cut_seq, SolveBase(*input));
+    if (options_.compressed_base) {
+      auto input =
+          std::make_shared<const CompressedCsr>(frozen.ToCompressed());
+      *solved = SolveBase(*input);
+      return OverlayGraph(std::move(input));
+    }
+    auto input = std::make_shared<const CsrGraph>(frozen.ToCsr());
+    *solved = SolveBase(*input);
+    return OverlayGraph(std::move(input));
+  };
+  if (options_.synchronous_compaction || replaying_) {
+    CoverResult solved;
+    OverlayGraph fresh = solve_input(working_, &solved);
+    InstallCompactionLocked(std::move(fresh), cut_seq, std::move(solved));
     return;  // the caller's publish covers the swap
   }
   compact_running_.store(true, std::memory_order_release);
@@ -440,32 +570,33 @@ void CycleBreakService::CompactLocked() {
   // finished (compact_running_ was false), so this join is immediate.
   if (compact_thread_.joinable()) compact_thread_.join();
   // Only an O(delta) overlay copy happens under writer_mu_; the O(n + m)
-  // CSR materialization and the solve run on the compaction thread.
-  compact_thread_ = std::thread([this, cut_seq, frozen = working_] {
-    TDB_TRACE_SPAN("service.compact_solve");
-    auto input = std::make_shared<const CsrGraph>(frozen.ToCsr());
-    CoverResult solved = SolveBase(*input);  // no locks held
+  // base materialization and the solve run on the compaction thread.
+  compact_thread_ = std::thread([this, cut_seq, solve_input,
+                                 frozen = working_] {
+    CoverResult solved;
+    OverlayGraph fresh = solve_input(frozen, &solved);  // no locks held
     {
       std::lock_guard<std::mutex> writer_lock(writer_mu_);
-      InstallCompactionLocked(input, cut_seq, std::move(solved));
+      InstallCompactionLocked(std::move(fresh), cut_seq, std::move(solved));
       PublishLocked();
     }
     compact_running_.store(false, std::memory_order_release);
   });
 }
 
-void CycleBreakService::InstallCompactionLocked(
-    std::shared_ptr<const CsrGraph> base, uint64_t cut_seq,
-    CoverResult solved) {
+void CycleBreakService::InstallCompactionLocked(OverlayGraph base,
+                                                uint64_t cut_seq,
+                                                CoverResult solved) {
   TDB_TRACE_SPAN("service.compact_install");
-  const VertexId n = base->num_vertices();
+  const VertexId n = base.num_vertices();
   std::vector<VertexId> cover = std::move(solved.cover);
   if (!solved.status.ok()) {
     cover.resize(n);
     std::iota(cover.begin(), cover.end(), VertexId{0});
     stats_.compactions_failed.fetch_add(1, kRelaxed);
   }
-  working_ = OverlayGraph(std::move(base));
+  working_ = std::move(base);
+  StampBaseGaugesLocked();
   state_ = TransversalState{};
   state_.base = BaseCover::FromVertexCover(n, std::move(cover),
                                            solved.status);
@@ -492,6 +623,10 @@ void CycleBreakService::InstallCompactionLocked(
   // for cycles mixing pre- and post-cut edges: the new vertex cover only
   // accounts for pre-cut ones.
   for (const PendingBatch& b : pending_) {
+    // Replay stops at the applied frontier: a batch past it has not run
+    // its own apply yet — that apply (group-commit phase 3) will land
+    // on the new base in sequence order.
+    if (b.seq > applied_seq_) break;
     const BatchAugmentStats replay = BatchAugment(
         &working_, &state_, options_.cover, b.edges, ingest_pool_.get());
     // Replayed edges were already counted at their original submission;
@@ -526,7 +661,7 @@ void CycleBreakService::PersistCutLocked(uint64_t cut_seq) {
   snap.epoch = published_.epoch() + 1;  // the installing publish
   snap.last_seq = cut_seq;
   snap.events_ingested = events_at_cut_;  // maintained by the drop loop
-  snap.base = working_.base();
+  CaptureBaseLocked(&snap);
   snap.cover_mask = state_.base->vertex_mask;
   snap.solve_ok = state_.base->solve_status.ok();
   Status st = WriteSnapshotFile(snap, snapshot_path);
@@ -573,6 +708,22 @@ CoverResult CycleBreakService::SolveBase(const CsrGraph& graph) const {
   opts.time_limit_seconds = options_.compact_time_limit_seconds;
   opts.split_budget_by_work = opts.time_limit_seconds > 0;
   return SolveCycleCover(graph, options_.compact_algorithm, opts);
+}
+
+CoverResult CycleBreakService::SolveBase(const CompressedCsr& graph) const {
+  CoverOptions opts = options_.cover;
+  opts.time_limit_seconds = options_.compact_time_limit_seconds;
+  opts.split_budget_by_work = opts.time_limit_seconds > 0;
+  return SolveCycleCover(graph, options_.compact_algorithm, opts);
+}
+
+void CycleBreakService::CaptureBaseLocked(SnapshotState* snap) const {
+  snap->compressed = working_.compressed();
+  if (snap->compressed) {
+    snap->compressed_base = *working_.compressed_base_ptr();
+  } else {
+    snap->base = working_.base();
+  }
 }
 
 }  // namespace tdb

@@ -35,6 +35,7 @@
 #define TDB_SERVICE_CYCLE_BREAK_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -107,6 +108,16 @@ struct ServiceOptions {
   /// When journal appends reach stable storage (effective only with a
   /// data_dir; see journal.h for the policy semantics).
   DurabilityPolicy durability = DurabilityPolicy::kBatch;
+  /// Keep the immutable base as delta/varint-compressed CSR blocks
+  /// (graph/compressed_csr.h) instead of raw arrays. Ingest, admission,
+  /// compaction solves and recovery all run against the compressed
+  /// blocks through the overlay's iteration seam; compactions emit
+  /// compressed blocks directly and durable snapshots persist them
+  /// verbatim (format v2 — re-encoded or decoded transparently when the
+  /// flag disagrees with an existing store). Published verdicts, covers
+  /// and epochs are bit-identical to the raw backend; the resident base
+  /// is typically 2.5-4x smaller.
+  bool compressed_base = false;
 
   Status Validate() const;
 };
@@ -236,6 +247,18 @@ class CycleBreakService {
   /// Requires writer_mu_.
   SubmitResult SubmitLocked(std::span<const Edge> batch,
                             bool append_to_journal);
+  /// The durability=always SubmitEdges path, structured for group
+  /// commit: phase 1 under writer_mu_ reserves the sequence, appends
+  /// unsynced and queues the pending batch; phase 2 drops the lock and
+  /// rides Journal::CommitDurable (one leader fsyncs the whole appended
+  /// tail while the next submitter is already appending); phase 3
+  /// retakes writer_mu_ and applies strictly in sequence order, so the
+  /// committed state equals the serialized path's bit for bit.
+  SubmitResult SubmitGroupCommit(std::span<const Edge> batch,
+                                 std::unique_lock<std::mutex> lock);
+  /// Apply half shared by every submit path: augment, stats, compaction
+  /// trigger, publish; advances applied_seq_. Requires writer_mu_.
+  SubmitResult ApplyLocked(uint64_t seq, std::span<const Edge> batch);
   /// Writes the cut snapshot, rotates the journal (re-appending the
   /// post-cut pending batches) and commits both through the manifest.
   /// Any failure leaves the previous (snapshot, journal) pair live and
@@ -251,15 +274,24 @@ class CycleBreakService {
   /// (synchronous_compaction) or launches the background solve.
   /// Requires writer_mu_.
   void CompactLocked();
-  /// Swaps in the solved base, resets the incremental layer, persists
-  /// the cut (durable services), and replays the pending batches that
-  /// arrived after the cut — batch by batch, at the original submission
+  /// Swaps in the solved base (raw or compressed, already wrapped in a
+  /// fresh overlay), resets the incremental layer, persists the cut
+  /// (durable services), and replays the pending batches that arrived
+  /// after the cut — batch by batch, at the original submission
   /// boundaries, so the installed state matches a sequential replay of
   /// the journal onto the new snapshot. Requires writer_mu_.
-  void InstallCompactionLocked(std::shared_ptr<const CsrGraph> base,
-                               uint64_t cut_seq, CoverResult solved);
-  /// The full-engine solve used at construction and for compactions.
+  void InstallCompactionLocked(OverlayGraph base, uint64_t cut_seq,
+                               CoverResult solved);
+  /// The full-engine solve used at construction and for compactions
+  /// (per storage backend; covers are bit-identical between the two).
   CoverResult SolveBase(const CsrGraph& graph) const;
+  CoverResult SolveBase(const CompressedCsr& graph) const;
+  /// Copies working_'s base (raw or compressed, verbatim) into the
+  /// snapshot image. Requires writer_mu_.
+  void CaptureBaseLocked(SnapshotState* snap) const;
+  /// Re-stamps the base_bytes / base_raw_bytes footprint gauges from the
+  /// current working_ base. Requires writer_mu_.
+  void StampBaseGaugesLocked() const;
 
   const ServiceOptions options_;
   std::unique_ptr<ThreadPool> ingest_pool_;
@@ -283,13 +315,22 @@ class CycleBreakService {
   TransversalState state_;  // guarded by writer_mu_
   std::deque<PendingBatch> pending_;  // guarded by writer_mu_
   uint64_t last_seq_ = 0;             // guarded by writer_mu_
+  /// Highest sequence whose batch is applied to working_/state_. Equals
+  /// last_seq_ except between a group-commit append (phase 1) and its
+  /// in-order apply (phase 3). Guarded by writer_mu_; apply_cv_ wakes
+  /// phase-3 waiters as the sequence advances.
+  uint64_t applied_seq_ = 0;
+  std::condition_variable apply_cv_;
   uint64_t events_at_cut_ = 0;        // guarded by writer_mu_
   /// True while Open replays the journal: suppresses re-journaling,
   /// forces synchronous compaction (deterministic replay) and skips
   /// persistence side effects (the records being replayed are the
   /// durable source of truth already).
   bool replaying_ = false;  // guarded by writer_mu_
-  std::unique_ptr<Journal> journal_;  // guarded by writer_mu_
+  /// shared_ptr so a group-commit phase 2 (fsync outside writer_mu_)
+  /// keeps its journal alive across a concurrent rotation; the pointer
+  /// itself is guarded by writer_mu_.
+  std::shared_ptr<Journal> journal_;
   std::string snapshot_file_;         // guarded by writer_mu_
   std::atomic<uint64_t> total_events_{0};
   RecoveryInfo recovery_;

@@ -63,6 +63,26 @@ std::vector<MetricRegistry::Registration> BindServiceStats(
        stats.snapshots_written);
   bind("persist_failures", "Persistence-layer failures",
        stats.persist_failures);
+  bind("journal_group_commits",
+       "Leader fsyncs under durability=always group commit",
+       stats.journal_group_commits);
+  bind("journal_group_size",
+       "Journal appends made durable by led group commits",
+       stats.journal_group_size);
+  // Byte footprints are gauges (they go down at compaction installs),
+  // so they skip the counter view and its _total naming convention.
+  regs.push_back(registry->AddGaugeFn(
+      prefix + "base_bytes", "Resident bytes of the immutable base",
+      [&stats] {
+        return static_cast<double>(
+            stats.base_bytes.load(std::memory_order_relaxed));
+      }));
+  regs.push_back(registry->AddGaugeFn(
+      prefix + "base_raw_bytes",
+      "Bytes a raw CSR of the same base would occupy", [&stats] {
+        return static_cast<double>(
+            stats.base_raw_bytes.load(std::memory_order_relaxed));
+      }));
   return regs;
 }
 

@@ -50,6 +50,17 @@ struct ServiceStatsSnapshot {
   uint64_t journal_rotations = 0;
   uint64_t snapshots_written = 0;
   uint64_t persist_failures = 0;
+  /// Group commit under durability=always: fsync batches led by one
+  /// appender, and the cumulative appends those batches made durable
+  /// (mean group size = journal_group_size / journal_group_commits).
+  uint64_t journal_group_commits = 0;
+  uint64_t journal_group_size = 0;
+  /// Resident bytes of the immutable base adjacency, and what a raw CSR
+  /// of the same (n, m) would spend. Gauges, re-stamped whenever a base
+  /// is installed; their ratio is the live compression factor (1x with
+  /// compressed_base off).
+  uint64_t base_bytes = 0;
+  uint64_t base_raw_bytes = 0;
 };
 
 /// Monotonic service counters; all members are thread-safe to bump with
@@ -81,6 +92,11 @@ struct ServiceStats {
   std::atomic<uint64_t> journal_rotations{0};
   std::atomic<uint64_t> snapshots_written{0};
   std::atomic<uint64_t> persist_failures{0};
+  std::atomic<uint64_t> journal_group_commits{0};
+  std::atomic<uint64_t> journal_group_size{0};
+  /// Gauges: written with store(), not fetch_add.
+  std::atomic<uint64_t> base_bytes{0};
+  std::atomic<uint64_t> base_raw_bytes{0};
 
   ServiceStatsSnapshot Snapshot() const {
     ServiceStatsSnapshot out;
@@ -114,6 +130,10 @@ struct ServiceStats {
     out.journal_rotations = get(journal_rotations);
     out.snapshots_written = get(snapshots_written);
     out.persist_failures = get(persist_failures);
+    out.journal_group_commits = get(journal_group_commits);
+    out.journal_group_size = get(journal_group_size);
+    out.base_bytes = get(base_bytes);
+    out.base_raw_bytes = get(base_raw_bytes);
     return out;
   }
 };

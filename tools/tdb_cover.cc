@@ -17,6 +17,7 @@
 
 #include "core/solver.h"
 #include "core/verifier.h"
+#include "graph/compressed_csr.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "util/metrics.h"
@@ -36,6 +37,7 @@ struct CliArgs {
   int threads = 1;
   VertexId intra_threshold = 0;  // 0 = keep the library default
   bool binary = false;
+  bool compressed_base = false;
   bool verify = false;
   bool two_cycles = false;
   bool unconstrained = false;
@@ -60,6 +62,8 @@ void PrintUsage() {
       "                      (parallel trim + forward-backward) | uf\n"
       "                      (concurrent union-find UFSCC; the cover is\n"
       "                      identical for all three)\n"
+      "  --compressed-base   solve from the delta/varint CompressedCsr\n"
+      "                      backend (identical cover, smaller residency)\n"
       "  --two-cycles        also cover 2-cycles\n"
       "  --unconstrained     cover cycles of every length\n"
       "  --time-limit SEC    wall-clock budget (0 = unlimited)\n"
@@ -129,6 +133,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->time_limit = std::atof(v);
     } else if (arg == "--binary") {
       args->binary = true;
+    } else if (arg == "--compressed-base") {
+      args->compressed_base = true;
     } else if (arg == "--verify") {
       args->verify = true;
     } else if (arg == "--two-cycles") {
@@ -206,7 +212,35 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  CoverResult result = SolveCycleCover(graph, algo, options);
+  options.compressed_base = args.compressed_base;
+  CompressedCsr cgraph;
+  if (args.compressed_base) {
+    cgraph = CompressedCsr::FromCsr(graph);
+  }
+  if (args.stats) {
+    const GraphStats gs = ComputeStats(graph);
+    std::fprintf(stderr, "%s\n", gs.FootprintString().c_str());
+    if (args.compressed_base) {
+      const CompressedCsrFootprint fp = cgraph.MemoryFootprint();
+      std::fprintf(
+          stderr,
+          "compressed_bytes=%llu (offsets=%llu out_stream=%llu "
+          "out_headers=%llu in_stream=%llu in_headers=%llu) ratio=%.2fx\n",
+          static_cast<unsigned long long>(fp.total()),
+          static_cast<unsigned long long>(fp.offset_bytes),
+          static_cast<unsigned long long>(fp.out_stream_bytes),
+          static_cast<unsigned long long>(fp.out_header_bytes),
+          static_cast<unsigned long long>(fp.in_stream_bytes),
+          static_cast<unsigned long long>(fp.in_header_bytes),
+          fp.total() > 0 ? static_cast<double>(gs.total_bytes()) /
+                               static_cast<double>(fp.total())
+                         : 0.0);
+    }
+  }
+
+  CoverResult result = args.compressed_base
+                           ? SolveCycleCover(cgraph, algo, options)
+                           : SolveCycleCover(graph, algo, options);
   if (!result.status.ok()) {
     std::fprintf(stderr, "solve failed: %s\n",
                  result.status.ToString().c_str());
