@@ -38,6 +38,7 @@
 #include "bench_runner.h"
 #include "graph/generators.h"
 #include "service/cycle_break_service.h"
+#include "service/graph_service.h"
 #include "table_printer.h"
 #include "util/metrics.h"
 #include "util/rng.h"
@@ -100,24 +101,24 @@ int main(int argc, char** argv) {
   json.Num("k", static_cast<uint64_t>(kHop));
 
   // Content digest of the final transversal (sorted S pairs + base cover
-  // + delta size): size-preserving drift across rows must fail too.
-  const auto transversal_digest = [](const ServiceSnapshot& snap) {
+  // + delta size): size-preserving drift across rows must fail too. Reads
+  // the backend-neutral TransversalImage so the same digest works against
+  // any GraphService implementation.
+  const auto transversal_digest = [](const TransversalImage& image) {
     uint64_t digest = 1469598103934665603ull;  // FNV-1a
     const auto mix = [&digest](uint64_t x) {
       digest = (digest ^ x) * 1099511628211ull;
     };
     std::vector<std::pair<VertexId, VertexId>> s_edges;
-    s_edges.reserve(snap.cover.covered.size());
-    for (EdgeId e : snap.cover.covered) {
-      s_edges.push_back({snap.graph.EdgeSrc(e), snap.graph.EdgeDst(e)});
-    }
+    s_edges.reserve(image.covered.size());
+    for (const auto& e : image.covered) s_edges.push_back({e.src, e.dst});
     std::sort(s_edges.begin(), s_edges.end());
     for (const auto& [u, v] : s_edges) {
       mix(u);
       mix(v);
     }
-    for (VertexId v : snap.cover.base->vertices) mix(v);
-    mix(snap.graph.delta_edges());
+    for (VertexId v : image.cover_vertices) mix(v);
+    mix(image.delta.size());
     return digest;
   };
   bool have_reference = false;
@@ -134,7 +135,10 @@ int main(int argc, char** argv) {
     options.synchronous_compaction = true;  // deterministic epoch count
     CsrGraph base_copy = base;  // the service takes ownership per row
     Timer timer;
-    CycleBreakService service(std::move(base_copy), options);
+    CycleBreakService backend(std::move(base_copy), options);
+    // Readers and the ingest loop drive the backend-agnostic interface —
+    // the same surface tdb_serve serves either backend through.
+    GraphService& service = backend;
     LatencyHistogram* admit_lat = bench_registry.AddHistogram(
         "bench_admit_t" + std::to_string(threads) + "_seconds",
         "Per-query admission latency during the ingest sweep");
@@ -160,10 +164,10 @@ int main(int argc, char** argv) {
     const double seconds = timer.ElapsedSeconds();
 
     const ServiceStatsSnapshot stats = service.Stats();
-    const auto snap = service.PinSnapshot();
+    const TransversalImage image = service.Image();
     const uint64_t cover =
-        snap->cover.covered.size() + snap->cover.base->vertices.size();
-    const uint64_t digest = transversal_digest(*snap);
+        image.covered.size() + image.cover_vertices.size();
+    const uint64_t digest = transversal_digest(image);
     if (!have_reference) {
       have_reference = true;
       reference_digest = digest;
@@ -245,16 +249,16 @@ int main(int argc, char** argv) {
   };
   const auto plain_service = make_service(0);
   const auto indexed_service = make_service(landmarks);
-  if (transversal_digest(*plain_service->PinSnapshot()) !=
-      transversal_digest(*indexed_service->PinSnapshot())) {
+  if (transversal_digest(plain_service->Image()) !=
+      transversal_digest(indexed_service->Image())) {
     std::fprintf(stderr,
                  "DETERMINISM VIOLATION: admission index perturbed "
                  "ingest state\n");
     return 1;
   }
   const uint64_t steady_cover = [&] {
-    const auto snap = plain_service->PinSnapshot();
-    return snap->cover.covered.size() + snap->cover.base->vertices.size();
+    const TransversalImage image = plain_service->Image();
+    return image.covered.size() + image.cover_vertices.size();
   }();
 
   std::vector<Edge> admit_queries;
@@ -273,7 +277,7 @@ int main(int argc, char** argv) {
   // per-query latency recorded into the mode's registry histogram
   // (batched mode samples batch latency / batch length per query, so
   // percentiles stay comparable across modes).
-  const auto run_mode = [&](CycleBreakService& service, bool batched,
+  const auto run_mode = [&](GraphService& service, bool batched,
                             std::vector<uint8_t>* verdicts,
                             LatencyHistogram* lat) {
     verdicts->assign(admit_queries.size(), 0);

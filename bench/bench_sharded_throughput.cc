@@ -1,0 +1,318 @@
+// Sharded serving throughput: the N-shard router vs the unsharded
+// service on a block-clustered workload, swept over shard counts.
+//
+// Each row replays the identical deterministic workload — a base graph of
+// dense intra-block clusters plus sparse cross-block bridges (the shape
+// sharding is built for: the partition keeps id-blocks together, so most
+// edges stay shard-local and the boundary stays small) and a seeded edge
+// stream in the same mix, ingested in batches with synchronous
+// compactions. A fixed 4 reader threads then fire batched admission
+// queries over the post-ingest state.
+//
+// Three hard-fails, mirroring bench_service_throughput:
+//   * determinism — every row's final transversal image digest AND
+//     verdict bitvector must be byte-identical to the unsharded oracle's;
+//     sharding changes placement, never results;
+//   * summary coverage — for every multi-shard row, the share of
+//     cross-shard admissions resolved by the boundary summaries (no
+//     scatter/gather union sweep) must meet
+//     TDB_BENCH_SHARDED_MIN_SUMMARY_RATE (default 0.80, the ISSUE 10
+//     acceptance floor; set 0 to disable);
+//   * baseline rows — deterministic identity keys (epochs, compactions,
+//     cross_edges, cross_queries, summary_resolved) pin the routing and
+//     resolution behaviour in bench/baselines/sharded_throughput.json.
+//
+// Knobs: TDB_BENCH_SHARDED_N (vertices), TDB_BENCH_SHARDED_BASE_M
+// (intra-block base edges), TDB_BENCH_SHARDED_BRIDGES (cross-block base
+// edges), TDB_BENCH_SHARDED_STREAM_M, TDB_BENCH_SHARDED_BATCH,
+// TDB_BENCH_SHARDED_ADMIT_Q, TDB_BENCH_SHARDED_ADMIT_BATCH.
+// --json PATH emits rows for tools/check_bench_regression.py.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_runner.h"
+#include "graph/csr_graph.h"
+#include "service/cycle_break_service.h"
+#include "service/graph_service.h"
+#include "service/sharded_service.h"
+#include "table_printer.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace tdb;
+using namespace tdb::bench;
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? static_cast<uint64_t>(std::atoll(env)) : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const VertexId n =
+      static_cast<VertexId>(EnvOr("TDB_BENCH_SHARDED_N", 4096));
+  const EdgeId base_m = EnvOr("TDB_BENCH_SHARDED_BASE_M", 12000);
+  const EdgeId bridges = EnvOr("TDB_BENCH_SHARDED_BRIDGES", 400);
+  const EdgeId stream_m = EnvOr("TDB_BENCH_SHARDED_STREAM_M", 8000);
+  const size_t batch = EnvOr("TDB_BENCH_SHARDED_BATCH", 256);
+  const uint64_t admit_q = EnvOr("TDB_BENCH_SHARDED_ADMIT_Q", 40000);
+  const size_t admit_batch = EnvOr("TDB_BENCH_SHARDED_ADMIT_BATCH", 256);
+  const double min_summary_rate = [] {
+    const char* env = std::getenv("TDB_BENCH_SHARDED_MIN_SUMMARY_RATE");
+    return env != nullptr ? std::atof(env) : 0.80;
+  }();
+  constexpr uint32_t kHop = 4;
+  constexpr uint32_t kBlockBits = 4;  // partition blocks of 16 vertices
+  constexpr int kAdmitThreads = 4;
+  const VertexId block = 1u << kBlockBits;
+  const VertexId blocks = n >> kBlockBits;
+
+  // Deterministic block-clustered workload shared by every row: edges are
+  // intra-block unless the generator rolls a bridge.
+  const auto clustered_edge = [&](Rng& rng, bool bridge) {
+    if (bridge) {
+      VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      if (u == v) v = (v + 1) % n;
+      return Edge{u, v};
+    }
+    const VertexId b = static_cast<VertexId>(rng.NextBounded(blocks));
+    const VertexId u = b * block + static_cast<VertexId>(rng.NextBounded(block));
+    VertexId v = b * block + static_cast<VertexId>(rng.NextBounded(block));
+    if (u == v) v = b * block + (v - b * block + 1) % block;
+    return Edge{u, v};
+  };
+  std::vector<Edge> base_edges;
+  {
+    Rng rng(7);
+    base_edges.reserve(base_m + bridges);
+    for (EdgeId i = 0; i < base_m; ++i) {
+      base_edges.push_back(clustered_edge(rng, false));
+    }
+    for (EdgeId i = 0; i < bridges; ++i) {
+      base_edges.push_back(clustered_edge(rng, true));
+    }
+  }
+  const CsrGraph base = CsrGraph::FromEdges(n, base_edges);
+  std::vector<Edge> stream;
+  {
+    Rng rng(11);
+    stream.reserve(stream_m);
+    for (EdgeId i = 0; i < stream_m; ++i) {
+      stream.push_back(clustered_edge(rng, rng.NextBounded(10) == 0));
+    }
+  }
+  std::vector<Edge> admit_queries;
+  {
+    Rng rng(900);
+    admit_queries.reserve(admit_q);
+    for (uint64_t i = 0; i < admit_q; ++i) {
+      admit_queries.push_back(clustered_edge(rng, rng.NextBounded(4) == 0));
+    }
+  }
+
+  // Backend-neutral content digest (same mix as bench_service_throughput).
+  const auto transversal_digest = [](const TransversalImage& image) {
+    uint64_t digest = 1469598103934665603ull;  // FNV-1a
+    const auto mix = [&digest](uint64_t x) {
+      digest = (digest ^ x) * 1099511628211ull;
+    };
+    std::vector<std::pair<VertexId, VertexId>> s_edges;
+    s_edges.reserve(image.covered.size());
+    for (const auto& e : image.covered) s_edges.push_back({e.src, e.dst});
+    std::sort(s_edges.begin(), s_edges.end());
+    for (const auto& [u, v] : s_edges) {
+      mix(u);
+      mix(v);
+    }
+    for (VertexId v : image.cover_vertices) mix(v);
+    mix(image.delta.size());
+    return digest;
+  };
+
+  // Ingest the stream, then fire the admission sweep; returns ingest and
+  // admission wall seconds plus the verdict bits for cross-row
+  // comparison. Drives the backend-agnostic interface only.
+  const auto run_backend = [&](GraphService& service,
+                               std::vector<uint8_t>* verdicts,
+                               double* admit_seconds) {
+    Timer ingest_timer;
+    for (size_t at = 0; at < stream.size(); at += batch) {
+      const size_t len = std::min(batch, stream.size() - at);
+      service.SubmitEdges(std::span<const Edge>(stream.data() + at, len));
+    }
+    const double ingest_seconds = ingest_timer.ElapsedSeconds();
+
+    verdicts->assign(admit_queries.size(), 0);
+    Timer admit_timer;
+    std::vector<std::thread> workers;
+    workers.reserve(kAdmitThreads);
+    const size_t per =
+        (admit_queries.size() + kAdmitThreads - 1) / kAdmitThreads;
+    for (int t = 0; t < kAdmitThreads; ++t) {
+      workers.emplace_back([&, t] {
+        const size_t begin = std::min(per * t, admit_queries.size());
+        const size_t end = std::min(begin + per, admit_queries.size());
+        for (size_t at = begin; at < end; at += admit_batch) {
+          const size_t len = std::min(admit_batch, end - at);
+          const std::vector<AdmissionVerdict> out =
+              service.CheckAdmissionBatch(
+                  std::span<const Edge>(admit_queries.data() + at, len));
+          for (size_t j = 0; j < len; ++j) {
+            (*verdicts)[at + j] = out[j].would_close ? 1 : 0;
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    *admit_seconds = admit_timer.ElapsedSeconds();
+    return ingest_seconds;
+  };
+
+  std::printf("== Sharded serving: ingest %llu edges + %llu admissions "
+              "(n=%u, %u blocks, k=%u) ==\n",
+              static_cast<unsigned long long>(stream_m),
+              static_cast<unsigned long long>(admit_q), n, blocks, kHop);
+  JsonSink json("sharded_throughput");
+  json.BeginRow();
+  json.Str("row", "params");
+  json.Num("n", static_cast<uint64_t>(n));
+  json.Num("base_m", base_m);
+  json.Num("bridges", bridges);
+  json.Num("stream_m", stream_m);
+  json.Num("batch", static_cast<uint64_t>(batch));
+  json.Num("admit_q", admit_q);
+  json.Num("admit_batch", static_cast<uint64_t>(admit_batch));
+  json.Num("admit_threads", static_cast<uint64_t>(kAdmitThreads));
+  json.Num("k", static_cast<uint64_t>(kHop));
+  json.Num("block_bits", static_cast<uint64_t>(kBlockBits));
+
+  // The unsharded oracle anchors every determinism check.
+  std::vector<uint8_t> oracle_verdicts;
+  uint64_t oracle_digest = 0;
+  uint64_t oracle_cover = 0;
+  {
+    ServiceOptions options;
+    options.cover.k = kHop;
+    options.compact_delta_threshold = 2048;
+    options.synchronous_compaction = true;
+    CsrGraph base_copy = base;
+    CycleBreakService oracle(std::move(base_copy), options);
+    double admit_seconds = 0;
+    run_backend(oracle, &oracle_verdicts, &admit_seconds);
+    const TransversalImage image = oracle.Image();
+    oracle_digest = transversal_digest(image);
+    oracle_cover = image.covered.size() + image.cover_vertices.size();
+  }
+
+  TablePrinter table({"shards", "ingest s", "ingest eps", "admit s",
+                      "admit qps", "cover", "cross edges", "cross queries",
+                      "summary rate"});
+  bool determinism_ok = true;
+  bool summary_ok = true;
+  for (const int shards : {1, 2, 4}) {
+    ShardedServiceOptions options;
+    options.base.cover.k = kHop;
+    options.base.compact_delta_threshold = 2048;
+    options.base.synchronous_compaction = true;
+    options.base.ingest_threads = 4;
+    options.num_shards = shards;
+    options.partition_block_bits = kBlockBits;
+    options.boundary_cap = 1 << 16;
+    CsrGraph base_copy = base;
+    ShardedCycleBreakService service(std::move(base_copy), options);
+    std::vector<uint8_t> verdicts;
+    double admit_seconds = 0;
+    const double ingest_seconds =
+        run_backend(service, &verdicts, &admit_seconds);
+
+    const TransversalImage image = service.Image();
+    const uint64_t digest = transversal_digest(image);
+    const uint64_t cover =
+        image.covered.size() + image.cover_vertices.size();
+    if (digest != oracle_digest || verdicts != oracle_verdicts) {
+      determinism_ok = false;
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: %d-shard row diverged from the "
+                   "unsharded oracle (digest %s, verdicts %s)\n",
+                   shards, digest == oracle_digest ? "ok" : "DRIFTED",
+                   verdicts == oracle_verdicts ? "ok" : "DRIFTED");
+    }
+
+    const ServiceStatsSnapshot stats = service.Stats();
+    const ShardRouterStatsSnapshot router = service.RouterStats();
+    const double summary_rate =
+        router.cross_queries > 0
+            ? static_cast<double>(router.summary_resolved) /
+                  static_cast<double>(router.cross_queries)
+            : 1.0;
+    if (shards > 1 && min_summary_rate > 0 &&
+        summary_rate < min_summary_rate) {
+      summary_ok = false;
+      std::fprintf(stderr,
+                   "SUMMARY RATE VIOLATION: %d shards resolved %.1f%% of "
+                   "cross-shard admissions by summary < floor %.1f%%\n",
+                   shards, 100.0 * summary_rate, 100.0 * min_summary_rate);
+    }
+
+    const double eps = ingest_seconds > 0
+                           ? static_cast<double>(stream.size()) /
+                                 ingest_seconds
+                           : 0;
+    const double qps =
+        admit_seconds > 0
+            ? static_cast<double>(admit_queries.size()) / admit_seconds
+            : 0;
+    char in_s[32], eps_s[32], ad_s[32], qps_s[32], rate_s[32];
+    std::snprintf(in_s, sizeof in_s, "%.3f", ingest_seconds);
+    std::snprintf(eps_s, sizeof eps_s, "%.0f", eps);
+    std::snprintf(ad_s, sizeof ad_s, "%.3f", admit_seconds);
+    std::snprintf(qps_s, sizeof qps_s, "%.0f", qps);
+    std::snprintf(rate_s, sizeof rate_s, "%.1f%%", 100.0 * summary_rate);
+    table.AddRow({std::to_string(shards), in_s, eps_s, ad_s, qps_s,
+                  FormatCount(cover), FormatCount(router.cross_shard_edges),
+                  FormatCount(router.cross_queries), rate_s});
+    std::fflush(stdout);
+
+    // Identity keys are all deterministic (routing, compaction cadence
+    // and summary resolution depend only on the seeded workload); the
+    // wall clock stays a metric.
+    json.BeginRow();
+    json.Num("shards", static_cast<uint64_t>(shards));
+    json.Num("epochs", stats.epochs_published);
+    json.Num("compactions", stats.compactions);
+    json.Num("cross_edges", router.cross_shard_edges);
+    json.Num("cross_queries", router.cross_queries);
+    json.Num("summary_resolved", router.summary_resolved);
+    json.Num("scatter_gather", router.scatter_gather_probes);
+    json.Num("seconds", ingest_seconds + admit_seconds);
+    json.Num("cover", cover);
+    json.Num("would_close",
+             static_cast<uint64_t>(
+                 std::count(verdicts.begin(), verdicts.end(), 1)));
+  }
+  table.Print();
+  std::printf("oracle cover %llu, digest %016llx\n",
+              static_cast<unsigned long long>(oracle_cover),
+              static_cast<unsigned long long>(oracle_digest));
+
+  if (!determinism_ok) return 1;
+  if (!summary_ok) return 1;
+  if (!json.Write(JsonSink::PathFromArgs(argc, argv))) return 1;
+  std::printf(
+      "\nReading: every row reproduces the unsharded oracle's transversal\n"
+      "and verdicts bit-for-bit; \"summary rate\" is the share of\n"
+      "cross-shard admissions the per-shard boundary summaries answered\n"
+      "without a scatter/gather union sweep.\n");
+  return 0;
+}

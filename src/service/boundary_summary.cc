@@ -1,0 +1,116 @@
+#include "service/boundary_summary.h"
+
+#include <algorithm>
+
+#include "search/bounded_reach.h"
+#include "search/search_context.h"
+#include "util/check.h"
+
+namespace tdb {
+
+std::shared_ptr<const BoundarySummary> BoundarySummary::Build(
+    const ShardedGraphView& view, const TransversalState& state,
+    uint32_t max_path, std::vector<VertexId> boundary, ThreadPool* pool) {
+  if (max_path >= kFar) return nullptr;  // depths must fit the sketch
+  auto summary = std::make_shared<BoundarySummary>();
+  summary->max_path_ = max_path;
+  summary->boundary_ = std::move(boundary);
+  const size_t b = summary->boundary_.size();
+  summary->rows_.resize(b);
+
+  // One within-shard sweep per boundary vertex: expand only vertices the
+  // source's owner shard owns, so foreign cut-edge targets are absorbed
+  // at their exact segment distance (and land in the row too — the next
+  // segment picks them up through the closure).
+  const ShardPartition& part = view.partition();
+  std::vector<SearchContext> contexts(pool != nullptr ? pool->num_threads()
+                                                      : 1);
+  FanOut(pool, b, [&](size_t i, int worker) {
+    const VertexId src = summary->boundary_[i];
+    const int owner = part.Owner(src);
+    std::vector<RowEntry>& row = summary->rows_[i];
+    BoundedReach(
+        view, ReachDirection::kForward, std::span<const VertexId>(&src, 1),
+        max_path, &contexts[worker],
+        [&](EdgeId e) { return !state.EdgeCovered(view, e); },
+        [&](VertexId v, uint32_t depth) {
+          row.push_back({v, static_cast<uint8_t>(depth)});
+        },
+        [&](VertexId x) { return part.Owner(x) == owner; });
+    std::sort(row.begin(), row.end(),
+              [](const RowEntry& a, const RowEntry& c) {
+                return a.vertex < c.vertex;
+              });
+  });
+
+  // Min-plus transitive closure of the boundary-to-boundary segment
+  // arcs. Distances beyond max_path are useless to any composition (a
+  // prefix already overshoots the hop budget), so they saturate to kFar.
+  std::vector<uint8_t>& closure = summary->closure_;
+  closure.assign(b * b, kFar);
+  for (size_t i = 0; i < b; ++i) {
+    closure[i * b + i] = 0;
+    for (const RowEntry& entry : summary->rows_[i]) {
+      const int32_t j = summary->BoundaryIndex(entry.vertex);
+      if (j < 0 || static_cast<size_t>(j) == i) continue;
+      closure[i * b + j] = std::min(closure[i * b + j], entry.dist);
+    }
+  }
+  for (size_t k = 0; k < b; ++k) {
+    for (size_t i = 0; i < b; ++i) {
+      const uint32_t ik = closure[i * b + k];
+      if (ik >= max_path) continue;  // ik + anything > max_path
+      for (size_t j = 0; j < b; ++j) {
+        const uint32_t kj = closure[k * b + j];
+        if (kj == kFar) continue;
+        const uint32_t via = ik + kj;
+        if (via <= max_path && via < closure[i * b + j]) {
+          closure[i * b + j] = static_cast<uint8_t>(via);
+        }
+      }
+    }
+  }
+  return summary;
+}
+
+int32_t BoundarySummary::BoundaryIndex(VertexId b) const {
+  const auto it = std::lower_bound(boundary_.begin(), boundary_.end(), b);
+  if (it == boundary_.end() || *it != b) return -1;
+  return static_cast<int32_t>(it - boundary_.begin());
+}
+
+uint8_t BoundarySummary::RowDist(size_t i, VertexId u) const {
+  const std::vector<RowEntry>& row = rows_[i];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), u,
+      [](const RowEntry& entry, VertexId v) { return entry.vertex < v; });
+  if (it == row.end() || it->vertex != u) return kFar;
+  return it->dist;
+}
+
+uint32_t BoundarySummary::Compose(std::span<const uint8_t> dv,
+                                  VertexId u) const {
+  const size_t b = boundary_.size();
+  TDB_CHECK(dv.size() == b);
+  // Two passes keep this O(b^2 + b) per query instead of O(b^2) with a
+  // row lookup inside: first fold dv through the closure into the best
+  // entry distance per exit boundary vertex, then add each exit's row
+  // distance to u.
+  uint32_t best = kFar;
+  for (size_t j = 0; j < b; ++j) {
+    const uint8_t out = RowDist(j, u);
+    if (out >= kFar) continue;
+    uint32_t to_j = kFar;
+    for (size_t i = 0; i < b; ++i) {
+      if (dv[i] == kFar || closure_[i * b + j] == kFar) continue;
+      const uint32_t via = uint32_t{dv[i]} + closure_[i * b + j];
+      to_j = std::min(to_j, via);
+    }
+    if (to_j == kFar) continue;
+    const uint32_t total = to_j + out;
+    if (total <= max_path_) best = std::min(best, total);
+  }
+  return best;
+}
+
+}  // namespace tdb

@@ -1,0 +1,91 @@
+// Cross-shard boundary summary: exact hop-bounded distance sketches
+// between the partition's frontier vertices.
+//
+// Setting: the sharded router answers "does an uncovered path v ->* u of
+// at most k-1 hops exist?" over the union of N shards, but wants to run
+// searches only inside single shards. The key decomposition: any
+// uncovered path cuts into maximal same-owner segments, and every
+// segment after the first starts at the target of an uncovered
+// cross-shard edge — a BOUNDARY vertex. So with B = { targets of
+// uncovered cross-shard edges }, the exact global distance is
+//
+//   d(v, u) = min( dv[u],
+//                  min_{b, b'} dv[b] + closure[b][b'] + row_{b'}[u] )
+//
+// where dv is one within-shard sweep from v (foreign vertices absorbing,
+// see the cut-edge-aware BoundedReach), row_b is the same sweep from
+// boundary vertex b inside ITS owner shard, and closure is the min-plus
+// transitive closure of the boundary-to-boundary segment arcs
+// (closure[b][b] = 0). Every composed value is the length of a real
+// uncovered walk and every global path decomposes into such a
+// composition, so the minimum is EXACT — not a bound — and the router's
+// verdicts stay bit-identical to an unsharded oracle.
+//
+// The summary is a pure function of one published (view, transversal)
+// pair, so the router rebuilds it at every publish (rows in parallel on
+// the ingest pool) and readers use it lock-free off the pinned snapshot.
+// When the boundary outgrows the configured cap the build returns null
+// and the router falls back to scatter/gather probes over the union
+// view — correctness never depends on the summary being present.
+#ifndef TDB_SERVICE_BOUNDARY_SUMMARY_H_
+#define TDB_SERVICE_BOUNDARY_SUMMARY_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/batch_augment.h"
+#include "graph/types.h"
+#include "service/sharded_view.h"
+#include "util/thread_pool.h"
+
+namespace tdb {
+
+class BoundarySummary {
+ public:
+  /// Saturating "no uncovered path of <= max_path hops" distance.
+  static constexpr uint8_t kFar = 0xff;
+
+  /// Builds the summary for `boundary` (sorted, unique, deduplicated
+  /// targets of uncovered cross-shard edges) over one frozen
+  /// (view, state) pair. Rows fan out over `pool` (null = inline).
+  /// Returns null when the sketch cannot represent the instance
+  /// (max_path >= kFar).
+  static std::shared_ptr<const BoundarySummary> Build(
+      const ShardedGraphView& view, const TransversalState& state,
+      uint32_t max_path, std::vector<VertexId> boundary, ThreadPool* pool);
+
+  size_t boundary_size() const { return boundary_.size(); }
+  const std::vector<VertexId>& boundary() const { return boundary_; }
+
+  /// Index of vertex b in boundary(), or -1.
+  int32_t BoundaryIndex(VertexId b) const;
+
+  /// Exact composed distance min_{i,j} dv[i] + closure[i][j] + row_j[u],
+  /// where dv[i] is the caller's local-sweep distance to boundary()[i]
+  /// (kFar when unreached). Returns kFar when no composition lands
+  /// within max_path. `u` is the probe target; dv must have
+  /// boundary_size() entries.
+  uint32_t Compose(std::span<const uint8_t> dv, VertexId u) const;
+
+ private:
+  /// One row: every vertex the within-shard sweep from boundary_[i]
+  /// reached, sorted by vertex id, with its exact segment distance.
+  struct RowEntry {
+    VertexId vertex;
+    uint8_t dist;
+  };
+
+  uint8_t RowDist(size_t i, VertexId u) const;
+
+  uint32_t max_path_ = 0;
+  std::vector<VertexId> boundary_;
+  std::vector<std::vector<RowEntry>> rows_;
+  /// boundary_size()^2 min-plus closure, row-major, closure_[i][i] = 0.
+  std::vector<uint8_t> closure_;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_SERVICE_BOUNDARY_SUMMARY_H_

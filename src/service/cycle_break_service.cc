@@ -1,5 +1,6 @@
 #include "service/cycle_break_service.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
@@ -9,6 +10,7 @@
 
 #include "core/solver.h"
 #include "util/check.h"
+#include "util/crc32.h"
 #include "util/trace.h"
 
 namespace tdb {
@@ -392,46 +394,12 @@ SubmitResult CycleBreakService::ApplyLocked(uint64_t seq,
 
 AdmissionVerdict CycleBreakService::CheckAdmission(VertexId u,
                                                    VertexId v) const {
-  const auto pinned = published_.Load();
-  const ServiceSnapshot& snapshot = *pinned.state;
-  stats_.admission_queries.fetch_add(1, kRelaxed);
-  // Per-epoch memo: a verdict is a pure function of the immutable
-  // snapshot, so a hit skips the path probe entirely. The cache belongs
-  // to this snapshot — a newer publish starts from an empty one.
-  AdmissionCache* cache = snapshot.admission_cache.get();
-  if (cache != nullptr) {
-    bool would_close = false;
-    if (cache->Lookup(u, v, &would_close)) {
-      stats_.admission_cache_hits.fetch_add(1, kRelaxed);
-      if (would_close) stats_.admission_would_close.fetch_add(1, kRelaxed);
-      AdmissionVerdict verdict;
-      verdict.epoch = snapshot.epoch;
-      verdict.would_close = would_close;
-      verdict.admissible = !would_close;
-      return verdict;
-    }
-    stats_.admission_cache_misses.fetch_add(1, kRelaxed);
-  }
-  PathProber prober(snapshot.options);
-  const AdmissionVerdict verdict = CheckAdmissionOn(snapshot, u, v, &prober);
-  if (snapshot.admission_index != nullptr) {
-    if (verdict.via_index) {
-      stats_.index_hits.fetch_add(1, kRelaxed);
-    } else if (verdict.probed) {
-      stats_.index_fallbacks.fetch_add(1, kRelaxed);
-    }
-  }
-  // The cache memoizes only the hard residue: verdicts that cost a path
-  // search. Prechecked no-ops and index arithmetic are at least as cheap
-  // to recompute as a probe, so caching them would only displace
-  // entries that save real work.
-  if (cache != nullptr && verdict.probed) {
-    cache->Insert(u, v, verdict.would_close);
-  }
-  if (verdict.would_close) {
-    stats_.admission_would_close.fetch_add(1, kRelaxed);
-  }
-  return verdict;
+  // A thin wrapper over a batch of one: single and batched admission
+  // share CheckAdmissionBatch's evaluation path (prechecks, cache,
+  // index, probes, stats), so the two call shapes cannot drift — there
+  // is exactly one place that validates options and orders prechecks.
+  const Edge one{u, v};
+  return CheckAdmissionBatch(std::span<const Edge>(&one, 1)).front();
 }
 
 std::vector<AdmissionVerdict> CycleBreakService::CheckAdmissionBatch(
@@ -489,6 +457,80 @@ std::vector<AdmissionVerdict> CycleBreakService::CheckAdmissionBatch(
 std::shared_ptr<const ServiceSnapshot> CycleBreakService::PinSnapshot()
     const {
   return published_.Load().state;
+}
+
+VertexId CycleBreakService::universe() const {
+  return published_.Load().state->graph.num_vertices();
+}
+
+uint64_t CycleBreakService::delta_edges() const {
+  return published_.Load().state->graph.delta_edges();
+}
+
+TransversalImage CycleBreakService::Image() const {
+  const auto pinned = published_.Load();
+  const ServiceSnapshot& snap = *pinned.state;
+  const OverlayGraph& graph = snap.graph;
+  TransversalImage image;
+  image.epoch = snap.epoch;
+  image.universe = graph.num_vertices();
+  image.base_edges = graph.base_edges();
+  // Canonical CSR edge ids are already (src, dst)-sorted, so iterating
+  // by id satisfies the image's sorted-pair CRC contract directly.
+  Crc32 crc;
+  for (EdgeId e = 0; e < image.base_edges; ++e) {
+    const VertexId pair[2] = {graph.EdgeSrc(e), graph.EdgeDst(e)};
+    crc.Update(pair, sizeof(pair));
+  }
+  image.base_crc = crc.value();
+  const std::span<const Edge> delta = graph.delta();
+  image.delta.assign(delta.begin(), delta.end());
+  std::sort(image.delta.begin(), image.delta.end(),
+            [](const Edge& a, const Edge& b) {
+              return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+            });
+  image.cover_vertices = snap.cover.base->vertices;  // already sorted
+  auto fill = [&graph](const std::unordered_set<EdgeId>& set,
+                       std::vector<TransversalImage::EdgeEntry>* out) {
+    out->reserve(set.size());
+    for (const EdgeId e : set) {
+      out->push_back({e, graph.EdgeSrc(e), graph.EdgeDst(e)});
+    }
+    std::sort(out->begin(), out->end(),
+              [](const TransversalImage::EdgeEntry& a,
+                 const TransversalImage::EdgeEntry& b) {
+                return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+              });
+  };
+  fill(snap.cover.covered, &image.covered);
+  fill(snap.cover.reusable, &image.reusable);
+  return image;
+}
+
+Status CycleBreakService::ForceCompact() {
+  // Serialize with any in-flight background solve first: its install
+  // must not land after this one and clobber the forced base with an
+  // older cut.
+  WaitForCompaction();
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (working_.delta_edges() == 0) return state_.base->solve_status;
+  const uint64_t cut_seq = applied_seq_;
+  CoverResult solved;
+  OverlayGraph fresh = [&]() -> OverlayGraph {
+    TDB_TRACE_SPAN("service.compact_solve");
+    if (options_.compressed_base) {
+      auto input =
+          std::make_shared<const CompressedCsr>(working_.ToCompressed());
+      solved = SolveBase(*input);
+      return OverlayGraph(std::move(input));
+    }
+    auto input = std::make_shared<const CsrGraph>(working_.ToCsr());
+    solved = SolveBase(*input);
+    return OverlayGraph(std::move(input));
+  }();
+  InstallCompactionLocked(std::move(fresh), cut_seq, std::move(solved));
+  PublishLocked();
+  return state_.base->solve_status;
 }
 
 void CycleBreakService::WaitForCompaction() {

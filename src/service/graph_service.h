@@ -1,0 +1,132 @@
+// Backend-agnostic serving interface for the online cycle-break system.
+//
+// Two backends implement it: the single-process CycleBreakService
+// (service/cycle_break_service.h) and the N-shard router
+// ShardedCycleBreakService (service/sharded_service.h). Harnesses —
+// tdb_serve, bench_service_throughput, bench_sharded_throughput, the
+// service test drivers — program against this interface, so every
+// workload runs against either backend unchanged and equivalence between
+// the two is a checkable property instead of a hope.
+//
+// Call-shape contract (shared by all backends):
+//   * SubmitEdges is the single logical writer (internally serialized);
+//     CheckAdmission / CheckAdmissionBatch / accessors may run from any
+//     number of threads concurrently with it.
+//   * CheckAdmission(u, v) is a documented thin wrapper over a batch of
+//     one: both call shapes share one evaluation path (prechecks, cache,
+//     index, probes, stats), so single and batched verdicts can never
+//     drift — the drift between separately-maintained paths is exactly
+//     what this interface removed.
+//   * Results lead with what the caller acts on: SubmitResult carries
+//     `status` first (non-ok means nothing was applied), AdmissionVerdict
+//     leads with the verdict bits and carries provenance (epoch, shard,
+//     cross_shard, via_index, probed) after.
+#ifndef TDB_SERVICE_GRAPH_SERVICE_H_
+#define TDB_SERVICE_GRAPH_SERVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/batch_augment.h"
+#include "graph/types.h"
+#include "service/snapshot.h"
+#include "service/stats.h"
+#include "util/status.h"
+
+namespace tdb {
+
+/// Outcome of one SubmitEdges call. Status-first: check `status` before
+/// trusting anything else.
+struct SubmitResult {
+  /// Non-ok when the write-ahead journal append failed: the batch was
+  /// NOT applied (durability-before-apply is the WAL contract) and the
+  /// published state is unchanged.
+  Status status;
+  /// Epoch of the state this call published (0 when nothing was — see
+  /// `status`).
+  uint64_t epoch = 0;
+  BatchAugmentStats stats;
+};
+
+/// Canonical image of a backend's published transversal state, for
+/// cross-backend equality checks, state dumps and content digests.
+/// Every ordered field is canonicalized by (src, dst) so two backends
+/// serving the same logical state produce byte-identical images
+/// regardless of internal placement; only EdgeEntry::id is
+/// backend-scoped (canonical overlay ids for CycleBreakService, packed
+/// (src, dst) pairs for the sharded router) and excluded from
+/// cross-backend comparison.
+struct TransversalImage {
+  struct EdgeEntry {
+    EdgeId id = 0;
+    VertexId src = 0;
+    VertexId dst = 0;
+    bool operator==(const EdgeEntry&) const = default;
+  };
+
+  uint64_t epoch = 0;
+  VertexId universe = 0;
+  /// Edges folded into the immutable base(s), and a CRC32 over their
+  /// (src, dst) pairs sorted by (src, dst).
+  uint64_t base_edges = 0;
+  uint32_t base_crc = 0;
+  /// Delta edges, sorted by (src, dst).
+  std::vector<Edge> delta;
+  /// Base cover vertices, sorted.
+  std::vector<VertexId> cover_vertices;
+  /// Incremental S / W sets, sorted by (src, dst).
+  std::vector<EdgeEntry> covered;
+  std::vector<EdgeEntry> reusable;
+};
+
+/// The serving interface. Thread-safety: SubmitEdges from any thread
+/// (serialized internally); everything else concurrent with everything.
+class GraphService {
+ public:
+  virtual ~GraphService() = default;
+
+  /// Ingests a batch (duplicates / self-loops / out-of-universe endpoints
+  /// are counted and skipped), restores the cover invariant and publishes
+  /// the new state.
+  virtual SubmitResult SubmitEdges(std::span<const Edge> batch) = 0;
+
+  /// Would admitting u -> v close an uncovered constrained cycle?
+  /// Semantically a batch of one — see the header contract.
+  virtual AdmissionVerdict CheckAdmission(VertexId u, VertexId v) const = 0;
+
+  /// Batched CheckAdmission: one pinned state for the whole span, so all
+  /// verdicts share a coherent epoch.
+  virtual std::vector<AdmissionVerdict> CheckAdmissionBatch(
+      std::span<const Edge> queries) const = 0;
+
+  /// Latest published epoch.
+  virtual uint64_t epoch() const = 0;
+
+  /// Vertex universe the service was built over.
+  virtual VertexId universe() const = 0;
+
+  /// Delta edges in the latest published state (summed across shards for
+  /// the router) — the "how far from the last compaction" gauge.
+  virtual uint64_t delta_edges() const = 0;
+
+  virtual ServiceStatsSnapshot Stats() const = 0;
+
+  /// The live counters, for metric-registry export; the atomics stay
+  /// valid for the service's lifetime.
+  virtual const ServiceStats& raw_stats() const = 0;
+
+  /// Cumulative submitted edges over the service's whole lifetime
+  /// (across restarts when durable).
+  virtual uint64_t events_ingested() const = 0;
+
+  /// Blocks until no background work is in flight (shutdown barrier).
+  virtual void WaitForCompaction() = 0;
+
+  /// Captures the latest published state as a canonical image.
+  virtual TransversalImage Image() const = 0;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_SERVICE_GRAPH_SERVICE_H_

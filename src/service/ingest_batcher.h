@@ -11,16 +11,17 @@
 
 #include <vector>
 
-#include "service/cycle_break_service.h"
+#include "service/graph_service.h"
 
 namespace tdb {
 
 /// Accumulates edges and forwards them to SubmitEdges in fixed-size
-/// batches.
+/// batches. Works against any GraphService backend (unsharded or the
+/// shard router).
 class IngestBatcher {
  public:
   /// `batch_size` >= 1; 1 degenerates to per-edge submission.
-  IngestBatcher(CycleBreakService* service, size_t batch_size)
+  IngestBatcher(GraphService* service, size_t batch_size)
       : service_(service), batch_size_(batch_size < 1 ? 1 : batch_size) {
     pending_.reserve(batch_size_);
   }
@@ -47,7 +48,7 @@ class IngestBatcher {
   uint64_t batches_flushed() const { return batches_flushed_; }
 
  private:
-  CycleBreakService* service_;
+  GraphService* service_;
   size_t batch_size_;
   std::vector<Edge> pending_;
   uint64_t batches_flushed_ = 0;

@@ -1,0 +1,1206 @@
+#include "service/sharded_service.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <numeric>
+#include <unordered_set>
+#include <utility>
+
+#include "core/solver.h"
+#include "search/bounded_reach.h"
+#include "search/search_context.h"
+#include "util/cfile.h"
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/trace.h"
+
+namespace tdb {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+constexpr uint32_t kUnreached = 0xffffffffu;
+
+std::string RouterSnapshotFileName(uint64_t cut_seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "snapshot-%020" PRIu64 ".tdbr", cut_seq);
+  return buf;
+}
+
+std::string RouterJournalFileName(uint64_t cut_seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "journal-%020" PRIu64 ".tdbj", cut_seq);
+  return buf;
+}
+
+// ----------------------------------------------------------------------
+// Router journal record encoding.
+//
+// Each submit group is two consecutive records riding the edge-list
+// journal format (service/journal.h):
+//   * batch record (odd offset from the cut): one header pair
+//     {batch_size, accepted_count}, the batch verbatim, then the indices
+//     of the accepted edges as {index, 0} pairs. Recording the accepted
+//     set matters: recovery re-routes the batch into shards that may
+//     already hold some of it, so the set could not be recomputed there.
+//   * outcome record (even offset): three header pairs {inserted,
+//     |S+|}, {|S-|, |W+|}, {|W-|, 0}, then the four sorted pair-id
+//     lists as (src, dst) edges. Replay applies these deltas verbatim —
+//     no re-probing — so recovery cost is I/O-bound, not search-bound.
+
+std::vector<Edge> EncodeBatchRecord(std::span<const Edge> batch,
+                                    std::span<const uint32_t> added_idx) {
+  std::vector<Edge> rec;
+  rec.reserve(1 + batch.size() + added_idx.size());
+  rec.push_back(Edge{static_cast<VertexId>(batch.size()),
+                     static_cast<VertexId>(added_idx.size())});
+  rec.insert(rec.end(), batch.begin(), batch.end());
+  for (const uint32_t idx : added_idx) rec.push_back(Edge{idx, 0});
+  return rec;
+}
+
+bool DecodeBatchRecord(const std::vector<Edge>& rec,
+                       std::span<const Edge>* batch,
+                       std::vector<uint32_t>* added_idx) {
+  if (rec.empty()) return false;
+  const size_t n_batch = rec[0].src;
+  const size_t n_added = rec[0].dst;
+  if (rec.size() != 1 + n_batch + n_added || n_added > n_batch) return false;
+  *batch = std::span<const Edge>(rec).subspan(1, n_batch);
+  added_idx->clear();
+  added_idx->reserve(n_added);
+  for (size_t i = 0; i < n_added; ++i) {
+    const uint32_t idx = rec[1 + n_batch + i].src;
+    if (idx >= n_batch) return false;
+    added_idx->push_back(idx);
+  }
+  return true;
+}
+
+void AppendPairs(std::span<const EdgeId> ids, std::vector<Edge>* rec) {
+  for (const EdgeId id : ids) {
+    rec->push_back(Edge{ShardedGraphView::EdgeSrc(id),
+                        ShardedGraphView::EdgeDst(id)});
+  }
+}
+
+std::vector<Edge> EncodeOutcomeRecord(uint64_t inserted,
+                                      std::span<const EdgeId> s_add,
+                                      std::span<const EdgeId> s_rem,
+                                      std::span<const EdgeId> w_add,
+                                      std::span<const EdgeId> w_rem) {
+  std::vector<Edge> rec;
+  rec.reserve(3 + s_add.size() + s_rem.size() + w_add.size() + w_rem.size());
+  rec.push_back(Edge{static_cast<VertexId>(inserted),
+                     static_cast<VertexId>(s_add.size())});
+  rec.push_back(Edge{static_cast<VertexId>(s_rem.size()),
+                     static_cast<VertexId>(w_add.size())});
+  rec.push_back(Edge{static_cast<VertexId>(w_rem.size()), 0});
+  AppendPairs(s_add, &rec);
+  AppendPairs(s_rem, &rec);
+  AppendPairs(w_add, &rec);
+  AppendPairs(w_rem, &rec);
+  return rec;
+}
+
+}  // namespace
+
+struct ShardedCycleBreakService::OutcomeDelta {
+  uint64_t inserted = 0;
+  std::vector<EdgeId> s_add;
+  std::vector<EdgeId> s_rem;
+  std::vector<EdgeId> w_add;
+  std::vector<EdgeId> w_rem;
+
+  static bool Decode(const std::vector<Edge>& rec, OutcomeDelta* out) {
+    if (rec.size() < 3) return false;
+    out->inserted = rec[0].src;
+    const size_t counts[4] = {rec[0].dst, rec[1].src, rec[1].dst,
+                              rec[2].src};
+    if (rec.size() != 3 + counts[0] + counts[1] + counts[2] + counts[3]) {
+      return false;
+    }
+    std::vector<EdgeId>* lists[4] = {&out->s_add, &out->s_rem, &out->w_add,
+                                     &out->w_rem};
+    size_t pos = 3;
+    for (int l = 0; l < 4; ++l) {
+      lists[l]->clear();
+      lists[l]->reserve(counts[l]);
+      for (size_t i = 0; i < counts[l]; ++i, ++pos) {
+        lists[l]->push_back(PackEdge(rec[pos].src, rec[pos].dst));
+      }
+    }
+    return true;
+  }
+};
+
+namespace {
+
+// ----------------------------------------------------------------------
+// Router snapshot file ("TDBR" v1). The router snapshot carries no
+// graph — the shards own and persist the edges — only the global
+// transversal and the replay bookkeeping:
+//   "TDBR" | version u32
+//   epoch u64 | last_seq u64 | events u64 | n u64
+//   num_shards u32 | block_bits u32 | solve_ok u8
+//   cover mask n x u8
+//   s_count u64 | w_count u64 | S s_count x u64 | W w_count x u64
+//   crc32c u32 over everything after the version field
+// Same validity contract as the shard snapshot format: one trailing CRC,
+// written via tmp + fsync + rename, named only by the manifest.
+
+constexpr char kRouterSnapshotMagic[4] = {'T', 'D', 'B', 'R'};
+constexpr uint32_t kRouterSnapshotVersion = 1;
+
+struct RouterSnapState {
+  uint64_t epoch = 0;
+  uint64_t last_seq = 0;
+  uint64_t events = 0;
+  uint64_t n = 0;
+  uint32_t num_shards = 0;
+  uint32_t block_bits = 0;
+  bool solve_ok = true;
+  std::vector<uint8_t> cover_mask;
+  std::vector<EdgeId> covered;
+  std::vector<EdgeId> reusable;
+};
+
+bool PutField(std::FILE* f, Crc32* crc, const void* data, size_t len) {
+  if (std::fwrite(data, 1, len, f) != len) return false;
+  crc->Update(data, len);
+  return true;
+}
+
+bool GetField(std::FILE* f, Crc32* crc, void* data, size_t len) {
+  if (std::fread(data, 1, len, f) != len) return false;
+  crc->Update(data, len);
+  return true;
+}
+
+bool PutSpan(std::FILE* f, Crc32* crc, const void* data, size_t bytes) {
+  if (bytes == 0) return true;
+  return PutField(f, crc, data, bytes);
+}
+
+bool GetSpan(std::FILE* f, Crc32* crc, void* data, size_t bytes) {
+  if (bytes == 0) return true;
+  return GetField(f, crc, data, bytes);
+}
+
+Status WriteRouterSnapshot(const RouterSnapState& state,
+                           const std::string& path) {
+  TDB_TRACE_SPAN("router.snapshot_write");
+  const std::string tmp = path + ".tmp";
+  FilePtr f(std::fopen(tmp.c_str(), "wb"));
+  if (f == nullptr) return Status::IOError(tmp + ": cannot create");
+  const uint64_t s_count = state.covered.size();
+  const uint64_t w_count = state.reusable.size();
+  const uint8_t solve_ok = state.solve_ok ? 1 : 0;
+  Crc32 crc;
+  bool ok =
+      std::fwrite(kRouterSnapshotMagic, 1, 4, f.get()) == 4 &&
+      std::fwrite(&kRouterSnapshotVersion, sizeof(kRouterSnapshotVersion), 1,
+                  f.get()) == 1 &&
+      PutField(f.get(), &crc, &state.epoch, sizeof(state.epoch)) &&
+      PutField(f.get(), &crc, &state.last_seq, sizeof(state.last_seq)) &&
+      PutField(f.get(), &crc, &state.events, sizeof(state.events)) &&
+      PutField(f.get(), &crc, &state.n, sizeof(state.n)) &&
+      PutField(f.get(), &crc, &state.num_shards,
+               sizeof(state.num_shards)) &&
+      PutField(f.get(), &crc, &state.block_bits,
+               sizeof(state.block_bits)) &&
+      PutField(f.get(), &crc, &solve_ok, sizeof(solve_ok)) &&
+      PutSpan(f.get(), &crc, state.cover_mask.data(),
+              state.cover_mask.size()) &&
+      PutField(f.get(), &crc, &s_count, sizeof(s_count)) &&
+      PutField(f.get(), &crc, &w_count, sizeof(w_count)) &&
+      PutSpan(f.get(), &crc, state.covered.data(),
+              sizeof(EdgeId) * s_count) &&
+      PutSpan(f.get(), &crc, state.reusable.data(),
+              sizeof(EdgeId) * w_count);
+  if (ok) {
+    const uint32_t checksum = crc.value();
+    ok = std::fwrite(&checksum, sizeof(checksum), 1, f.get()) == 1;
+  }
+  if (ok) {
+    ok = std::fflush(f.get()) == 0 && ::fsync(::fileno(f.get())) == 0;
+  }
+  f.reset();
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError(tmp + ": short router snapshot write");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError(path + ": router snapshot rename failed");
+  }
+  return Status::OK();
+}
+
+Status ReadRouterSnapshot(const std::string& path, RouterSnapState* state) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::NotFound(path + ": cannot open");
+  char magic[4];
+  uint32_t version = 0;
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kRouterSnapshotMagic, 4) != 0 ||
+      std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+      version != kRouterSnapshotVersion) {
+    return Status::InvalidArgument(path + ": not a router snapshot");
+  }
+  Crc32 crc;
+  uint8_t solve_ok = 1;
+  uint64_t s_count = 0, w_count = 0;
+  bool ok = GetField(f.get(), &crc, &state->epoch, sizeof(state->epoch)) &&
+            GetField(f.get(), &crc, &state->last_seq,
+                     sizeof(state->last_seq)) &&
+            GetField(f.get(), &crc, &state->events,
+                     sizeof(state->events)) &&
+            GetField(f.get(), &crc, &state->n, sizeof(state->n)) &&
+            GetField(f.get(), &crc, &state->num_shards,
+                     sizeof(state->num_shards)) &&
+            GetField(f.get(), &crc, &state->block_bits,
+                     sizeof(state->block_bits)) &&
+            GetField(f.get(), &crc, &solve_ok, sizeof(solve_ok));
+  if (!ok || state->n > kUnreached || state->num_shards == 0) {
+    return Status::InvalidArgument(path + ": corrupt router snapshot");
+  }
+  state->solve_ok = solve_ok != 0;
+  state->cover_mask.resize(state->n);
+  ok = GetSpan(f.get(), &crc, state->cover_mask.data(), state->n) &&
+       GetField(f.get(), &crc, &s_count, sizeof(s_count)) &&
+       GetField(f.get(), &crc, &w_count, sizeof(w_count));
+  if (ok) {
+    state->covered.resize(s_count);
+    state->reusable.resize(w_count);
+    ok = GetSpan(f.get(), &crc, state->covered.data(),
+                 sizeof(EdgeId) * s_count) &&
+         GetSpan(f.get(), &crc, state->reusable.data(),
+                 sizeof(EdgeId) * w_count);
+  }
+  uint32_t checksum = 0;
+  if (!ok || std::fread(&checksum, sizeof(checksum), 1, f.get()) != 1) {
+    return Status::InvalidArgument(path + ": corrupt router snapshot");
+  }
+  if (checksum != crc.value()) {
+    return Status::InvalidArgument(path + ": router snapshot CRC mismatch");
+  }
+  if (std::fgetc(f.get()) != EOF) {
+    return Status::InvalidArgument(path + ": trailing bytes");
+  }
+  for (const EdgeId id : state->covered) {
+    if (ShardedGraphView::EdgeSrc(id) >= state->n ||
+        ShardedGraphView::EdgeDst(id) >= state->n) {
+      return Status::InvalidArgument(path + ": S pair out of universe");
+    }
+  }
+  for (const EdgeId id : state->reusable) {
+    if (ShardedGraphView::EdgeSrc(id) >= state->n ||
+        ShardedGraphView::EdgeDst(id) >= state->n) {
+      return Status::InvalidArgument(path + ": W pair out of universe");
+    }
+  }
+  return Status::OK();
+}
+
+/// Sorted elements of `now` missing from `before` (the S/W deltas the
+/// outcome record carries; sorted so the encoding is deterministic).
+void SetDiff(const std::unordered_set<EdgeId>& now,
+             const std::unordered_set<EdgeId>& before,
+             std::vector<EdgeId>* out) {
+  out->clear();
+  for (const EdgeId id : now) {
+    if (before.count(id) == 0) out->push_back(id);
+  }
+  std::sort(out->begin(), out->end());
+}
+
+}  // namespace
+
+Status ShardedServiceOptions::Validate() const {
+  Status st = base.Validate();
+  if (!st.ok()) return st;
+  if (!base.data_dir.empty()) {
+    return Status::InvalidArgument(
+        "set ShardedServiceOptions::data_dir, not base.data_dir — the "
+        "router owns the store layout");
+  }
+  if (base.admission_cache_log2 != 0 ||
+      base.admission_index_landmarks != 0) {
+    return Status::InvalidArgument(
+        "admission cache/index are unsharded accelerators; the router's "
+        "accelerator is the boundary summary");
+  }
+  if (num_shards < 1 || num_shards > 1024) {
+    return Status::InvalidArgument("num_shards must be in [1, 1024]");
+  }
+  if (partition_block_bits > 20) {
+    return Status::InvalidArgument("partition_block_bits must be <= 20");
+  }
+  if (boundary_cap < 0 || boundary_cap > (1 << 20)) {
+    return Status::InvalidArgument("boundary_cap must be in [0, 2^20]");
+  }
+  return Status::OK();
+}
+
+ShardedCycleBreakService::ShardedCycleBreakService(
+    const ShardedServiceOptions& options)
+    : options_(options),
+      part_{options.num_shards, options.partition_block_bits} {
+  TDB_CHECK(options_.Validate().ok());
+  if (options_.base.ingest_threads != 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        options_.base.ingest_threads == 0 ? ThreadPool::HardwareThreads()
+                                          : options_.base.ingest_threads);
+  }
+}
+
+ShardedCycleBreakService::ShardedCycleBreakService(
+    CsrGraph base, const ShardedServiceOptions& options)
+    : ShardedCycleBreakService(options) {
+  TDB_CHECK(options_.data_dir.empty());
+  TDB_CHECK(Bootstrap(std::move(base), /*durable=*/false).ok());
+}
+
+ShardedCycleBreakService::~ShardedCycleBreakService() {
+  WaitForCompaction();
+}
+
+ServiceOptions ShardedCycleBreakService::ShardOptions(int i) const {
+  ServiceOptions o = options_.base;
+  // Shards are storage nodes: the router owns the transversal and the
+  // compaction schedule, so a shard never compacts on its own, ingests
+  // sequentially (sub-batches are already fanned across shards) and
+  // carries no per-snapshot admission accelerators.
+  o.compact_delta_threshold = 0;
+  o.synchronous_compaction = true;
+  o.ingest_threads = 1;
+  o.admission_cache_log2 = 0;
+  o.admission_index_landmarks = 0;
+  o.data_dir = options_.data_dir.empty()
+                   ? std::string()
+                   : options_.data_dir + "/shard-" + std::to_string(i);
+  return o;
+}
+
+std::vector<CsrGraph> ShardedCycleBreakService::PartitionBase(
+    const CsrGraph& base) const {
+  std::vector<std::vector<Edge>> parts(part_.num_shards);
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    const VertexId src = base.EdgeSrc(e);
+    parts[part_.Owner(src)].push_back(Edge{src, base.EdgeDst(e)});
+  }
+  std::vector<CsrGraph> out;
+  out.reserve(parts.size());
+  for (auto& edges : parts) {
+    out.push_back(CsrGraph::FromEdges(base.num_vertices(),
+                                      std::move(edges)));
+  }
+  return out;
+}
+
+Status ShardedCycleBreakService::Bootstrap(CsrGraph base, bool durable) {
+  universe_ = base.num_vertices();
+  const std::string& dir = options_.data_dir;
+  if (durable) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return Status::IOError(dir + ": cannot create store directory");
+    }
+    StoreManifest existing;
+    const Status probe = ReadStoreManifest(dir, &existing);
+    if (probe.ok()) {
+      return Status::InvalidArgument(
+          dir + ": router store already exists (recover it with Open)");
+    }
+    if (!probe.IsNotFound()) return probe;
+  }
+  std::vector<CsrGraph> parts = PartitionBase(base);
+  base = CsrGraph();
+  for (int i = 0; i < part_.num_shards; ++i) {
+    if (durable) {
+      std::unique_ptr<CycleBreakService> shard;
+      TDB_RETURN_IF_ERROR(
+          CycleBreakService::Create(std::move(parts[i]), ShardOptions(i),
+                                    &shard));
+      shards_.push_back(std::move(shard));
+    } else {
+      shards_.push_back(std::make_unique<CycleBreakService>(
+          std::move(parts[i]), ShardOptions(i)));
+    }
+  }
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  RepinViewLocked();
+  SolveGlobalLocked();
+  if (durable) {
+    RouterSnapState snap;
+    snap.epoch = 1;  // the bootstrap publish below
+    snap.last_seq = 0;
+    snap.events = 0;
+    snap.n = universe_;
+    snap.num_shards = static_cast<uint32_t>(part_.num_shards);
+    snap.block_bits = part_.block_bits;
+    snap.solve_ok = state_.base->solve_status.ok();
+    snap.cover_mask = state_.base->vertex_mask;
+    const std::string snapshot_file = RouterSnapshotFileName(0);
+    TDB_RETURN_IF_ERROR(
+        WriteRouterSnapshot(snap, dir + "/" + snapshot_file));
+    const std::string journal_file = RouterJournalFileName(0);
+    std::unique_ptr<Journal> journal;
+    TDB_RETURN_IF_ERROR(Journal::Create(dir + "/" + journal_file,
+                                        /*base_seq=*/0,
+                                        options_.base.durability, &journal));
+    journal_ = std::move(journal);
+    TDB_RETURN_IF_ERROR(
+        WriteStoreManifest(dir, {snapshot_file, journal_file}));
+    snapshot_file_ = snapshot_file;
+    stats_.snapshots_written.fetch_add(1, kRelaxed);
+  }
+  RescanBoundaryLocked();
+  PublishLocked();
+  return Status::OK();
+}
+
+Status ShardedCycleBreakService::Create(
+    CsrGraph base, const ShardedServiceOptions& options,
+    std::unique_ptr<ShardedCycleBreakService>* out) {
+  Status st = options.Validate();
+  if (!st.ok()) return st;
+  std::unique_ptr<ShardedCycleBreakService> service(
+      new ShardedCycleBreakService(options));
+  st = service->Bootstrap(std::move(base), !options.data_dir.empty());
+  if (!st.ok()) return st;
+  *out = std::move(service);
+  return Status::OK();
+}
+
+Status ShardedCycleBreakService::Open(
+    const ShardedServiceOptions& options,
+    std::unique_ptr<ShardedCycleBreakService>* out) {
+  Status st = options.Validate();
+  if (!st.ok()) return st;
+  if (options.data_dir.empty()) {
+    return Status::InvalidArgument("Open requires options.data_dir");
+  }
+  StoreManifest manifest;
+  st = ReadStoreManifest(options.data_dir, &manifest);
+  if (!st.ok()) return st;
+  RouterSnapState snap;
+  st = ReadRouterSnapshot(
+      options.data_dir + "/" + manifest.snapshot_file, &snap);
+  if (!st.ok()) return st;
+  if (snap.num_shards != static_cast<uint32_t>(options.num_shards) ||
+      snap.block_bits != options.partition_block_bits) {
+    return Status::InvalidArgument(
+        options.data_dir +
+        ": the partition (num_shards, block_bits) is a store property "
+        "and does not match the options");
+  }
+  std::unique_ptr<ShardedCycleBreakService> service(
+      new ShardedCycleBreakService(options));
+  service->universe_ = static_cast<VertexId>(snap.n);
+  for (int i = 0; i < options.num_shards; ++i) {
+    std::unique_ptr<CycleBreakService> shard;
+    st = CycleBreakService::Open(service->ShardOptions(i), &shard);
+    if (!st.ok()) return st;
+    if (shard->universe() != service->universe_) {
+      return Status::InvalidArgument(
+          options.data_dir + ": shard universe disagrees with the router");
+    }
+    service->shards_.push_back(std::move(shard));
+  }
+  std::vector<JournalRecord> records;
+  JournalOpenInfo info;
+  std::unique_ptr<Journal> journal;
+  st = Journal::Open(options.data_dir + "/" + manifest.journal_file,
+                     options.base.durability, &records, &info, &journal);
+  if (!st.ok()) return st;
+  if (journal->base_seq() != snap.last_seq) {
+    return Status::InvalidArgument(
+        options.data_dir +
+        ": journal base sequence does not match the router snapshot");
+  }
+  service->journal_ = std::move(journal);
+  service->snapshot_file_ = manifest.snapshot_file;
+  service->recovery_.snapshot_epoch = snap.epoch;
+  service->recovery_.journal_truncated_bytes = info.truncated_bytes;
+
+  std::lock_guard<std::mutex> lock(service->writer_mu_);
+  std::vector<VertexId> cover;
+  for (VertexId v = 0; v < service->universe_; ++v) {
+    if (snap.cover_mask[v] != 0) cover.push_back(v);
+  }
+  service->state_ = TransversalState{};
+  service->state_.base = BaseCover::FromVertexCover(
+      service->universe_, std::move(cover),
+      snap.solve_ok
+          ? Status::OK()
+          : Status::Internal(
+                "restored router snapshot: compaction solve had failed"));
+  service->state_.covered.insert(snap.covered.begin(), snap.covered.end());
+  service->state_.reusable.insert(snap.reusable.begin(),
+                                  snap.reusable.end());
+  service->last_seq_ = snap.last_seq;
+  service->total_events_.store(snap.events, kRelaxed);
+  service->RepinViewLocked();
+  service->RescanBoundaryLocked();
+  service->published_.SeedEpoch(snap.epoch - 1);
+  service->PublishLocked();  // republishes the snapshot state at snap.epoch
+  st = service->ReplayJournalLocked(std::move(records));
+  if (!st.ok()) return st;
+  *out = std::move(service);
+  return Status::OK();
+}
+
+Status ShardedCycleBreakService::ReplayJournalLocked(
+    std::vector<JournalRecord> records) {
+  // Replay groups: re-route the batch (healing shard tails —
+  // already-present edges are rejected, so replay is content-idempotent
+  // and preserves per-shard delta order), then apply the recorded
+  // outcome verbatim. A trailing batch record without its outcome (the
+  // crash frontier) is re-augmented live and its outcome appended, so
+  // the journal chain stays consecutive. Intermediate publishes are
+  // unobservable but keep the epoch sequence aligned with a
+  // never-crashed run.
+  const std::span<const JournalRecord> all(records);
+  size_t i = 0;
+  while (i < records.size()) {
+    const JournalRecord& batch_rec = records[i];
+    if (batch_rec.seq != last_seq_ + 1) {
+      return Status::InvalidArgument("router journal: sequence gap");
+    }
+    std::span<const Edge> batch;
+    std::vector<uint32_t> added_idx;
+    if (!DecodeBatchRecord(batch_rec.edges, &batch, &added_idx)) {
+      return Status::InvalidArgument(
+          "router journal: malformed batch record");
+    }
+    std::vector<EdgeId> added;
+    added.reserve(added_idx.size());
+    for (const uint32_t idx : added_idx) {
+      added.push_back(PackEdge(batch[idx].src, batch[idx].dst));
+    }
+    const bool has_outcome = i + 1 < records.size();
+    OutcomeDelta outcome;
+    if (has_outcome &&
+        !OutcomeDelta::Decode(records[i + 1].edges, &outcome)) {
+      return Status::InvalidArgument(
+          "router journal: malformed outcome record");
+    }
+    if (has_outcome && outcome.inserted != added.size()) {
+      return Status::InvalidArgument(
+          "router journal: outcome disagrees with its batch record");
+    }
+    replay_tail_ = all.subspan(i + (has_outcome ? 2 : 1));
+    last_seq_ = batch_rec.seq;
+    uint64_t routed_inserted = 0;
+    const SubmitResult result = ApplyGroupLocked(
+        batch, added, /*append_outcome=*/!has_outcome,
+        has_outcome ? &outcome : nullptr, &routed_inserted);
+    if (!result.status.ok()) {
+      replay_tail_ = {};
+      return result.status;
+    }
+    ++recovery_.replayed_batches;
+    recovery_.replayed_events += batch.size();
+    if (routed_inserted > 0 || !has_outcome) ++recovery_.healed_batches;
+    i += has_outcome ? 2 : 1;
+  }
+  replay_tail_ = {};
+  return Status::OK();
+}
+
+SubmitResult ShardedCycleBreakService::SubmitEdges(
+    std::span<const Edge> batch) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return SubmitLocked(batch, journal_ != nullptr);
+}
+
+SubmitResult ShardedCycleBreakService::SubmitLocked(
+    std::span<const Edge> batch, bool append_to_journal) {
+  TDB_TRACE_SPAN("router.submit");
+  // The accepted set, in batch order, against the pre-batch view —
+  // exactly the edges the unsharded overlay would insert. Computed here
+  // (not after routing) and recorded in the journal, because after a
+  // partial crash the shards may already hold parts of the batch and
+  // the set could not be recomputed.
+  const VertexId n = universe_;
+  std::vector<EdgeId> added;
+  std::vector<uint32_t> added_idx;
+  std::unordered_set<EdgeId> seen;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const VertexId src = batch[i].src;
+    const VertexId dst = batch[i].dst;
+    if (src >= n || dst >= n || src == dst) continue;
+    const EdgeId id = PackEdge(src, dst);
+    if (view_.HasEdge(src, dst)) continue;
+    if (!seen.insert(id).second) continue;
+    added.push_back(id);
+    added_idx.push_back(static_cast<uint32_t>(i));
+  }
+  if (append_to_journal) {
+    // WAL discipline, one level up: the group's batch record becomes
+    // durable before any shard sees an edge, so recovery can always
+    // re-route what the crash interrupted.
+    const std::vector<Edge> rec = EncodeBatchRecord(batch, added_idx);
+    SubmitResult result;
+    result.status = journal_->Append(last_seq_ + 1, rec);
+    if (!result.status.ok()) {
+      stats_.persist_failures.fetch_add(1, kRelaxed);
+      return result;
+    }
+    stats_.journal_records.fetch_add(1, kRelaxed);
+  }
+  last_seq_ += 1;
+  return ApplyGroupLocked(batch, added, append_to_journal, nullptr,
+                          nullptr);
+}
+
+Status ShardedCycleBreakService::RouteLocked(std::span<const Edge> batch,
+                                             uint64_t* inserted) {
+  // Order-preserving sub-batches by source owner. Invalid edges
+  // (self-loops, out-of-universe, duplicates) are routed too: the shard
+  // re-runs the same rejection logic, so shard journals replay to the
+  // same state the router computed against.
+  std::vector<std::vector<Edge>> sub(part_.num_shards);
+  for (const Edge& e : batch) {
+    sub[part_.Owner(e.src)].push_back(e);
+  }
+  std::vector<SubmitResult> results(part_.num_shards);
+  FanOut(pool_.get(), static_cast<size_t>(part_.num_shards),
+         [&](size_t s, int) {
+           if (sub[s].empty()) return;
+           results[s] = shards_[s]->SubmitEdges(sub[s]);
+         });
+  Status st = Status::OK();
+  for (int s = 0; s < part_.num_shards; ++s) {
+    if (sub[s].empty()) continue;
+    router_stats_.shard_submits.fetch_add(1, kRelaxed);
+    if (inserted != nullptr) *inserted += results[s].stats.inserted;
+    if (st.ok() && !results[s].status.ok()) st = results[s].status;
+  }
+  router_stats_.edges_routed.fetch_add(batch.size(), kRelaxed);
+  return st;
+}
+
+SubmitResult ShardedCycleBreakService::ApplyGroupLocked(
+    std::span<const Edge> batch, std::span<const EdgeId> added,
+    bool append_outcome, const OutcomeDelta* outcome,
+    uint64_t* routed_inserted) {
+  SubmitResult result;
+  const Status route_st = RouteLocked(batch, routed_inserted);
+  RepinViewLocked();  // even on error: serve what actually landed
+  if (!route_st.ok()) {
+    // A shard's WAL refused the sub-batch: the router cannot undo what
+    // other shards already applied, so it reports the error, skips the
+    // augment (the published cover stays feasible for the pre-batch
+    // graph) and leaves healing to recovery — the group's batch record
+    // is durable at the router.
+    stats_.persist_failures.fetch_add(1, kRelaxed);
+    result.status = route_st;
+    return result;
+  }
+  for (const EdgeId id : added) {
+    const VertexId src = ShardedGraphView::EdgeSrc(id);
+    const VertexId dst = ShardedGraphView::EdgeDst(id);
+    if (part_.Owner(src) != part_.Owner(dst)) {
+      router_stats_.cross_shard_edges.fetch_add(1, kRelaxed);
+    }
+    BumpBoundaryLocked(src, dst, +1);
+  }
+  BatchAugmentStats astats;
+  astats.submitted = batch.size();
+  astats.inserted = added.size();
+  astats.rejected = batch.size() - added.size();
+  if (outcome == nullptr) {
+    const std::unordered_set<EdgeId> s_prev = state_.covered;
+    const std::unordered_set<EdgeId> w_prev = state_.reusable;
+    AugmentInserted(view_, &state_, options_.base.cover, added,
+                    pool_.get(), &astats);
+    std::vector<EdgeId> s_add, s_rem, w_add, w_rem;
+    SetDiff(state_.covered, s_prev, &s_add);
+    SetDiff(s_prev, state_.covered, &s_rem);
+    SetDiff(state_.reusable, w_prev, &w_add);
+    SetDiff(w_prev, state_.reusable, &w_rem);
+    for (const EdgeId id : s_add) {
+      BumpBoundaryLocked(ShardedGraphView::EdgeSrc(id),
+                         ShardedGraphView::EdgeDst(id), -1);
+    }
+    for (const EdgeId id : s_rem) {
+      BumpBoundaryLocked(ShardedGraphView::EdgeSrc(id),
+                         ShardedGraphView::EdgeDst(id), +1);
+    }
+    if (append_outcome && journal_ != nullptr) {
+      const std::vector<Edge> rec = EncodeOutcomeRecord(
+          added.size(), s_add, s_rem, w_add, w_rem);
+      const Status st = journal_->Append(last_seq_ + 1, rec);
+      if (st.ok()) {
+        stats_.journal_records.fetch_add(1, kRelaxed);
+      } else {
+        // Tolerable: the batch record is durable, so recovery re-routes
+        // and re-augments this group instead of reading its outcome.
+        stats_.persist_failures.fetch_add(1, kRelaxed);
+      }
+    }
+  } else {
+    for (const EdgeId id : outcome->s_add) {
+      state_.covered.insert(id);
+      BumpBoundaryLocked(ShardedGraphView::EdgeSrc(id),
+                         ShardedGraphView::EdgeDst(id), -1);
+    }
+    for (const EdgeId id : outcome->s_rem) {
+      state_.covered.erase(id);
+      BumpBoundaryLocked(ShardedGraphView::EdgeSrc(id),
+                         ShardedGraphView::EdgeDst(id), +1);
+    }
+    for (const EdgeId id : outcome->w_add) state_.reusable.insert(id);
+    for (const EdgeId id : outcome->w_rem) state_.reusable.erase(id);
+  }
+  last_seq_ += 1;
+  total_events_.fetch_add(batch.size(), kRelaxed);
+  router_delta_ += added.size();
+  stats_.batches.fetch_add(1, kRelaxed);
+  stats_.edges_submitted.fetch_add(astats.submitted, kRelaxed);
+  stats_.edges_inserted.fetch_add(astats.inserted, kRelaxed);
+  stats_.edges_rejected.fetch_add(astats.rejected, kRelaxed);
+  stats_.cycles_covered.fetch_add(astats.cycles_covered, kRelaxed);
+  stats_.path_queries.fetch_add(astats.path_queries, kRelaxed);
+  stats_.speculative_probes.fetch_add(astats.speculative_probes, kRelaxed);
+  stats_.prunes.fetch_add(astats.prunes, kRelaxed);
+  if (options_.base.compact_delta_threshold > 0 &&
+      router_delta_ >= options_.base.compact_delta_threshold) {
+    CompactLocked(last_seq_);
+  }
+  result.epoch = PublishLocked();
+  result.stats = astats;
+  return result;
+}
+
+void ShardedCycleBreakService::CompactLocked(uint64_t cut_seq) {
+  TDB_TRACE_SPAN("router.compact");
+  SolveGlobalLocked();
+  stats_.compactions.fetch_add(1, kRelaxed);
+  // Lockstep: every shard folds its delta into a fresh base at exactly
+  // this cut, so shard base/delta splits — and hence every ForEachOut
+  // iteration order — stay aligned with an unsharded replay.
+  FanOut(pool_.get(), static_cast<size_t>(part_.num_shards),
+         [&](size_t s, int) { shards_[s]->ForceCompact(); });
+  RepinViewLocked();
+  RescanBoundaryLocked();
+  router_delta_ = 0;
+  if (journal_ != nullptr) {
+    PersistCutLocked(cut_seq, published_.epoch() + 1, replay_tail_);
+  }
+}
+
+void ShardedCycleBreakService::SolveGlobalLocked() {
+  TDB_TRACE_SPAN("router.compact_solve");
+  std::vector<Edge> edges;
+  edges.reserve(view_.num_edges());
+  for (int s = 0; s < part_.num_shards; ++s) {
+    const OverlayGraph& g = view_.shard(s).graph;
+    const EdgeId base_edges = g.base_edges();
+    for (EdgeId e = 0; e < base_edges; ++e) {
+      edges.push_back(Edge{g.EdgeSrc(e), g.EdgeDst(e)});
+    }
+    const std::span<const Edge> delta = g.delta();
+    edges.insert(edges.end(), delta.begin(), delta.end());
+  }
+  // FromEdges canonicalizes (sorts, dedups), so the solve input is the
+  // same CSR an unsharded compaction would freeze from its overlay.
+  const CsrGraph global =
+      CsrGraph::FromEdges(universe_, std::move(edges));
+  CoverOptions opts = options_.base.cover;
+  opts.time_limit_seconds = options_.base.compact_time_limit_seconds;
+  opts.split_budget_by_work = opts.time_limit_seconds > 0;
+  CoverResult solved =
+      SolveCycleCover(global, options_.base.compact_algorithm, opts);
+  router_stats_.global_solves.fetch_add(1, kRelaxed);
+  std::vector<VertexId> cover = std::move(solved.cover);
+  if (!solved.status.ok()) {
+    cover.resize(universe_);
+    std::iota(cover.begin(), cover.end(), VertexId{0});
+    stats_.compactions_failed.fetch_add(1, kRelaxed);
+  }
+  stats_.compaction_components_timed_out.fetch_add(
+      solved.stats.components_timed_out, kRelaxed);
+  state_ = TransversalState{};
+  state_.base = BaseCover::FromVertexCover(universe_, std::move(cover),
+                                           solved.status);
+}
+
+void ShardedCycleBreakService::PersistCutLocked(
+    uint64_t cut_seq, uint64_t snapshot_epoch,
+    std::span<const JournalRecord> tail) {
+  const std::string& dir = options_.data_dir;
+  RouterSnapState snap;
+  snap.epoch = snapshot_epoch;
+  snap.last_seq = cut_seq;
+  snap.events = total_events_.load(kRelaxed);
+  snap.n = universe_;
+  snap.num_shards = static_cast<uint32_t>(part_.num_shards);
+  snap.block_bits = part_.block_bits;
+  snap.solve_ok = state_.base->solve_status.ok();
+  snap.cover_mask = state_.base->vertex_mask;
+  snap.covered.assign(state_.covered.begin(), state_.covered.end());
+  std::sort(snap.covered.begin(), snap.covered.end());
+  snap.reusable.assign(state_.reusable.begin(), state_.reusable.end());
+  std::sort(snap.reusable.begin(), snap.reusable.end());
+  const std::string snapshot_file = RouterSnapshotFileName(cut_seq);
+  if (!WriteRouterSnapshot(snap, dir + "/" + snapshot_file).ok()) {
+    stats_.persist_failures.fetch_add(1, kRelaxed);
+    return;
+  }
+  const std::string journal_file = RouterJournalFileName(cut_seq);
+  std::unique_ptr<Journal> fresh;
+  if (!Journal::Create(dir + "/" + journal_file, cut_seq,
+                       options_.base.durability, &fresh)
+           .ok()) {
+    stats_.persist_failures.fetch_add(1, kRelaxed);
+    return;
+  }
+  for (const JournalRecord& record : tail) {
+    if (!fresh->Append(record.seq, record.edges).ok()) {
+      stats_.persist_failures.fetch_add(1, kRelaxed);
+      return;
+    }
+  }
+  if (!fresh->Sync().ok() ||
+      !WriteStoreManifest(dir, {snapshot_file, journal_file}).ok()) {
+    stats_.persist_failures.fetch_add(1, kRelaxed);
+    return;
+  }
+  const std::string old_journal = journal_->path();
+  const std::string old_snapshot = dir + "/" + snapshot_file_;
+  journal_ = std::move(fresh);
+  snapshot_file_ = snapshot_file;
+  std::remove(old_journal.c_str());
+  std::remove(old_snapshot.c_str());
+  stats_.snapshots_written.fetch_add(1, kRelaxed);
+  stats_.journal_rotations.fetch_add(1, kRelaxed);
+}
+
+void ShardedCycleBreakService::RepinViewLocked() {
+  std::vector<std::shared_ptr<const ServiceSnapshot>> snaps;
+  snaps.reserve(shards_.size());
+  for (const auto& shard : shards_) snaps.push_back(shard->PinSnapshot());
+  view_ = ShardedGraphView(part_, std::move(snaps));
+}
+
+void ShardedCycleBreakService::RescanBoundaryLocked() {
+  boundary_count_.clear();
+  for (int s = 0; s < part_.num_shards; ++s) {
+    const OverlayGraph& g = view_.shard(s).graph;
+    const EdgeId base_edges = g.base_edges();
+    for (EdgeId e = 0; e < base_edges; ++e) {
+      BumpBoundaryLocked(g.EdgeSrc(e), g.EdgeDst(e), +1);
+    }
+    for (const Edge& d : g.delta()) {
+      BumpBoundaryLocked(d.src, d.dst, +1);
+    }
+  }
+  // The scan counted every cross edge with an uncovered source vertex;
+  // back out the ones the incremental S layer covers.
+  for (const EdgeId id : state_.covered) {
+    BumpBoundaryLocked(ShardedGraphView::EdgeSrc(id),
+                       ShardedGraphView::EdgeDst(id), -1);
+  }
+}
+
+void ShardedCycleBreakService::BumpBoundaryLocked(VertexId src,
+                                                  VertexId dst,
+                                                  int delta) {
+  if (part_.Owner(src) == part_.Owner(dst)) return;
+  if (state_.VertexCovered(src)) return;
+  if (delta > 0) {
+    boundary_count_[dst] += static_cast<uint32_t>(delta);
+    return;
+  }
+  const auto it = boundary_count_.find(dst);
+  if (it == boundary_count_.end()) return;
+  if (it->second <= static_cast<uint32_t>(-delta)) {
+    boundary_count_.erase(it);
+  } else {
+    it->second -= static_cast<uint32_t>(-delta);
+  }
+}
+
+uint64_t ShardedCycleBreakService::PublishLocked() {
+  TDB_TRACE_SPAN("router.publish");
+  auto snapshot = std::make_shared<RouterSnapshot>();
+  snapshot->view = view_;
+  snapshot->state = state_;
+  snapshot->options = options_.base.cover;
+  router_stats_.boundary_vertices.store(boundary_count_.size(), kRelaxed);
+  if (part_.num_shards > 1) {
+    const bool within =
+        options_.boundary_cap > 0 &&
+        boundary_count_.size() <=
+            static_cast<size_t>(options_.boundary_cap);
+    if (within) {
+      std::vector<VertexId> boundary;
+      boundary.reserve(boundary_count_.size());
+      for (const auto& [v, count] : boundary_count_) boundary.push_back(v);
+      std::sort(boundary.begin(), boundary.end());
+      const auto start = std::chrono::steady_clock::now();
+      snapshot->summary = BoundarySummary::Build(
+          view_, snapshot->state, options_.base.cover.k - 1,
+          std::move(boundary), pool_.get());
+      if (snapshot->summary != nullptr) {
+        router_stats_.summary_builds.fetch_add(1, kRelaxed);
+        router_stats_.summary_build_ns.fetch_add(
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count()),
+            kRelaxed);
+      } else {
+        router_stats_.summary_skipped.fetch_add(1, kRelaxed);
+      }
+    } else {
+      router_stats_.summary_skipped.fetch_add(1, kRelaxed);
+    }
+  }
+  const uint64_t next_epoch = published_.epoch() + 1;
+  snapshot->epoch = next_epoch;
+  const uint64_t epoch = published_.Store(std::move(snapshot));
+  TDB_CHECK(epoch == next_epoch);
+  stats_.epochs_published.fetch_add(1, kRelaxed);
+  return epoch;
+}
+
+AdmissionVerdict ShardedCycleBreakService::CheckAdmission(VertexId u,
+                                                          VertexId v) const {
+  // Same single-evaluation-path contract as the unsharded backend: a
+  // batch of one, so call shapes cannot drift.
+  const Edge one{u, v};
+  return CheckAdmissionBatch(std::span<const Edge>(&one, 1)).front();
+}
+
+std::vector<AdmissionVerdict> ShardedCycleBreakService::CheckAdmissionBatch(
+    std::span<const Edge> queries) const {
+  const auto pinned = published_.Load();
+  const RouterSnapshot& snap = *pinned.state;
+  stats_.admission_queries.fetch_add(queries.size(), kRelaxed);
+  stats_.admission_batches.fetch_add(1, kRelaxed);
+  std::vector<AdmissionVerdict> verdicts(queries.size());
+  const ShardedGraphView& view = snap.view;
+  const ShardPartition& part = view.partition();
+  const VertexId n = view.num_vertices();
+  static thread_local std::vector<AdmissionBatchScratch::Pending> pending;
+  static thread_local SearchContext ctx;
+  pending.clear();
+  // Pass 1: the same prechecks, in the same order, as the unsharded
+  // backend (snapshot.cc) — only the undecided residue needs a sweep.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    AdmissionVerdict& verdict = verdicts[i];
+    verdict.epoch = snap.epoch;
+    const VertexId u = queries[i].src;
+    const VertexId v = queries[i].dst;
+    if (v < n) verdict.shard = part.Owner(v);
+    if (u == v || u >= n || v >= n) continue;
+    if (view.HasEdge(u, v)) continue;
+    if (snap.state.VertexCovered(u)) continue;
+    if (snap.state.VertexCovered(v)) continue;
+    pending.push_back({v, u, static_cast<uint32_t>(i)});
+  }
+  if (!pending.empty()) {
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const AdmissionBatchScratch::Pending& a,
+                        const AdmissionBatchScratch::Pending& b) {
+                       return a.src < b.src;
+                     });
+    PathProber prober(snap.options);
+    const uint32_t max_path = prober.max_path();
+    const uint32_t min_path = prober.min_path();
+    const BoundarySummary* summary = snap.summary.get();
+    std::unordered_map<VertexId, uint32_t> tdist;
+    std::vector<uint8_t> dv;
+    std::vector<VertexId> group_targets;
+    std::vector<uint8_t> group_found;
+    for (size_t begin = 0; begin < pending.size();) {
+      size_t end = begin + 1;
+      while (end < pending.size() &&
+             pending[end].src == pending[begin].src) {
+        ++end;
+      }
+      const VertexId s = pending[begin].src;
+      const int owner_s = part.Owner(s);
+      // The shard-local sweep: expand only vertices the probe source's
+      // shard owns, so every depth is an exact within-shard segment
+      // distance; foreign vertices (cut-edge targets) absorb. Alongside
+      // the per-target distances it collects the source-to-boundary
+      // vector the summary composes with, and whether any foreign
+      // vertex was reached with hop budget left — if not, no path can
+      // leave the shard and the local distances are already global.
+      tdist.clear();
+      for (size_t j = begin; j < end; ++j) {
+        tdist.emplace(pending[j].dst, kUnreached);
+      }
+      dv.assign(summary != nullptr ? summary->boundary_size() : 0,
+                BoundarySummary::kFar);
+      bool cross_possible = false;
+      BoundedReach(
+          view, ReachDirection::kForward,
+          std::span<const VertexId>(&s, 1), max_path, &ctx,
+          [&](EdgeId e) { return !snap.state.EdgeCovered(view, e); },
+          [&](VertexId w, uint32_t depth) {
+            const auto it = tdist.find(w);
+            if (it != tdist.end() && it->second == kUnreached) {
+              it->second = depth;
+            }
+            if (part.Owner(w) != owner_s && depth < max_path) {
+              cross_possible = true;
+            }
+            if (summary != nullptr) {
+              const int32_t bi = summary->BoundaryIndex(w);
+              if (bi >= 0 && depth < dv[bi]) {
+                dv[bi] = static_cast<uint8_t>(depth);
+              }
+            }
+          },
+          [&](VertexId x) { return part.Owner(x) == owner_s; });
+      if (cross_possible && summary == nullptr) {
+        // Boundary over cap (or summaries disabled): one bounded
+        // scatter/gather sweep over the union view answers the whole
+        // group, exactly like the unsharded grouped probe.
+        group_targets.clear();
+        for (size_t j = begin; j < end; ++j) {
+          group_targets.push_back(pending[j].dst);
+        }
+        group_found.resize(end - begin);
+        router_stats_.scatter_gather_probes.fetch_add(1, kRelaxed);
+        router_stats_.cross_queries.fetch_add(end - begin, kRelaxed);
+        router_stats_.dfs_fallbacks.fetch_add(
+            prober.FindPathsFrom(view, snap.state, s, group_targets, &ctx,
+                                 group_found.data()),
+            kRelaxed);
+        for (size_t j = begin; j < end; ++j) {
+          AdmissionVerdict& verdict = verdicts[pending[j].query];
+          verdict.probed = true;
+          verdict.cross_shard = true;
+          if (group_found[j - begin] != 0) {
+            verdict.would_close = true;
+            verdict.admissible = false;
+          }
+        }
+      } else {
+        for (size_t j = begin; j < end; ++j) {
+          AdmissionVerdict& verdict = verdicts[pending[j].query];
+          verdict.probed = true;
+          const VertexId t = pending[j].dst;
+          uint32_t d = tdist[t];
+          if (cross_possible) {
+            verdict.cross_shard = true;
+            router_stats_.cross_queries.fetch_add(1, kRelaxed);
+            router_stats_.summary_resolved.fetch_add(1, kRelaxed);
+            const uint32_t composed = summary->Compose(dv, t);
+            if (composed < BoundarySummary::kFar) d = std::min(d, composed);
+          }
+          // The same band logic as PathProber::FindPathsFrom, applied
+          // to the exact global distance.
+          if (d == kUnreached || d > max_path) {
+            // No uncovered walk within budget: admissible (default).
+          } else if (d >= min_path) {
+            verdict.would_close = true;
+            verdict.admissible = false;
+          } else {
+            router_stats_.dfs_fallbacks.fetch_add(1, kRelaxed);
+            if (prober.FindPath(view, snap.state, s, t, nullptr)) {
+              verdict.would_close = true;
+              verdict.admissible = false;
+            }
+          }
+        }
+      }
+      begin = end;
+    }
+  }
+  uint64_t would_close_total = 0;
+  for (const AdmissionVerdict& verdict : verdicts) {
+    if (verdict.would_close) ++would_close_total;
+  }
+  stats_.admission_would_close.fetch_add(would_close_total, kRelaxed);
+  return verdicts;
+}
+
+std::shared_ptr<const RouterSnapshot> ShardedCycleBreakService::PinState()
+    const {
+  return published_.Load().state;
+}
+
+VertexId ShardedCycleBreakService::universe() const { return universe_; }
+
+uint64_t ShardedCycleBreakService::delta_edges() const {
+  const auto pinned = published_.Load();
+  uint64_t total = 0;
+  for (int s = 0; s < pinned.state->view.num_shards(); ++s) {
+    total += pinned.state->view.shard(s).graph.delta_edges();
+  }
+  return total;
+}
+
+void ShardedCycleBreakService::WaitForCompaction() {
+  for (const auto& shard : shards_) shard->WaitForCompaction();
+}
+
+TransversalImage ShardedCycleBreakService::Image() const {
+  const auto pinned = published_.Load();
+  const RouterSnapshot& snap = *pinned.state;
+  TransversalImage image;
+  image.epoch = snap.epoch;
+  image.universe = snap.view.num_vertices();
+  // The canonical image sorts by (src, dst) globally; the shards only
+  // give us shard-major order, so gather then sort before the CRC.
+  const auto by_pair = [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  };
+  std::vector<Edge> base_pairs;
+  for (int s = 0; s < snap.view.num_shards(); ++s) {
+    const OverlayGraph& g = snap.view.shard(s).graph;
+    const EdgeId base_edges = g.base_edges();
+    image.base_edges += base_edges;
+    base_pairs.reserve(base_pairs.size() + base_edges);
+    for (EdgeId e = 0; e < base_edges; ++e) {
+      base_pairs.push_back(Edge{g.EdgeSrc(e), g.EdgeDst(e)});
+    }
+    const std::span<const Edge> delta = g.delta();
+    image.delta.insert(image.delta.end(), delta.begin(), delta.end());
+  }
+  std::sort(base_pairs.begin(), base_pairs.end(), by_pair);
+  Crc32 crc;
+  for (const Edge& e : base_pairs) {
+    const VertexId pair[2] = {e.src, e.dst};
+    crc.Update(pair, sizeof(pair));
+  }
+  image.base_crc = crc.value();
+  std::sort(image.delta.begin(), image.delta.end(), by_pair);
+  image.cover_vertices = snap.state.base->vertices;  // already sorted
+  const auto fill = [](const std::unordered_set<EdgeId>& set,
+                       std::vector<TransversalImage::EdgeEntry>* out) {
+    // Packed pair ids order exactly like (src, dst), so id order
+    // satisfies the sorted-pair contract.
+    out->reserve(set.size());
+    for (const EdgeId id : set) {
+      out->push_back({id, ShardedGraphView::EdgeSrc(id),
+                      ShardedGraphView::EdgeDst(id)});
+    }
+    std::sort(out->begin(), out->end(),
+              [](const TransversalImage::EdgeEntry& a,
+                 const TransversalImage::EdgeEntry& b) {
+                return a.id < b.id;
+              });
+  };
+  fill(snap.state.covered, &image.covered);
+  fill(snap.state.reusable, &image.reusable);
+  return image;
+}
+
+}  // namespace tdb

@@ -1,0 +1,290 @@
+// In-process sharded serving: an N-shard router behind GraphService.
+//
+// ShardedCycleBreakService hash-partitions the vertex universe across N
+// CycleBreakService instances (service/sharded_view.h has the
+// partition), each with its own store directory, journal, snapshots and
+// epochs — and keeps the ONE global transversal at the router. Shards
+// are storage and durability nodes: they hold the edges whose source
+// they own and replay themselves after a crash; every judgement about
+// cycles (augment, prune, admission) runs at the router over the
+// pair-packed union view, with the same incremental machinery the
+// unsharded service uses (core/batch_augment.h).
+//
+// The contract that makes the router more than a convenience is
+// EQUIVALENCE: verdicts, covers, S/W sets and epochs are bit-identical
+// (as (src, dst) content) to an unsharded CycleBreakService replaying
+// the same submit stream, at every shard count and every ingest thread
+// count. The pieces that pin it down:
+//
+//   * Routing preserves order. A batch splits into per-shard sub-batches
+//     in batch order; a vertex's whole out-adjacency lives in one shard,
+//     so every ForEachOut sequence (base ascending, then delta in
+//     arrival order) matches the unsharded overlay's.
+//   * Compaction is lockstep. The router counts inserted edges since the
+//     last cut exactly like the unsharded delta, and at the same
+//     thresholds collects the union, re-solves with the same engine
+//     configuration, resets S/W, and forces every shard to compact —
+//     so base/delta splits stay aligned with the oracle forever.
+//   * Cross-shard admission is exact, not approximate. A per-publish
+//     BOUNDARY SUMMARY (service/boundary_summary.h) carries hop-bounded
+//     distance sketches between the targets of uncovered cross-shard
+//     edges; a query first sweeps only the probe source's own shard, and
+//     when the sweep proves no path can leave the shard within budget
+//     the local answer is already global. Otherwise the summary composes
+//     the exact global distance from within-shard segments; only when
+//     the boundary outgrew its cap does the query fall back to one
+//     bounded scatter/gather sweep over the union view. All three routes
+//     compute the same distance, hence the same verdict.
+//
+// Durability: the router keeps its own store (manifest + snapshot +
+// group journal) above the shard stores. Each submit appends two
+// records — the batch with its accepted-edge indices, then the outcome
+// (S/W deltas) — so recovery re-routes batches to heal shard tails
+// (duplicate inserts are rejected, making replay content-idempotent),
+// applies outcomes without re-probing, re-runs only a torn frontier
+// batch, and re-triggers compactions at the original boundaries.
+#ifndef TDB_SERVICE_SHARDED_SERVICE_H_
+#define TDB_SERVICE_SHARDED_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/batch_augment.h"
+#include "graph/csr_graph.h"
+#include "service/boundary_summary.h"
+#include "service/cycle_break_service.h"
+#include "service/graph_service.h"
+#include "service/journal.h"
+#include "service/sharded_view.h"
+#include "service/stats.h"
+#include "util/epoch_ptr.h"
+#include "util/thread_pool.h"
+
+namespace tdb {
+
+/// Configuration of a ShardedCycleBreakService.
+struct ShardedServiceOptions {
+  /// Per-shard and router-shared knobs: cover semantics, engine
+  /// algorithm and time limit, durability policy, compressed_base,
+  /// ingest_threads (the ROUTER's fan-out/speculation pool — shards
+  /// always ingest sequentially), compact_delta_threshold (counted at
+  /// the router over inserted edges, like the unsharded delta).
+  /// base.data_dir must be empty (the router owns the directory layout —
+  /// see `data_dir` below); admission cache/index must be off (they are
+  /// per-snapshot accelerators of the unsharded backend; the router's
+  /// accelerator is the boundary summary).
+  ServiceOptions base;
+  /// Number of shards (>= 1). 1 is a degenerate but valid router.
+  int num_shards = 2;
+  /// log2 of the id-block size the partition hashes (see
+  /// ShardPartition); larger blocks keep id-local neighborhoods together
+  /// and the boundary smaller, at some load-balance cost.
+  uint32_t partition_block_bits = 6;
+  /// Largest boundary (targets of uncovered cross-shard edges) for which
+  /// the per-publish summary is built; beyond it cross-shard admissions
+  /// fall back to scatter/gather sweeps. 0 disables the summary.
+  int boundary_cap = 128;
+  /// Router store directory; empty = fully in-memory (shards too).
+  /// Shard i stores under <data_dir>/shard-<i>.
+  std::string data_dir;
+
+  Status Validate() const;
+};
+
+/// One published router state: the pinned shard snapshots as a union
+/// view, the global transversal covering every constrained cycle of that
+/// view, and the boundary summary (null when disabled or over cap).
+/// Immutable; readers pin it through the router's EpochPtr.
+struct RouterSnapshot {
+  uint64_t epoch = 0;
+  ShardedGraphView view;
+  TransversalState state;
+  CoverOptions options;
+  std::shared_ptr<const BoundarySummary> summary;
+};
+
+/// The N-shard router. Same thread-safety contract as every
+/// GraphService: SubmitEdges serialized internally, everything else
+/// concurrent with everything.
+class ShardedCycleBreakService : public GraphService {
+ public:
+  /// What a recovery replayed (all zero for fresh/in-memory routers).
+  struct RecoveryInfo {
+    uint64_t snapshot_epoch = 0;
+    /// Submit groups replayed from the router journal.
+    uint64_t replayed_batches = 0;
+    /// Submitted edges across the replayed groups.
+    uint64_t replayed_events = 0;
+    /// Groups whose re-route actually re-inserted edges some shard had
+    /// lost, plus a torn frontier batch re-augmented live.
+    uint64_t healed_batches = 0;
+    uint64_t journal_truncated_bytes = 0;
+  };
+
+  /// In-memory router: partitions `base` by edge source, bootstraps the
+  /// shards, solves the global cover synchronously (epoch 1). Durable
+  /// routers go through Create/Open.
+  ShardedCycleBreakService(CsrGraph base, const ShardedServiceOptions& options);
+  ~ShardedCycleBreakService() override;
+
+  /// Like the constructor and, when options.data_dir is set, initializes
+  /// the router store plus one shard store per shard. Fails if the
+  /// directory already holds a router store.
+  static Status Create(CsrGraph base, const ShardedServiceOptions& options,
+                       std::unique_ptr<ShardedCycleBreakService>* out);
+
+  /// Recovers a router: opens every shard store (each shard replays its
+  /// own journal), then replays the router journal — re-routing batches
+  /// (healing lost shard tails content-idempotently), applying recorded
+  /// outcomes verbatim, re-augmenting a torn frontier batch, and
+  /// re-triggering compactions at the original boundaries.
+  static Status Open(const ShardedServiceOptions& options,
+                     std::unique_ptr<ShardedCycleBreakService>* out);
+
+  ShardedCycleBreakService(const ShardedCycleBreakService&) = delete;
+  ShardedCycleBreakService& operator=(const ShardedCycleBreakService&) =
+      delete;
+
+  SubmitResult SubmitEdges(std::span<const Edge> batch) override;
+
+  /// A documented thin wrapper over CheckAdmissionBatch with a batch of
+  /// one — the same single-evaluation-path contract as every backend.
+  AdmissionVerdict CheckAdmission(VertexId u, VertexId v) const override;
+
+  /// Batched admission against ONE pinned router state. Verdict
+  /// provenance: `shard` is the probe source's owner, `cross_shard` is
+  /// true iff the local sweep could not prove the shard-local distance
+  /// globally exact (summary composition or scatter/gather ran).
+  std::vector<AdmissionVerdict> CheckAdmissionBatch(
+      std::span<const Edge> queries) const override;
+
+  /// Pins the latest published router state (never null after
+  /// construction).
+  std::shared_ptr<const RouterSnapshot> PinState() const;
+
+  uint64_t epoch() const override { return published_.epoch(); }
+  VertexId universe() const override;
+  /// Summed over shards.
+  uint64_t delta_edges() const override;
+  ServiceStatsSnapshot Stats() const override { return stats_.Snapshot(); }
+  const ServiceStats& raw_stats() const override { return stats_; }
+  /// Router-specific counters (cross-shard rates, summary hit rates).
+  ShardRouterStatsSnapshot RouterStats() const {
+    return router_stats_.Snapshot();
+  }
+  const ShardRouterStats& raw_router_stats() const { return router_stats_; }
+  uint64_t events_ingested() const override {
+    return total_events_.load(std::memory_order_relaxed);
+  }
+  void WaitForCompaction() override;
+
+  /// Canonical image: base edges/CRC and delta are shard-major (shard 0
+  /// first); S/W ids are packed (src, dst) pairs. Cross-backend
+  /// comparisons canonicalize by content — see TransversalImage.
+  TransversalImage Image() const override;
+
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+  int num_shards() const { return part_.num_shards; }
+  /// Direct shard access (tests and drill tools).
+  const CycleBreakService& shard(int i) const { return *shards_[i]; }
+
+ private:
+  explicit ShardedCycleBreakService(const ShardedServiceOptions& options);
+  /// ServiceOptions for shard `i` (self-compaction off, sequential,
+  /// cache/index off, store under data_dir/shard-<i>).
+  ServiceOptions ShardOptions(int i) const;
+  /// Splits `base` into per-shard restrictions by edge-source owner.
+  std::vector<CsrGraph> PartitionBase(const CsrGraph& base) const;
+  /// Solves the global cover over all shard edges and installs it as
+  /// state_.base (all-vertices fallback on failure). Requires writer_mu_.
+  void SolveGlobalLocked();
+  /// Re-pins every shard's published snapshot into view_.
+  /// Requires writer_mu_.
+  void RepinViewLocked();
+  /// Rebuilds boundary_count_ from scratch over the current view_ and
+  /// state_. Requires writer_mu_.
+  void RescanBoundaryLocked();
+  /// Incremental boundary bookkeeping for one edge becoming uncovered
+  /// (+1) or covered (-1); no-op for same-shard edges and covered
+  /// sources. Requires writer_mu_.
+  void BumpBoundaryLocked(VertexId src, VertexId dst, int delta);
+  /// Shared bootstrap body of the constructor and Create.
+  Status Bootstrap(CsrGraph base, bool durable);
+  /// The live submit body: computes the accepted-edge list, journals the
+  /// batch record, then runs the group apply. `append_to_journal` is
+  /// false for in-memory routers. Requires writer_mu_.
+  SubmitResult SubmitLocked(std::span<const Edge> batch,
+                            bool append_to_journal);
+  /// Decoded S/W deltas of one journaled outcome record.
+  struct OutcomeDelta;
+  /// The apply half shared by live submits and recovery replay: route,
+  /// re-pin, boundary bookkeeping, then either augment live (null
+  /// `outcome`; journaling the outcome record when `append_outcome`) or
+  /// apply the recorded deltas verbatim. Ends with counters, the
+  /// compaction trigger and the publish. Requires writer_mu_.
+  SubmitResult ApplyGroupLocked(std::span<const Edge> batch,
+                                std::span<const EdgeId> added,
+                                bool append_outcome,
+                                const OutcomeDelta* outcome,
+                                uint64_t* routed_inserted);
+  /// Order-preserving fan-out of `batch` to owner shards; `*inserted`
+  /// (optional) sums what the shards actually inserted. Returns the
+  /// first shard error (nothing the router can undo — recovery heals).
+  Status RouteLocked(std::span<const Edge> batch, uint64_t* inserted);
+  /// Global re-solve + state reset + lockstep shard ForceCompact +
+  /// boundary rescan; persists the cut when durable, re-appending
+  /// replay_tail_ (the not-yet-replayed records during recovery).
+  /// Requires writer_mu_.
+  void CompactLocked(uint64_t cut_seq);
+  /// Writes the router cut snapshot, rotates the journal (re-appending
+  /// `tail`) and commits through the manifest; failures leave the old
+  /// pair live. Requires writer_mu_.
+  void PersistCutLocked(uint64_t cut_seq, uint64_t snapshot_epoch,
+                        std::span<const JournalRecord> tail);
+  /// Copies view_/state_ into a fresh RouterSnapshot (building the
+  /// boundary summary) and publishes it. Requires writer_mu_.
+  uint64_t PublishLocked();
+  /// Replays the router journal tail (see Open). Requires writer_mu_.
+  Status ReplayJournalLocked(std::vector<JournalRecord> records);
+
+  const ShardedServiceOptions options_;
+  const ShardPartition part_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<CycleBreakService>> shards_;
+
+  /// Serializes SubmitEdges, compaction and publication.
+  std::mutex writer_mu_;
+  ShardedGraphView view_;   // guarded by writer_mu_
+  TransversalState state_;  // guarded by writer_mu_
+  /// target -> number of uncovered cross-shard edges into it. The keys
+  /// are the boundary the summary is built over.
+  std::unordered_map<VertexId, uint32_t> boundary_count_;  // writer_mu_
+  /// Inserted edges since the last router cut (the sharded delta).
+  uint64_t router_delta_ = 0;  // guarded by writer_mu_
+  /// Last appended router-journal sequence (2 per submit group).
+  uint64_t last_seq_ = 0;  // guarded by writer_mu_
+  VertexId universe_ = 0;
+  std::unique_ptr<Journal> journal_;  // guarded by writer_mu_
+  std::string snapshot_file_;         // guarded by writer_mu_
+  /// Journal records not yet replayed by the recovery loop — the tail a
+  /// mid-replay compaction must re-append when it rotates the journal.
+  /// Empty outside recovery. Guarded by writer_mu_.
+  std::span<const JournalRecord> replay_tail_;
+  std::atomic<uint64_t> total_events_{0};
+  RecoveryInfo recovery_;
+
+  EpochPtr<RouterSnapshot> published_;
+
+  mutable ServiceStats stats_;
+  mutable ShardRouterStats router_stats_;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_SERVICE_SHARDED_SERVICE_H_

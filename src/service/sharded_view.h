@@ -1,0 +1,133 @@
+// Pair-packed graph view over N pinned shard snapshots.
+//
+// The sharded router (service/sharded_service.h) partitions vertices
+// across N CycleBreakService instances and owns the ONE global
+// transversal over their union. The algorithms it reuses — AugmentInserted,
+// PathProber, BoundedReach — are templated over a graph concept
+// (num_vertices / EdgeSrc / EdgeDst / ForEachOut), so this header gives
+// them that concept for "the union of N shard snapshots" without copying
+// a single edge.
+//
+// Edge ids are PACKED (src, dst) PAIRS, not per-shard overlay ids:
+// id = (src << 32) | dst. The pair is the identity of an edge across its
+// whole life — shard compactions remap overlay ids, but the pair never
+// changes — so the router's incremental S/W sets survive shard
+// compactions untouched and compare content-wise against an unsharded
+// oracle by (src, dst) columns. The overlay invariant "at most one edge
+// per (u, v)" makes the packing collision-free.
+#ifndef TDB_SERVICE_SHARDED_VIEW_H_
+#define TDB_SERVICE_SHARDED_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+#include "service/snapshot.h"
+#include "util/check.h"
+
+namespace tdb {
+
+/// Packs edge u -> v as its pair id.
+inline constexpr EdgeId PackEdge(VertexId u, VertexId v) {
+  return (static_cast<EdgeId>(u) << 32) | v;
+}
+
+/// splitmix32-style finalizer — the deterministic hash behind the
+/// vertex partition.
+inline constexpr uint32_t ShardMix32(uint32_t x) {
+  x ^= x >> 16;
+  x *= 0x7feb352du;
+  x ^= x >> 15;
+  x *= 0x846ca68bu;
+  x ^= x >> 16;
+  return x;
+}
+
+/// The vertex partition: owner(v) = hash(v >> block_bits) % num_shards.
+/// Hashing BLOCKS of 2^block_bits consecutive ids (not single ids)
+/// spreads load like a plain hash partition while keeping id-local
+/// neighborhoods co-resident — which is what keeps the boundary (targets
+/// of cross-shard edges) small on graphs whose structure follows id
+/// locality, and the boundary summary effective.
+struct ShardPartition {
+  int num_shards = 1;
+  uint32_t block_bits = 6;
+
+  int Owner(VertexId v) const {
+    if (num_shards <= 1) return 0;
+    return static_cast<int>(ShardMix32(v >> block_bits) %
+                            static_cast<uint32_t>(num_shards));
+  }
+};
+
+/// Immutable union view over one pinned ServiceSnapshot per shard.
+/// Shard s holds exactly the edges whose SOURCE it owns, so a vertex's
+/// whole out-adjacency lives in one shard and ForEachOut delegates to a
+/// single snapshot; in-edges are scattered and ForEachIn concatenates
+/// shard-major. Iteration order per vertex is the owning shard's overlay
+/// order (base ascending, then delta in routed order) — the property the
+/// router's oracle-equivalence rests on.
+class ShardedGraphView {
+ public:
+  ShardedGraphView() = default;
+  ShardedGraphView(ShardPartition partition,
+                   std::vector<std::shared_ptr<const ServiceSnapshot>> shards)
+      : partition_(partition), shards_(std::move(shards)) {
+    TDB_CHECK(static_cast<int>(shards_.size()) == partition_.num_shards);
+  }
+
+  VertexId num_vertices() const {
+    return shards_.empty() ? 0 : shards_[0]->graph.num_vertices();
+  }
+  EdgeId num_edges() const {
+    EdgeId total = 0;
+    for (const auto& s : shards_) total += s->graph.num_edges();
+    return total;
+  }
+
+  const ShardPartition& partition() const { return partition_; }
+  int num_shards() const { return partition_.num_shards; }
+  const ServiceSnapshot& shard(int s) const { return *shards_[s]; }
+
+  static VertexId EdgeSrc(EdgeId e) {
+    return static_cast<VertexId>(e >> 32);
+  }
+  static VertexId EdgeDst(EdgeId e) {
+    return static_cast<VertexId>(e & 0xffffffffu);
+  }
+
+  bool HasEdge(VertexId u, VertexId v) const {
+    return shards_[partition_.Owner(u)]->graph.HasEdge(u, v);
+  }
+
+  /// fn(neighbor, packed_edge_id); fn returns false to stop early.
+  /// Returns false iff stopped.
+  template <typename Fn>
+  bool ForEachOut(VertexId v, Fn&& fn) const {
+    return shards_[partition_.Owner(v)]->graph.ForEachOut(
+        v, [&](VertexId w, EdgeId) { return fn(w, PackEdge(v, w)); });
+  }
+
+  /// In-edge analogue; sources are scattered, so every shard contributes
+  /// (shard-major order).
+  template <typename Fn>
+  bool ForEachIn(VertexId v, Fn&& fn) const {
+    for (const auto& s : shards_) {
+      if (!s->graph.ForEachIn(
+              v, [&](VertexId w, EdgeId) { return fn(w, PackEdge(w, v)); })) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  ShardPartition partition_;
+  std::vector<std::shared_ptr<const ServiceSnapshot>> shards_;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_SERVICE_SHARDED_VIEW_H_

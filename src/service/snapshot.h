@@ -55,7 +55,9 @@ struct ServiceSnapshot {
       : graph(std::move(g)), cover(std::move(c)), options(std::move(o)) {}
 };
 
-/// Verdict of one admission query.
+/// Verdict of one admission query. Verdict bits first (what the caller
+/// acts on), provenance after (where the verdict came from) — the layout
+/// every GraphService backend shares.
 struct AdmissionVerdict {
   /// True iff admitting the edge cannot close an uncovered constrained
   /// cycle (it may still close covered ones — those are already broken).
@@ -65,6 +67,13 @@ struct AdmissionVerdict {
   bool would_close = false;
   /// Epoch of the snapshot the verdict was computed against.
   uint64_t epoch = 0;
+  /// Shard whose subgraph the probe ran in (the queried edge's dst
+  /// owner, under the router's partition); -1 for unsharded backends.
+  int32_t shard = -1;
+  /// True iff deciding the verdict needed more than one shard's local
+  /// subgraph (boundary-summary composition or a global fallback probe);
+  /// always false for unsharded backends.
+  bool cross_shard = false;
   /// True iff the snapshot's distance index forced the verdict by
   /// arithmetic alone (no path search ran).
   bool via_index = false;

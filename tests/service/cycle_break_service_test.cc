@@ -269,8 +269,11 @@ void RunConsistencyTest(int reader_threads, bool indexed_batched = false) {
   std::vector<std::vector<Recorded>> per_thread(reader_threads);
 
   {
-    CycleBreakService service(GenerateErdosRenyi(kN, 140, /*seed=*/32),
+    CycleBreakService backend(GenerateErdosRenyi(kN, 140, /*seed=*/32),
                               options);
+    // The readers and the ingest loop drive the backend-agnostic
+    // interface — the same harness shape tdb_serve and the benches use.
+    GraphService& service = backend;
     std::atomic<bool> done{false};
     std::vector<std::thread> readers;
     for (int t = 0; t < reader_threads; ++t) {

@@ -1,0 +1,334 @@
+// Durable sharded router: the router store (manifest + snapshot + group
+// journal) above N shard stores must recover — at every submit prefix,
+// across router compactions, after losing a shard's journal tail, and
+// for a journaled-but-never-applied frontier batch — to the same state
+// an uninterrupted run (and an unsharded oracle) reaches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.h"
+#include "service/cycle_break_service.h"
+#include "service/journal.h"
+#include "service/sharded_service.h"
+#include "util/rng.h"
+
+namespace tdb {
+namespace {
+
+using VertexPair = std::pair<VertexId, VertexId>;
+
+std::string FreshDir(const std::string& name) {
+  static int counter = 0;
+  std::string dir = testing::TempDir() + "tdb_sharded_recovery_" +
+                    std::to_string(counter++) + "_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+ShardedServiceOptions BaseOptions(const std::string& data_dir) {
+  ShardedServiceOptions options;
+  options.base.cover.k = 4;
+  options.base.compact_delta_threshold = 0;
+  options.base.synchronous_compaction = true;
+  options.num_shards = 2;
+  options.partition_block_bits = 2;
+  options.data_dir = data_dir;
+  return options;
+}
+
+/// Backend-neutral canonical image (see sharded_service_test.cc).
+struct CanonicalImage {
+  uint64_t epoch = 0;
+  uint64_t events = 0;
+  uint64_t base_edges = 0;
+  std::vector<VertexPair> delta;
+  std::vector<VertexId> cover;
+  std::vector<VertexPair> covered;
+  std::vector<VertexPair> reusable;
+
+  friend bool operator==(const CanonicalImage&,
+                         const CanonicalImage&) = default;
+};
+
+CanonicalImage ImageOf(const GraphService& service) {
+  const TransversalImage image = service.Image();
+  CanonicalImage out;
+  out.epoch = image.epoch;
+  out.events = service.events_ingested();
+  out.base_edges = image.base_edges;
+  for (const Edge& e : image.delta) out.delta.push_back({e.src, e.dst});
+  std::sort(out.delta.begin(), out.delta.end());
+  out.cover = image.cover_vertices;
+  const auto pairs = [](const std::vector<TransversalImage::EdgeEntry>& in,
+                        std::vector<VertexPair>* to) {
+    for (const auto& e : in) to->push_back({e.src, e.dst});
+    std::sort(to->begin(), to->end());
+  };
+  pairs(image.covered, &out.covered);
+  pairs(image.reusable, &out.reusable);
+  return out;
+}
+
+std::vector<std::vector<Edge>> MakeBatches(VertexId n, size_t batches,
+                                           size_t batch, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Edge>> result;
+  for (size_t b = 0; b < batches; ++b) {
+    std::vector<Edge> edges;
+    for (size_t i = 0; i < batch; ++i) {
+      edges.push_back(
+          Edge{static_cast<VertexId>(rng.NextBounded(n)),
+               static_cast<VertexId>(rng.NextBounded(n))});
+    }
+    result.push_back(std::move(edges));
+  }
+  return result;
+}
+
+void ExpectSameVerdicts(GraphService& a, GraphService& b, VertexId n) {
+  Rng rng(99);
+  for (int q = 0; q < 50; ++q) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    EXPECT_EQ(a.CheckAdmission(u, v).would_close,
+              b.CheckAdmission(u, v).would_close)
+        << u << "->" << v;
+  }
+}
+
+TEST(ShardedRecoveryTest, CreateRejectsExistingStoreAndOpenNeedsOne) {
+  const std::string dir = FreshDir("exists");
+  const ShardedServiceOptions options = BaseOptions(dir);
+  std::unique_ptr<ShardedCycleBreakService> service;
+  ASSERT_TRUE(ShardedCycleBreakService::Create(
+                  GenerateErdosRenyi(20, 40, 1), options, &service)
+                  .ok());
+  service.reset();
+  std::unique_ptr<ShardedCycleBreakService> second;
+  EXPECT_TRUE(ShardedCycleBreakService::Create(
+                  GenerateErdosRenyi(20, 40, 1), options, &second)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ShardedCycleBreakService::Open(BaseOptions(FreshDir("miss")),
+                                             &second)
+                  .IsNotFound());
+  // The partition is a store property: reopening with a different shard
+  // count must be refused, not silently re-partitioned.
+  ShardedServiceOptions repartitioned = BaseOptions(dir);
+  repartitioned.num_shards = 4;
+  EXPECT_TRUE(ShardedCycleBreakService::Open(repartitioned, &second)
+                  .IsInvalidArgument());
+  std::filesystem::remove_all(dir);
+}
+
+/// Reopen at EVERY batch prefix and compare against an uninterrupted
+/// in-memory sharded replay AND the unsharded oracle of that prefix.
+void RunPrefixEquivalence(EdgeId compact_threshold, uint64_t seed) {
+  constexpr VertexId kN = 30;
+  const auto batches = MakeBatches(kN, 8, 9, seed);
+  const CsrGraph base = GenerateErdosRenyi(kN, 80, seed + 1);
+
+  for (size_t prefix = 0; prefix <= batches.size(); ++prefix) {
+    const std::string dir = FreshDir("prefix");
+    ShardedServiceOptions durable = BaseOptions(dir);
+    durable.base.compact_delta_threshold = compact_threshold;
+    std::unique_ptr<ShardedCycleBreakService> service;
+    ASSERT_TRUE(
+        ShardedCycleBreakService::Create(base, durable, &service).ok());
+    for (size_t b = 0; b < prefix; ++b) {
+      const SubmitResult r = service->SubmitEdges(batches[b]);
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    }
+    const CanonicalImage before = ImageOf(*service);
+    service.reset();
+
+    std::unique_ptr<ShardedCycleBreakService> recovered;
+    ASSERT_TRUE(ShardedCycleBreakService::Open(durable, &recovered).ok())
+        << "prefix " << prefix;
+    EXPECT_EQ(ImageOf(*recovered), before) << "prefix " << prefix;
+
+    ShardedServiceOptions memory = BaseOptions("");
+    memory.base.compact_delta_threshold = compact_threshold;
+    ShardedCycleBreakService replay(base, memory);
+    for (size_t b = 0; b < prefix; ++b) replay.SubmitEdges(batches[b]);
+    EXPECT_EQ(ImageOf(*recovered), ImageOf(replay)) << "prefix " << prefix;
+
+    ServiceOptions oracle_options;
+    oracle_options.cover.k = 4;
+    oracle_options.compact_delta_threshold = compact_threshold;
+    oracle_options.synchronous_compaction = true;
+    CycleBreakService oracle(base, oracle_options);
+    for (size_t b = 0; b < prefix; ++b) oracle.SubmitEdges(batches[b]);
+    ExpectSameVerdicts(*recovered, oracle, kN);
+    recovered.reset();
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(ShardedRecoveryTest, EveryPrefixRecoversToSequentialReplay) {
+  RunPrefixEquivalence(/*compact_threshold=*/0, /*seed=*/5);
+}
+
+TEST(ShardedRecoveryTest, EveryPrefixRecoversAcrossRouterCompactions) {
+  // Threshold low enough that router cuts (global re-solve + lockstep
+  // shard compactions + router journal rotation) land inside the sweep.
+  RunPrefixEquivalence(/*compact_threshold=*/24, /*seed=*/6);
+}
+
+TEST(ShardedRecoveryTest, HealsATruncatedShardJournalTail) {
+  // Crash model: one SHARD loses the tail of its write-ahead journal
+  // (torn writes at the device). The router journal still holds every
+  // group since the last cut, so recovery re-routes them — shards
+  // reject what they already have and re-insert what they lost — and
+  // the served state is as if nothing was ever torn.
+  const std::string dir = FreshDir("shardtail");
+  constexpr VertexId kN = 30;
+  const CsrGraph base = GenerateErdosRenyi(kN, 80, 11);
+  const auto batches = MakeBatches(kN, 8, 10, 21);
+  const ShardedServiceOptions durable = BaseOptions(dir);
+  std::unique_ptr<ShardedCycleBreakService> service;
+  ASSERT_TRUE(
+      ShardedCycleBreakService::Create(base, durable, &service).ok());
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(service->SubmitEdges(batch).status.ok());
+  }
+  const CanonicalImage before = ImageOf(*service);
+  service.reset();
+
+  // Chop the second half off shard 1's journal: several records gone.
+  StoreManifest shard_manifest;
+  ASSERT_TRUE(
+      ReadStoreManifest(dir + "/shard-1", &shard_manifest).ok());
+  const std::string shard_journal =
+      dir + "/shard-1/" + shard_manifest.journal_file;
+  const uintmax_t size = std::filesystem::file_size(shard_journal);
+  ASSERT_GT(size, 64u);
+  std::filesystem::resize_file(shard_journal, size / 2);
+
+  std::unique_ptr<ShardedCycleBreakService> recovered;
+  ASSERT_TRUE(ShardedCycleBreakService::Open(durable, &recovered).ok());
+  EXPECT_EQ(recovered->recovery_info().replayed_batches, batches.size());
+  EXPECT_GT(recovered->recovery_info().healed_batches, 0u)
+      << "the truncation did not lose any applied records";
+  EXPECT_EQ(ImageOf(*recovered), before);
+
+  ShardedCycleBreakService replay(base, BaseOptions(""));
+  for (const auto& batch : batches) replay.SubmitEdges(batch);
+  EXPECT_EQ(ImageOf(*recovered), ImageOf(replay));
+  ExpectSameVerdicts(*recovered, replay, kN);
+  recovered.reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardedRecoveryTest, TornFrontierBatchIsReplayedLive) {
+  // Crash model: the router journaled a group's batch record but died
+  // before the outcome record landed (the WAL-before-apply window).
+  // Recovery must re-route AND re-augment that frontier batch live,
+  // then append the missing outcome so the chain stays consecutive.
+  const std::string dir = FreshDir("frontier");
+  constexpr VertexId kN = 30;
+  const CsrGraph base = GenerateErdosRenyi(kN, 80, 31);
+  const auto batches = MakeBatches(kN, 4, 8, 41);
+  const ShardedServiceOptions durable = BaseOptions(dir);
+  std::unique_ptr<ShardedCycleBreakService> service;
+  ASSERT_TRUE(
+      ShardedCycleBreakService::Create(base, durable, &service).ok());
+  for (size_t b = 0; b + 1 < batches.size(); ++b) {
+    ASSERT_TRUE(service->SubmitEdges(batches[b]).status.ok());
+  }
+  // The accepted-index list the router would have journaled for the
+  // final batch, computed against the pre-batch published view.
+  const std::vector<Edge>& frontier = batches.back();
+  std::vector<uint32_t> added_idx;
+  {
+    const auto snap = service->PinState();
+    std::vector<VertexPair> seen;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      const VertexId u = frontier[i].src;
+      const VertexId v = frontier[i].dst;
+      if (u >= kN || v >= kN || u == v) continue;
+      if (snap->view.HasEdge(u, v)) continue;
+      if (std::find(seen.begin(), seen.end(), VertexPair{u, v}) !=
+          seen.end()) {
+        continue;
+      }
+      seen.push_back({u, v});
+      added_idx.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  service.reset();
+
+  // Append the batch record — header {batch, accepted}, the batch
+  // verbatim, then {index, 0} per accepted edge — with no outcome after.
+  StoreManifest manifest;
+  ASSERT_TRUE(ReadStoreManifest(dir, &manifest).ok());
+  {
+    std::vector<JournalRecord> records;
+    std::unique_ptr<Journal> journal;
+    ASSERT_TRUE(Journal::Open(dir + "/" + manifest.journal_file,
+                              DurabilityPolicy::kBatch, &records, nullptr,
+                              &journal)
+                    .ok());
+    std::vector<Edge> record;
+    record.push_back(Edge{static_cast<VertexId>(frontier.size()),
+                          static_cast<VertexId>(added_idx.size())});
+    record.insert(record.end(), frontier.begin(), frontier.end());
+    for (const uint32_t idx : added_idx) record.push_back(Edge{idx, 0});
+    ASSERT_TRUE(journal->Append(journal->last_seq() + 1, record).ok());
+  }
+
+  std::unique_ptr<ShardedCycleBreakService> recovered;
+  ASSERT_TRUE(ShardedCycleBreakService::Open(durable, &recovered).ok());
+  EXPECT_EQ(recovered->recovery_info().replayed_batches, batches.size());
+  EXPECT_GT(recovered->recovery_info().healed_batches, 0u);
+
+  ShardedCycleBreakService replay(base, BaseOptions(""));
+  for (const auto& batch : batches) replay.SubmitEdges(batch);
+  EXPECT_EQ(ImageOf(*recovered), ImageOf(replay));
+  ExpectSameVerdicts(*recovered, replay, kN);
+
+  // The healed store must also reopen cleanly: the appended outcome
+  // closed the journal chain, so a second recovery replays everything
+  // without healing.
+  recovered.reset();
+  std::unique_ptr<ShardedCycleBreakService> reopened;
+  ASSERT_TRUE(ShardedCycleBreakService::Open(durable, &reopened).ok());
+  EXPECT_EQ(ImageOf(*reopened), ImageOf(replay));
+  EXPECT_EQ(reopened->recovery_info().healed_batches, 0u);
+  reopened.reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardedRecoveryTest, RecoveryIsIdenticalAcrossIngestThreads) {
+  const std::string dir = FreshDir("threads");
+  constexpr VertexId kN = 40;
+  const CsrGraph base = GenerateErdosRenyi(kN, 120, 13);
+  const auto batches = MakeBatches(kN, 10, 12, 29);
+  ShardedServiceOptions durable = BaseOptions(dir);
+  durable.base.compact_delta_threshold = 40;
+  std::unique_ptr<ShardedCycleBreakService> service;
+  ASSERT_TRUE(
+      ShardedCycleBreakService::Create(base, durable, &service).ok());
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(service->SubmitEdges(batch).status.ok());
+  }
+  const CanonicalImage expected = ImageOf(*service);
+  service.reset();
+
+  for (int threads : {1, 4}) {
+    ShardedServiceOptions reopen = durable;
+    reopen.base.ingest_threads = threads;
+    std::unique_ptr<ShardedCycleBreakService> recovered;
+    ASSERT_TRUE(ShardedCycleBreakService::Open(reopen, &recovered).ok());
+    EXPECT_EQ(ImageOf(*recovered), expected) << threads << " threads";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,342 @@
+// Sharded router equivalence: ShardedCycleBreakService must serve
+// verdicts and transversals bit-identical (as (src, dst) content) to an
+// unsharded CycleBreakService replaying the same submit stream — at
+// every published checkpoint, every shard count, every router ingest
+// thread count, with the boundary summary on, over cap, and disabled.
+#include "service/sharded_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.h"
+#include "service/cycle_break_service.h"
+#include "service/graph_service.h"
+#include "util/rng.h"
+
+namespace tdb {
+namespace {
+
+using VertexPair = std::pair<VertexId, VertexId>;
+
+ServiceOptions MakeBaseOptions(uint32_t k) {
+  ServiceOptions options;
+  options.cover.k = k;
+  options.compact_delta_threshold = 0;
+  options.synchronous_compaction = true;
+  return options;
+}
+
+ShardedServiceOptions MakeShardedOptions(uint32_t k, int num_shards) {
+  ShardedServiceOptions options;
+  options.base = MakeBaseOptions(k);
+  options.num_shards = num_shards;
+  // Small block so a 40-vertex universe actually spreads across shards
+  // (the default 64-vertex blocks would put it all in one).
+  options.partition_block_bits = 2;
+  return options;
+}
+
+/// Backend-neutral canonical form of a TransversalImage: ids and
+/// iteration orders are backend-scoped, so equality is on the (src, dst)
+/// content and the sorted cover.
+struct CanonicalImage {
+  uint64_t epoch = 0;
+  VertexId universe = 0;
+  uint64_t base_edges = 0;
+  std::vector<VertexPair> delta;
+  std::vector<VertexId> cover;
+  std::vector<VertexPair> covered;
+  std::vector<VertexPair> reusable;
+
+  friend bool operator==(const CanonicalImage&,
+                         const CanonicalImage&) = default;
+};
+
+CanonicalImage Canonicalize(const TransversalImage& image) {
+  CanonicalImage out;
+  out.epoch = image.epoch;
+  out.universe = image.universe;
+  out.base_edges = image.base_edges;
+  for (const Edge& e : image.delta) out.delta.push_back({e.src, e.dst});
+  std::sort(out.delta.begin(), out.delta.end());
+  out.cover = image.cover_vertices;
+  const auto pairs = [](const std::vector<TransversalImage::EdgeEntry>& in,
+                        std::vector<VertexPair>* to) {
+    for (const auto& e : in) to->push_back({e.src, e.dst});
+    std::sort(to->begin(), to->end());
+  };
+  pairs(image.covered, &out.covered);
+  pairs(image.reusable, &out.reusable);
+  return out;
+}
+
+std::vector<std::vector<Edge>> MakeBatches(VertexId n, size_t batches,
+                                           size_t batch, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Edge>> result;
+  for (size_t b = 0; b < batches; ++b) {
+    std::vector<Edge> edges;
+    for (size_t i = 0; i < batch; ++i) {
+      edges.push_back(
+          Edge{static_cast<VertexId>(rng.NextBounded(n)),
+               static_cast<VertexId>(rng.NextBounded(n))});
+    }
+    result.push_back(std::move(edges));
+  }
+  return result;
+}
+
+std::vector<Edge> MakeQueries(VertexId n, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> queries;
+  for (size_t i = 0; i < count; ++i) {
+    queries.push_back(Edge{static_cast<VertexId>(rng.NextBounded(n)),
+                           static_cast<VertexId>(rng.NextBounded(n))});
+  }
+  return queries;
+}
+
+void ExpectSameVerdicts(const std::vector<AdmissionVerdict>& expected,
+                        const std::vector<AdmissionVerdict>& got,
+                        const std::vector<Edge>& queries,
+                        const char* where) {
+  ASSERT_EQ(expected.size(), got.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].would_close, got[i].would_close)
+        << where << ": " << queries[i].src << "->" << queries[i].dst;
+    EXPECT_EQ(expected[i].admissible, got[i].admissible)
+        << where << ": " << queries[i].src << "->" << queries[i].dst;
+    EXPECT_EQ(expected[i].epoch, got[i].epoch) << where;
+    EXPECT_EQ(expected[i].probed, got[i].probed)
+        << where << ": " << queries[i].src << "->" << queries[i].dst;
+  }
+}
+
+/// The acceptance-criterion sweep body: replay the same random batches
+/// through the unsharded oracle and the router, and at EVERY published
+/// checkpoint (including post-compaction ones) compare the canonical
+/// transversal image and a fresh batch of admission verdicts.
+void RunEquivalenceSweep(uint32_t k, int num_shards, int ingest_threads,
+                         int boundary_cap, EdgeId compact_threshold) {
+  constexpr VertexId kN = 40;
+  const CsrGraph base = GenerateErdosRenyi(kN, 100, /*seed=*/k * 101);
+  const auto batches = MakeBatches(kN, 10, 10, /*seed=*/k * 7 + 3);
+
+  // Oracle: cache/index-free unsharded replay, checkpoint per epoch.
+  ServiceOptions oracle_options = MakeBaseOptions(k);
+  oracle_options.compact_delta_threshold = compact_threshold;
+  CycleBreakService oracle(base, oracle_options);
+
+  ShardedServiceOptions sharded_options = MakeShardedOptions(k, num_shards);
+  sharded_options.base.compact_delta_threshold = compact_threshold;
+  sharded_options.base.ingest_threads = ingest_threads;
+  sharded_options.boundary_cap = boundary_cap;
+  ShardedCycleBreakService router(base, sharded_options);
+
+  ASSERT_EQ(router.num_shards(), num_shards);
+  ASSERT_EQ(router.epoch(), oracle.epoch());
+  EXPECT_EQ(Canonicalize(router.Image()), Canonicalize(oracle.Image()))
+      << "bootstrap";
+
+  for (size_t b = 0; b < batches.size(); ++b) {
+    const SubmitResult expected = oracle.SubmitEdges(batches[b]);
+    const SubmitResult got = router.SubmitEdges(batches[b]);
+    ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+    EXPECT_EQ(got.epoch, expected.epoch) << "batch " << b;
+    EXPECT_EQ(got.stats.inserted, expected.stats.inserted) << "batch " << b;
+    EXPECT_EQ(got.stats.rejected, expected.stats.rejected) << "batch " << b;
+    EXPECT_EQ(got.stats.cycles_covered, expected.stats.cycles_covered)
+        << "batch " << b;
+    EXPECT_EQ(Canonicalize(router.Image()), Canonicalize(oracle.Image()))
+        << "checkpoint after batch " << b;
+
+    const std::vector<Edge> queries =
+        MakeQueries(kN, 25, /*seed=*/1000 + b);
+    ExpectSameVerdicts(oracle.CheckAdmissionBatch(queries),
+                       router.CheckAdmissionBatch(queries), queries,
+                       "checkpoint verdicts");
+  }
+  EXPECT_EQ(oracle.Stats().compactions, router.Stats().compactions);
+  if (compact_threshold > 0) {
+    EXPECT_GT(router.Stats().compactions, 0u);
+  }
+}
+
+TEST(ShardedServiceOptionsTest, Validation) {
+  ShardedServiceOptions options = MakeShardedOptions(4, 2);
+  EXPECT_TRUE(options.Validate().ok());
+  options.num_shards = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = MakeShardedOptions(4, 2);
+  options.base.data_dir = "/tmp/somewhere";  // the router owns the layout
+  EXPECT_FALSE(options.Validate().ok());
+  options = MakeShardedOptions(4, 2);
+  options.base.admission_cache_log2 = 8;  // unsharded accelerator
+  EXPECT_FALSE(options.Validate().ok());
+  options = MakeShardedOptions(4, 2);
+  options.base.admission_index_landmarks = 4;
+  EXPECT_FALSE(options.Validate().ok());
+  options = MakeShardedOptions(4, 2);
+  options.boundary_cap = -1;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+// The k x shards sweep, each combo across router ingest thread counts.
+// boundary_cap is large so every checkpoint exercises the summary
+// compose path; the over-cap and disabled paths get their own tests.
+
+void RunThreadSweep(uint32_t k, int num_shards) {
+  for (int threads : {1, 2, 8}) {
+    RunEquivalenceSweep(k, num_shards, threads,
+                        /*boundary_cap=*/1 << 16,
+                        /*compact_threshold=*/40);
+  }
+}
+
+TEST(ShardedServiceTest, EquivalentK3Shards1) { RunThreadSweep(3, 1); }
+TEST(ShardedServiceTest, EquivalentK3Shards2) { RunThreadSweep(3, 2); }
+TEST(ShardedServiceTest, EquivalentK3Shards4) { RunThreadSweep(3, 4); }
+TEST(ShardedServiceTest, EquivalentK4Shards1) { RunThreadSweep(4, 1); }
+TEST(ShardedServiceTest, EquivalentK4Shards2) { RunThreadSweep(4, 2); }
+TEST(ShardedServiceTest, EquivalentK4Shards4) { RunThreadSweep(4, 4); }
+TEST(ShardedServiceTest, EquivalentK6Shards1) { RunThreadSweep(6, 1); }
+TEST(ShardedServiceTest, EquivalentK6Shards2) { RunThreadSweep(6, 2); }
+TEST(ShardedServiceTest, EquivalentK6Shards4) { RunThreadSweep(6, 4); }
+
+TEST(ShardedServiceTest, ScatterGatherFallbackMatchesOracle) {
+  // boundary_cap = 0 disables the summary entirely: every cross-shard
+  // admission goes through the bounded scatter/gather sweep over the
+  // union view — and must still match the oracle verdict for verdict.
+  RunEquivalenceSweep(/*k=*/4, /*num_shards=*/4, /*ingest_threads=*/1,
+                      /*boundary_cap=*/0, /*compact_threshold=*/0);
+}
+
+TEST(ShardedServiceTest, SummaryOverCapFallsBackAndStaysExact) {
+  // A cap of 1 is always exceeded on this workload: publishes skip the
+  // summary, queries scatter/gather, verdicts stay equal.
+  RunEquivalenceSweep(/*k=*/4, /*num_shards=*/2, /*ingest_threads=*/1,
+                      /*boundary_cap=*/1, /*compact_threshold=*/40);
+}
+
+TEST(ShardedServiceTest, SummaryResolvesCrossShardAdmissions) {
+  // A block-clustered graph (edges mostly inside 2^block_bits-aligned
+  // id blocks, a few bridges) keeps the boundary small, so the summary
+  // builds at every publish and resolves every cross-shard query
+  // without touching foreign shards.
+  constexpr VertexId kN = 64;
+  constexpr uint32_t kBlockBits = 4;  // blocks of 16 ids
+  Rng rng(5);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 300; ++i) {
+    const VertexId block = static_cast<VertexId>(rng.NextBounded(kN >> 4));
+    const VertexId u = static_cast<VertexId>((block << 4) +
+                                             rng.NextBounded(16));
+    VertexId v = static_cast<VertexId>((block << 4) + rng.NextBounded(16));
+    if (u == v) v = static_cast<VertexId>((block << 4) + ((v + 1) & 15));
+    edges.push_back(Edge{u, v});
+  }
+  for (int i = 0; i < 12; ++i) {  // sparse cross-block bridges
+    edges.push_back(
+        Edge{static_cast<VertexId>(rng.NextBounded(kN)),
+             static_cast<VertexId>(rng.NextBounded(kN))});
+  }
+  const CsrGraph base = CsrGraph::FromEdges(kN, edges);
+
+  CycleBreakService oracle(base, MakeBaseOptions(4));
+  ShardedServiceOptions options = MakeShardedOptions(4, 4);
+  options.partition_block_bits = kBlockBits;
+  options.boundary_cap = 128;
+  ShardedCycleBreakService router(base, options);
+
+  const auto batches = MakeBatches(kN, 6, 8, /*seed=*/77);
+  for (const auto& batch : batches) {
+    oracle.SubmitEdges(batch);
+    ASSERT_TRUE(router.SubmitEdges(batch).status.ok());
+    const std::vector<Edge> queries = MakeQueries(kN, 40, /*seed=*/88);
+    ExpectSameVerdicts(oracle.CheckAdmissionBatch(queries),
+                       router.CheckAdmissionBatch(queries), queries,
+                       "clustered verdicts");
+  }
+  const ShardRouterStatsSnapshot r = router.RouterStats();
+  EXPECT_GT(r.summary_builds, 0u);
+  EXPECT_EQ(r.summary_skipped, 0u) << "boundary outgrew the cap";
+  EXPECT_GT(r.cross_queries, 0u) << "workload never crossed shards";
+  // With the summary present, every cross-shard query resolves locally.
+  EXPECT_EQ(r.summary_resolved, r.cross_queries);
+  EXPECT_EQ(r.scatter_gather_probes, 0u);
+  EXPECT_GT(r.cross_shard_edges, 0u);
+}
+
+TEST(ShardedServiceTest, VerdictProvenanceNamesTheProbeShard) {
+  // AdmissionVerdict carries router provenance: `shard` is the owner of
+  // the probe source (the query's dst — probes run from v toward u),
+  // and cross_shard marks verdicts the local sweep alone could not
+  // prove. An unsharded backend leaves both at their defaults.
+  const CsrGraph base = GenerateErdosRenyi(40, 100, /*seed=*/9);
+  ShardedCycleBreakService router(base, MakeShardedOptions(4, 4));
+  const auto snap = router.PinState();
+  const std::vector<Edge> queries = MakeQueries(40, 60, /*seed=*/10);
+  const std::vector<AdmissionVerdict> verdicts =
+      router.CheckAdmissionBatch(queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(verdicts[i].shard,
+              snap->view.partition().Owner(queries[i].dst));
+    EXPECT_EQ(verdicts[i].epoch, snap->epoch);
+    if (verdicts[i].cross_shard) EXPECT_TRUE(verdicts[i].probed);
+  }
+
+  CycleBreakService oracle(base, MakeBaseOptions(4));
+  const std::vector<AdmissionVerdict> plain =
+      oracle.CheckAdmissionBatch(queries);
+  for (const AdmissionVerdict& v : plain) {
+    EXPECT_EQ(v.shard, -1);
+    EXPECT_FALSE(v.cross_shard);
+  }
+}
+
+TEST(ShardedServiceTest, CheckAdmissionIsABatchOfOne) {
+  const CsrGraph base = GenerateErdosRenyi(40, 120, /*seed=*/14);
+  ShardedCycleBreakService router(base, MakeShardedOptions(4, 2));
+  Rng rng(15);
+  for (int q = 0; q < 60; ++q) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(40));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(40));
+    const AdmissionVerdict single = router.CheckAdmission(u, v);
+    const Edge one{u, v};
+    const AdmissionVerdict batched =
+        router.CheckAdmissionBatch(std::span<const Edge>(&one, 1)).front();
+    EXPECT_EQ(single.would_close, batched.would_close);
+    EXPECT_EQ(single.admissible, batched.admissible);
+    EXPECT_EQ(single.shard, batched.shard);
+    EXPECT_EQ(single.cross_shard, batched.cross_shard);
+    EXPECT_EQ(single.probed, batched.probed);
+  }
+  // Both call shapes went through the one batched path.
+  const ServiceStatsSnapshot s = router.Stats();
+  EXPECT_EQ(s.admission_batches, 120u);
+  EXPECT_EQ(s.admission_queries, 120u);
+}
+
+TEST(ShardedServiceTest, RouterStatsCountRoutingAndSubmits) {
+  const CsrGraph base = CsrGraph::FromEdges(40, {});
+  ShardedCycleBreakService router(base, MakeShardedOptions(4, 4));
+  const auto batches = MakeBatches(40, 5, 12, /*seed=*/23);
+  uint64_t submitted = 0;
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(router.SubmitEdges(batch).status.ok());
+    submitted += batch.size();
+  }
+  const ShardRouterStatsSnapshot r = router.RouterStats();
+  EXPECT_EQ(r.edges_routed, submitted);
+  EXPECT_GT(r.shard_submits, 0u);
+  EXPECT_LE(r.cross_shard_edges, r.edges_routed);
+  EXPECT_EQ(router.events_ingested(), submitted);
+}
+
+}  // namespace
+}  // namespace tdb

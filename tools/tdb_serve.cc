@@ -7,9 +7,14 @@
 //             [--scc-algo tarjan|fwbw|uf] [--admission-cache [LOG2]]
 //             [--data-dir DIR] [--durability none|batch|always]
 //             [--compressed-base] [--kill-after N] [--state-dump FILE]
+//             [--shards N] [--boundary-cap N]
 //
 // Replays a timestamped edge stream (tdb_graphgen --stream) through a
-// CycleBreakService: the main thread ingests in batches while
+// GraphService backend — the unsharded CycleBreakService by default, or
+// with --shards N the in-process sharded router
+// (ShardedCycleBreakService), which partitions the universe across N
+// shard services and answers cross-shard admissions through per-publish
+// boundary summaries. Either way: the main thread ingests in batches while
 // --admit-threads reader threads fire CheckAdmission queries drawn from
 // the same vertex universe, concurrently and without coordination. With
 // --gate, each stream edge is admission-checked first and dropped when it
@@ -54,8 +59,10 @@
 
 #include "graph/graph_io.h"
 #include "service/cycle_break_service.h"
+#include "service/graph_service.h"
 #include "service/ingest_batcher.h"
 #include "service/service_metrics.h"
+#include "service/sharded_service.h"
 #include "service/stats.h"
 #include "util/crc32.h"
 #include "util/metrics.h"
@@ -94,6 +101,8 @@ struct CliArgs {
   size_t admission_batch = 0;
   uint32_t k = 5;
   size_t batch = 256;
+  int shards = 0;  // 0 = unsharded CycleBreakService
+  int boundary_cap = 128;
   int admit_threads = 2;
   int ingest_threads = 1;
   EdgeId compact_threshold = 4096;
@@ -144,6 +153,13 @@ void PrintUsage() {
       "                        ingested batch of this process\n"
       "  --state-dump FILE     write the final graph + transversal in\n"
       "                        canonical text form (crash-drill oracle)\n"
+      "  --shards N            serve through the in-process sharded\n"
+      "                        router with N shard services (0 = the\n"
+      "                        unsharded backend; excludes the admission\n"
+      "                        cache/index flags)\n"
+      "  --boundary-cap N      largest cross-shard boundary for which the\n"
+      "                        router builds per-publish summaries\n"
+      "                        (default 128; 0 = always scatter/gather)\n"
       "  --sync-compaction     compact inline instead of in background\n"
       "  --compressed-base     keep the immutable base in the\n"
       "                        delta/varint CompressedCsr backend\n"
@@ -184,6 +200,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->k = static_cast<uint32_t>(std::atoi(v));
     } else if (arg == "--batch" && (v = next()) != nullptr) {
       args->batch = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--shards" && (v = next()) != nullptr) {
+      args->shards = std::atoi(v);
+    } else if (arg == "--boundary-cap" && (v = next()) != nullptr) {
+      args->boundary_cap = std::atoi(v);
     } else if (arg == "--admit-threads" && (v = next()) != nullptr) {
       args->admit_threads = std::atoi(v);
     } else if (arg == "--ingest-threads" && (v = next()) != nullptr) {
@@ -246,51 +266,46 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
 /// Canonical text form of the final service state, for byte-equality
 /// comparison across runs (the crash drill's oracle). Everything that
 /// defines the served state is included: epoch, graph (base checksum +
-/// delta in insertion order), base cover and the S/W edge sets.
-bool WriteStateDump(const CycleBreakService& service,
-                    const std::string& path) {
-  const auto snap = service.PinSnapshot();
+/// delta in insertion order), base cover and the S/W edge sets. Built
+/// from the backend's canonical TransversalImage, so it works — and
+/// means the same thing — for the unsharded service and the sharded
+/// router alike (byte-identical to the pre-GraphService dump for the
+/// unsharded backend).
+bool WriteStateDump(const GraphService& service, const std::string& path) {
+  const TransversalImage image = service.Image();
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write state dump %s\n", path.c_str());
     return false;
   }
-  const OverlayGraph& graph = snap->graph;
-  Crc32 base_crc;
-  for (EdgeId e = 0; e < graph.base_edges(); ++e) {
-    const VertexId pair[2] = {graph.EdgeSrc(e), graph.EdgeDst(e)};
-    base_crc.Update(pair, sizeof(pair));
-  }
   std::fprintf(f,
                "tdb-state v1\n"
                "epoch %llu\nuniverse %u\nevents %llu\n"
                "base_edges %llu\nbase_crc %08x\ndelta_edges %llu\n",
-               static_cast<unsigned long long>(snap->epoch),
-               graph.num_vertices(),
+               static_cast<unsigned long long>(image.epoch),
+               image.universe,
                static_cast<unsigned long long>(service.events_ingested()),
-               static_cast<unsigned long long>(graph.base_edges()),
-               base_crc.value(),
-               static_cast<unsigned long long>(graph.delta_edges()));
-  for (const Edge& e : graph.delta()) {
+               static_cast<unsigned long long>(image.base_edges),
+               image.base_crc,
+               static_cast<unsigned long long>(image.delta.size()));
+  for (const Edge& e : image.delta) {
     std::fprintf(f, "D %u %u\n", e.src, e.dst);
   }
-  std::fprintf(f, "cover %zu\n", snap->cover.base->vertices.size());
-  for (VertexId v : snap->cover.base->vertices) {
+  std::fprintf(f, "cover %zu\n", image.cover_vertices.size());
+  for (VertexId v : image.cover_vertices) {
     std::fprintf(f, "C %u\n", v);
   }
+  // Endpoint pairs only: edge ids are backend-scoped, and the dump's
+  // whole point is byte-comparability across backends.
   auto dump_set = [&](const char* tag,
-                      const std::unordered_set<EdgeId>& set) {
-    std::vector<EdgeId> ids(set.begin(), set.end());
-    std::sort(ids.begin(), ids.end());
-    std::fprintf(f, "%s_count %zu\n", tag, ids.size());
-    for (EdgeId e : ids) {
-      std::fprintf(f, "%s %llu %u %u\n", tag,
-                   static_cast<unsigned long long>(e), graph.EdgeSrc(e),
-                   graph.EdgeDst(e));
+                      const std::vector<TransversalImage::EdgeEntry>& set) {
+    std::fprintf(f, "%s_count %zu\n", tag, set.size());
+    for (const TransversalImage::EdgeEntry& e : set) {
+      std::fprintf(f, "%s %u %u\n", tag, e.src, e.dst);
     }
   };
-  dump_set("S", snap->cover.covered);
-  dump_set("W", snap->cover.reusable);
+  dump_set("S", image.covered);
+  dump_set("W", image.reusable);
   std::fclose(f);
   return true;
 }
@@ -405,7 +420,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--gate cannot be combined with --data-dir\n");
     return 2;
   }
-  st = options.Validate();
+  ShardedServiceOptions sharded_options;
+  if (args.shards > 0) {
+    sharded_options.base = options;
+    sharded_options.base.data_dir.clear();  // the router owns the layout
+    sharded_options.num_shards = args.shards;
+    sharded_options.boundary_cap = args.boundary_cap;
+    sharded_options.data_dir = args.data_dir;
+    st = sharded_options.Validate();
+  } else {
+    st = options.Validate();
+  }
   if (!st.ok()) {
     std::fprintf(stderr, "bad options: %s\n", st.ToString().c_str());
     return 2;
@@ -418,44 +443,75 @@ int main(int argc, char** argv) {
                stream.size());
 
   Timer setup_timer;
-  std::unique_ptr<CycleBreakService> service_ptr;
+  std::unique_ptr<CycleBreakService> unsharded;
+  std::unique_ptr<ShardedCycleBreakService> sharded;
   size_t resume_offset = 0;
-  if (!args.data_dir.empty()) {
-    // An existing store is recovered; a fresh directory is initialized.
-    st = CycleBreakService::Open(options, &service_ptr);
-    if (st.ok()) {
-      const auto& rec = service_ptr->recovery_info();
-      resume_offset =
-          static_cast<size_t>(service_ptr->events_ingested());
+  const auto report_recovery = [&](uint64_t snapshot_epoch,
+                                   uint64_t replayed_batches,
+                                   uint64_t replayed_events,
+                                   uint64_t truncated_bytes,
+                                   uint64_t events_ingested) -> bool {
+    resume_offset = static_cast<size_t>(events_ingested);
+    std::fprintf(stderr,
+                 "recovered %s: snapshot epoch %llu + %llu journal "
+                 "batches (%llu events, %llu torn bytes dropped), "
+                 "resuming stream at event %zu\n",
+                 args.data_dir.c_str(),
+                 static_cast<unsigned long long>(snapshot_epoch),
+                 static_cast<unsigned long long>(replayed_batches),
+                 static_cast<unsigned long long>(replayed_events),
+                 static_cast<unsigned long long>(truncated_bytes),
+                 resume_offset);
+    if (resume_offset > stream.size()) {
       std::fprintf(stderr,
-                   "recovered %s: snapshot epoch %llu + %llu journal "
-                   "batches (%llu events, %llu torn bytes dropped), "
-                   "resuming stream at event %zu\n",
-                   args.data_dir.c_str(),
-                   static_cast<unsigned long long>(rec.snapshot_epoch),
-                   static_cast<unsigned long long>(rec.replayed_batches),
-                   static_cast<unsigned long long>(rec.replayed_events),
-                   static_cast<unsigned long long>(
-                       rec.journal_truncated_bytes),
-                   resume_offset);
-      const VertexId recovered_universe =
-          service_ptr->PinSnapshot()->graph.num_vertices();
-      if (recovered_universe != universe) {
-        std::fprintf(stderr,
-                     "store universe (%u) does not match the stream's "
-                     "(%u) — wrong --data-dir for this workload?\n",
-                     recovered_universe, universe);
+                   "store is ahead of the stream (%zu > %zu events)\n",
+                   resume_offset, stream.size());
+      return false;
+    }
+    return true;
+  };
+  if (args.shards > 0) {
+    if (!args.data_dir.empty()) {
+      st = ShardedCycleBreakService::Open(sharded_options, &sharded);
+      if (st.ok()) {
+        const auto& rec = sharded->recovery_info();
+        if (!report_recovery(rec.snapshot_epoch, rec.replayed_batches,
+                             rec.replayed_events,
+                             rec.journal_truncated_bytes,
+                             sharded->events_ingested())) {
+          return 1;
+        }
+      } else if (st.IsNotFound()) {
+        st = ShardedCycleBreakService::Create(std::move(base),
+                                              sharded_options, &sharded);
+        if (!st.ok()) {
+          std::fprintf(stderr, "cannot create store: %s\n",
+                       st.ToString().c_str());
+          return 1;
+        }
+      } else {
+        std::fprintf(stderr, "cannot recover store: %s\n",
+                     st.ToString().c_str());
         return 1;
       }
-      if (resume_offset > stream.size()) {
-        std::fprintf(stderr,
-                     "store is ahead of the stream (%zu > %zu events)\n",
-                     resume_offset, stream.size());
+    } else {
+      sharded = std::make_unique<ShardedCycleBreakService>(
+          std::move(base), sharded_options);
+    }
+  } else if (!args.data_dir.empty()) {
+    // An existing store is recovered; a fresh directory is initialized.
+    st = CycleBreakService::Open(options, &unsharded);
+    if (st.ok()) {
+      const auto& rec = unsharded->recovery_info();
+      if (!report_recovery(rec.snapshot_epoch, rec.replayed_batches,
+                           rec.replayed_events,
+                           rec.journal_truncated_bytes,
+                           unsharded->events_ingested())) {
         return 1;
       }
     } else if (st.IsNotFound()) {
       st = CycleBreakService::Create(std::move(base), options,
-                                     &service_ptr);
+                                     &unsharded);
       if (!st.ok()) {
         std::fprintf(stderr, "cannot create store: %s\n",
                      st.ToString().c_str());
@@ -467,10 +523,19 @@ int main(int argc, char** argv) {
       return 1;
     }
   } else {
-    service_ptr = std::make_unique<CycleBreakService>(std::move(base),
-                                                      options);
+    unsharded = std::make_unique<CycleBreakService>(std::move(base),
+                                                    options);
   }
-  CycleBreakService& service = *service_ptr;
+  GraphService& service =
+      sharded != nullptr ? static_cast<GraphService&>(*sharded)
+                         : static_cast<GraphService&>(*unsharded);
+  if (service.universe() != universe) {
+    std::fprintf(stderr,
+                 "store universe (%u) does not match the stream's "
+                 "(%u) — wrong --data-dir for this workload?\n",
+                 service.universe(), universe);
+    return 1;
+  }
   std::fprintf(stderr, "initial solve + publish: %.3fs (epoch %llu)\n",
                setup_timer.ElapsedSeconds(),
                static_cast<unsigned long long>(service.epoch()));
@@ -500,9 +565,14 @@ int main(int argc, char** argv) {
   metric_regs.push_back(registry.AddGaugeFn(
       "tdb_service_delta_edges",
       "Delta edges in the published snapshot's overlay", [&service] {
-        return static_cast<double>(
-            service.PinSnapshot()->graph.delta_edges());
+        return static_cast<double>(service.delta_edges());
       }));
+  if (sharded != nullptr) {
+    std::vector<MetricRegistry::Registration> shard_regs =
+        BindShardRouterStats(&registry, sharded->raw_router_stats(),
+                             "tdb_shard_");
+    for (auto& reg : shard_regs) metric_regs.push_back(std::move(reg));
+  }
 
   MetricsHttpServer metrics_server(&registry, args.metrics_port);
   if (args.metrics_port >= 0) {
@@ -619,7 +689,7 @@ int main(int argc, char** argv) {
   for (std::thread& r : readers) r.join();
 
   const ServiceStatsSnapshot s = service.Stats();
-  const auto snapshot = service.PinSnapshot();
+  const TransversalImage image = service.Image();
   const double qps =
       ingest_seconds > 0
           ? static_cast<double>(s.admission_queries) / ingest_seconds
@@ -676,14 +746,34 @@ int main(int argc, char** argv) {
               admit_lat.PercentileSeconds(0.95) * 1e6,
               admit_lat.PercentileSeconds(0.99) * 1e6);
   std::printf("state:      epoch %llu, %llu compactions (%llu failed), "
-              "cycles covered %llu, |S| %zu, base cover %zu, delta %llu\n",
+              "cycles covered %llu, |S| %zu, base cover %zu, delta %zu\n",
               static_cast<unsigned long long>(service.epoch()),
               static_cast<unsigned long long>(s.compactions),
               static_cast<unsigned long long>(s.compactions_failed),
               static_cast<unsigned long long>(s.cycles_covered),
-              snapshot->cover.covered.size(),
-              snapshot->cover.base->vertices.size(),
-              static_cast<unsigned long long>(snapshot->graph.delta_edges()));
+              image.covered.size(), image.cover_vertices.size(),
+              image.delta.size());
+  if (sharded != nullptr) {
+    const ShardRouterStatsSnapshot r = sharded->RouterStats();
+    const double summary_rate =
+        r.cross_queries > 0
+            ? 100.0 * static_cast<double>(r.summary_resolved) /
+                  static_cast<double>(r.cross_queries)
+            : 0.0;
+    std::printf(
+        "router:     %d shards, %llu/%llu edges cross-shard, boundary "
+        "%llu, %llu summaries (%.3fs), cross queries %llu (%.1f%% "
+        "summary-resolved, %llu scatter/gather, %llu DFS fallbacks)\n",
+        sharded->num_shards(),
+        static_cast<unsigned long long>(r.cross_shard_edges),
+        static_cast<unsigned long long>(r.edges_routed),
+        static_cast<unsigned long long>(r.boundary_vertices),
+        static_cast<unsigned long long>(r.summary_builds),
+        r.summary_build_seconds,
+        static_cast<unsigned long long>(r.cross_queries), summary_rate,
+        static_cast<unsigned long long>(r.scatter_gather_probes),
+        static_cast<unsigned long long>(r.dfs_fallbacks));
+  }
   if (!args.data_dir.empty()) {
     std::printf("store:      %llu journal records, %llu rotations, "
                 "%llu snapshots, %llu persist failures (durability %s)\n",
